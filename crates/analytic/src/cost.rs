@@ -1,0 +1,76 @@
+//! The integrated cost metric (paper Equation 8).
+//!
+//! The paper combines the two costs of signaling — the application-specific
+//! penalty of being in an inconsistent state and the signaling message
+//! overhead itself — into a single number
+//! `C = w · I + M`, where `w` is the application-specific weight
+//! (messages/second equivalent of one unit of inconsistency; the paper uses
+//! `w = 10` for the Kazaa example) and `M` is the normalized message rate.
+
+use serde::{Deserialize, Serialize};
+
+/// Weights of the integrated cost function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostWeights {
+    /// Weight `w` of the inconsistency ratio, in message/second units.
+    pub inconsistency_weight: f64,
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        Self {
+            inconsistency_weight: 10.0,
+        }
+    }
+}
+
+impl CostWeights {
+    /// Creates a weight set with the given inconsistency weight.
+    pub fn new(inconsistency_weight: f64) -> Self {
+        Self {
+            inconsistency_weight,
+        }
+    }
+
+    /// Evaluates `C = w · I + M`.
+    pub fn cost(&self, inconsistency: f64, normalized_message_rate: f64) -> f64 {
+        integrated_cost(
+            inconsistency,
+            normalized_message_rate,
+            self.inconsistency_weight,
+        )
+    }
+}
+
+/// The integrated cost `C = w·I + M` of Equation 8.
+pub fn integrated_cost(inconsistency: f64, normalized_message_rate: f64, weight: f64) -> f64 {
+    weight * inconsistency + normalized_message_rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_weight_is_ten() {
+        assert_eq!(CostWeights::default().inconsistency_weight, 10.0);
+    }
+
+    #[test]
+    fn cost_is_linear_combination() {
+        assert_eq!(integrated_cost(0.1, 0.5, 10.0), 1.5);
+        assert_eq!(CostWeights::new(2.0).cost(0.25, 1.0), 1.5);
+    }
+
+    #[test]
+    fn zero_weight_ignores_inconsistency() {
+        assert_eq!(integrated_cost(0.9, 0.3, 0.0), 0.3);
+    }
+
+    #[test]
+    fn cost_increases_with_either_component() {
+        let base = integrated_cost(0.1, 0.5, 10.0);
+        assert!(integrated_cost(0.2, 0.5, 10.0) > base);
+        assert!(integrated_cost(0.1, 0.6, 10.0) > base);
+    }
+}

@@ -1,0 +1,429 @@
+//! Protocols and model parameters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The five signaling protocols studied by the paper (Section II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Pure soft state: best-effort triggers + periodic refresh; removal only
+    /// by receiver-side state timeout.
+    Ss,
+    /// Soft state with best-effort explicit removal messages.
+    SsEr,
+    /// Soft state with reliable (ACK + retransmit) trigger messages and a
+    /// notification that lets the sender recover from false removal.
+    SsRt,
+    /// Soft state with reliable triggers *and* reliable explicit removal.
+    SsRtr,
+    /// Pure hard state: reliable setup/update/removal, no refreshes, no state
+    /// timeout; orphan removal via an external failure signal.
+    Hs,
+}
+
+impl Protocol {
+    /// All protocols in the order the paper lists them.
+    pub const ALL: [Protocol; 5] = [
+        Protocol::Ss,
+        Protocol::SsEr,
+        Protocol::SsRt,
+        Protocol::SsRtr,
+        Protocol::Hs,
+    ];
+
+    /// The three protocols the paper evaluates in the multi-hop setting
+    /// (Section III-B).
+    pub const MULTI_HOP: [Protocol; 3] = [Protocol::Ss, Protocol::SsRt, Protocol::Hs];
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::Ss => "SS",
+            Protocol::SsEr => "SS+ER",
+            Protocol::SsRt => "SS+RT",
+            Protocol::SsRtr => "SS+RTR",
+            Protocol::Hs => "HS",
+        }
+    }
+
+    /// Whether the protocol sends periodic refresh messages.
+    pub fn uses_refresh(self) -> bool {
+        !matches!(self, Protocol::Hs)
+    }
+
+    /// Whether the protocol removes receiver state on a state-timeout timer.
+    pub fn uses_state_timeout(self) -> bool {
+        !matches!(self, Protocol::Hs)
+    }
+
+    /// Whether the protocol sends explicit state-removal messages.
+    pub fn uses_explicit_removal(self) -> bool {
+        matches!(self, Protocol::SsEr | Protocol::SsRtr | Protocol::Hs)
+    }
+
+    /// Whether trigger (setup/update) messages are sent reliably
+    /// (ACK + retransmission).
+    pub fn reliable_triggers(self) -> bool {
+        matches!(self, Protocol::SsRt | Protocol::SsRtr | Protocol::Hs)
+    }
+
+    /// Whether explicit removal messages are sent reliably.
+    pub fn reliable_removal(self) -> bool {
+        matches!(self, Protocol::SsRtr | Protocol::Hs)
+    }
+
+    /// Whether the receiver notifies the sender when it removes state (so the
+    /// sender can repair a false removal with a fresh trigger).  The paper
+    /// gives this mechanism to SS+RT, SS+RTR and HS.
+    pub fn notifies_on_removal(self) -> bool {
+        matches!(self, Protocol::SsRt | Protocol::SsRtr | Protocol::Hs)
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Parameters of the single-hop model (Section III-A).
+///
+/// Defaults correspond to the paper's Kazaa peer ↔ supernode scenario.  The
+/// source text available to us is OCR-garbled around the numeric values; the
+/// decoded defaults (documented in `DESIGN.md`) are: `p_l = 0.02`,
+/// `Δ = 30 ms`, `1/λ_u = 30 s`, `1/λ_r = 1800 s`, `T = 5 s`, `τ = 3 T`,
+/// `R = 2 Δ`, `λ_e = 1e-4 /s`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SingleHopParams {
+    /// Signaling channel loss probability `p_l`.
+    pub loss: f64,
+    /// Mean one-way signaling channel delay `Δ` in seconds.
+    pub delay: f64,
+    /// Signaling state update rate `λ_u` (updates per second at the sender).
+    pub update_rate: f64,
+    /// Signaling state removal rate `λ_r`; `1/λ_r` is the mean lifetime of
+    /// the state at the sender (the "session length").
+    pub removal_rate: f64,
+    /// Soft-state refresh timer `T` in seconds.
+    pub refresh_timer: f64,
+    /// Soft-state state-timeout timer `τ` in seconds.
+    pub timeout_timer: f64,
+    /// Retransmission timer `R` in seconds (reliable transmissions).
+    pub retrans_timer: f64,
+    /// Rate `λ_e` at which the hard-state protocol's external failure
+    /// detector falsely signals a sender crash.
+    pub false_signal_rate: f64,
+}
+
+impl Default for SingleHopParams {
+    fn default() -> Self {
+        Self::kazaa_defaults()
+    }
+}
+
+impl SingleHopParams {
+    /// The paper's default (Kazaa) parameter set.
+    pub fn kazaa_defaults() -> Self {
+        let delay = 0.03;
+        Self {
+            loss: 0.02,
+            delay,
+            update_rate: 1.0 / 30.0,
+            removal_rate: 1.0 / 1800.0,
+            refresh_timer: 5.0,
+            timeout_timer: 15.0,
+            retrans_timer: 2.0 * delay,
+            false_signal_rate: 1e-4,
+        }
+    }
+
+    /// Mean session length `1/λ_r` in seconds.
+    pub fn mean_lifetime(&self) -> f64 {
+        if self.removal_rate <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.removal_rate
+        }
+    }
+
+    /// Sets the mean session length (`1/λ_r`).
+    pub fn with_mean_lifetime(mut self, seconds: f64) -> Self {
+        self.removal_rate = 1.0 / seconds;
+        self
+    }
+
+    /// Sets the mean update interval (`1/λ_u`).
+    pub fn with_mean_update_interval(mut self, seconds: f64) -> Self {
+        self.update_rate = 1.0 / seconds;
+        self
+    }
+
+    /// Sets the refresh timer and keeps the paper's convention of
+    /// `τ = 3 · T` (used when sweeping `T`, Figures 6, 7, 9, 12, 19).
+    pub fn with_refresh_timer_scaled_timeout(mut self, refresh: f64) -> Self {
+        self.refresh_timer = refresh;
+        self.timeout_timer = 3.0 * refresh;
+        self
+    }
+
+    /// Sets the channel delay and keeps the paper's convention of
+    /// `R = 2 · Δ` (the retransmission timer tracks the round-trip time).
+    pub fn with_delay_scaled_retrans(mut self, delay: f64) -> Self {
+        self.delay = delay;
+        self.retrans_timer = 2.0 * delay;
+        self
+    }
+
+    /// The soft-state false-removal rate
+    /// `λ_f = p_l^(τ/T) / τ` — the approximate rate at which *all* refreshes
+    /// within a timeout interval are lost, causing the receiver to time the
+    /// state out even though the sender still has it.
+    pub fn false_removal_rate(&self) -> f64 {
+        if self.timeout_timer <= 0.0 || self.refresh_timer <= 0.0 {
+            return 0.0;
+        }
+        let exponent = self.timeout_timer / self.refresh_timer;
+        self.loss.max(0.0).powf(exponent) / self.timeout_timer
+    }
+
+    /// Validates the parameter set, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.loss) {
+            return Err(format!("loss probability {} outside [0, 1]", self.loss));
+        }
+        if self.delay <= 0.0 {
+            return Err("channel delay must be positive".into());
+        }
+        if self.update_rate < 0.0 {
+            return Err("update rate must be non-negative".into());
+        }
+        if self.removal_rate <= 0.0 {
+            return Err("removal rate must be positive (finite sessions)".into());
+        }
+        if self.refresh_timer <= 0.0 || self.timeout_timer <= 0.0 || self.retrans_timer <= 0.0 {
+            return Err("timers must be positive".into());
+        }
+        if self.false_signal_rate < 0.0 {
+            return Err("false signal rate must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+/// Parameters of the multi-hop model (Section III-B).
+///
+/// The sender lifetime is infinite in this model (the paper studies the
+/// stationary update-propagation process), so there is no removal rate.
+/// Defaults correspond to the paper's bandwidth-reservation scenario:
+/// `K = 20` hops, `p_l = 0.02` and `Δ = 30 ms` per hop, `1/λ_u = 60 s`,
+/// `T = 5 s`, `τ = 3 T`, `R = 2 Δ`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiHopParams {
+    /// Number of hops `K` between the signaling sender and the final
+    /// receiver.
+    pub hops: usize,
+    /// Per-hop loss probability `p_l`.
+    pub loss: f64,
+    /// Per-hop mean one-way delay `Δ` in seconds.
+    pub delay: f64,
+    /// State update rate `λ_u` at the sender.
+    pub update_rate: f64,
+    /// Soft-state refresh timer `T` in seconds.
+    pub refresh_timer: f64,
+    /// Soft-state state-timeout timer `τ` in seconds.
+    pub timeout_timer: f64,
+    /// Retransmission timer `R` in seconds.
+    pub retrans_timer: f64,
+    /// Per-receiver false external-signal rate for HS.
+    pub false_signal_rate: f64,
+}
+
+impl Default for MultiHopParams {
+    fn default() -> Self {
+        Self::reservation_defaults()
+    }
+}
+
+impl MultiHopParams {
+    /// The paper's default multi-hop (bandwidth reservation) parameter set.
+    pub fn reservation_defaults() -> Self {
+        let delay = 0.03;
+        let loss: f64 = 0.02;
+        Self {
+            hops: 20,
+            loss,
+            delay,
+            update_rate: 1.0 / 60.0,
+            refresh_timer: 5.0,
+            timeout_timer: 15.0,
+            retrans_timer: 2.0 * delay,
+            false_signal_rate: loss.powi(3) / 15.0,
+        }
+    }
+
+    /// Sets the hop count.
+    pub fn with_hops(mut self, hops: usize) -> Self {
+        self.hops = hops;
+        self
+    }
+
+    /// Sets the refresh timer, keeping `τ = 3 · T`.
+    pub fn with_refresh_timer_scaled_timeout(mut self, refresh: f64) -> Self {
+        self.refresh_timer = refresh;
+        self.timeout_timer = 3.0 * refresh;
+        self
+    }
+
+    /// Probability that a message survives `n` consecutive hops.
+    pub fn survival(&self, n: usize) -> f64 {
+        (1.0 - self.loss).powi(n as i32)
+    }
+
+    /// Validates the parameter set.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.hops == 0 {
+            return Err("multi-hop model needs at least one hop".into());
+        }
+        if !(0.0..=1.0).contains(&self.loss) {
+            return Err(format!("loss probability {} outside [0, 1]", self.loss));
+        }
+        if self.delay <= 0.0 {
+            return Err("per-hop delay must be positive".into());
+        }
+        if self.update_rate <= 0.0 {
+            return Err("update rate must be positive (stationary update process)".into());
+        }
+        if self.refresh_timer <= 0.0 || self.timeout_timer <= 0.0 || self.retrans_timer <= 0.0 {
+            return Err("timers must be positive".into());
+        }
+        if self.false_signal_rate < 0.0 {
+            return Err("false signal rate must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_labels_match_paper() {
+        let labels: Vec<&str> = Protocol::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, vec!["SS", "SS+ER", "SS+RT", "SS+RTR", "HS"]);
+        assert_eq!(format!("{}", Protocol::SsRtr), "SS+RTR");
+    }
+
+    #[test]
+    fn mechanism_matrix_matches_section_two() {
+        use Protocol::*;
+        // Refresh + timeout: all soft-state variants, not HS.
+        for p in [Ss, SsEr, SsRt, SsRtr] {
+            assert!(p.uses_refresh(), "{p}");
+            assert!(p.uses_state_timeout(), "{p}");
+        }
+        assert!(!Hs.uses_refresh());
+        assert!(!Hs.uses_state_timeout());
+        // Explicit removal: SS+ER, SS+RTR, HS.
+        assert!(!Ss.uses_explicit_removal());
+        assert!(SsEr.uses_explicit_removal());
+        assert!(!SsRt.uses_explicit_removal());
+        assert!(SsRtr.uses_explicit_removal());
+        assert!(Hs.uses_explicit_removal());
+        // Reliable triggers: SS+RT, SS+RTR, HS.
+        assert!(!Ss.reliable_triggers());
+        assert!(!SsEr.reliable_triggers());
+        assert!(SsRt.reliable_triggers());
+        assert!(SsRtr.reliable_triggers());
+        assert!(Hs.reliable_triggers());
+        // Reliable removal: SS+RTR, HS.
+        assert!(SsRtr.reliable_removal());
+        assert!(Hs.reliable_removal());
+        assert!(!SsRt.reliable_removal());
+        // Notification on removal: the reliable-trigger protocols.
+        assert!(SsRt.notifies_on_removal());
+        assert!(!SsEr.notifies_on_removal());
+    }
+
+    #[test]
+    fn kazaa_defaults_are_valid_and_consistent() {
+        let p = SingleHopParams::default();
+        p.validate().unwrap();
+        assert_eq!(p.mean_lifetime(), 1800.0);
+        assert_eq!(p.timeout_timer, 3.0 * p.refresh_timer);
+        assert_eq!(p.retrans_timer, 2.0 * p.delay);
+    }
+
+    #[test]
+    fn false_removal_rate_formula() {
+        let p = SingleHopParams::default();
+        let expected = p.loss.powf(p.timeout_timer / p.refresh_timer) / p.timeout_timer;
+        assert!((p.false_removal_rate() - expected).abs() < 1e-18);
+        // Higher loss => higher false removal rate.
+        let mut lossy = p;
+        lossy.loss = 0.3;
+        assert!(lossy.false_removal_rate() > p.false_removal_rate());
+        // Longer timeout (more refresh opportunities) => lower rate.
+        let mut long_timeout = p;
+        long_timeout.timeout_timer = 50.0;
+        assert!(long_timeout.false_removal_rate() < p.false_removal_rate());
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let p = SingleHopParams::default()
+            .with_mean_lifetime(100.0)
+            .with_mean_update_interval(10.0)
+            .with_refresh_timer_scaled_timeout(2.0)
+            .with_delay_scaled_retrans(0.1);
+        assert_eq!(p.mean_lifetime(), 100.0);
+        assert_eq!(p.update_rate, 0.1);
+        assert_eq!(p.refresh_timer, 2.0);
+        assert_eq!(p.timeout_timer, 6.0);
+        assert_eq!(p.delay, 0.1);
+        assert_eq!(p.retrans_timer, 0.2);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        let mut p = SingleHopParams::default();
+        p.loss = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = SingleHopParams::default();
+        p.delay = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = SingleHopParams::default();
+        p.removal_rate = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = SingleHopParams::default();
+        p.refresh_timer = -1.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn multi_hop_defaults_are_valid() {
+        let p = MultiHopParams::default();
+        p.validate().unwrap();
+        assert_eq!(p.hops, 20);
+        assert!((p.survival(1) - 0.98).abs() < 1e-12);
+        assert!((p.survival(2) - 0.98 * 0.98).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_hop_validation() {
+        let p = MultiHopParams::default().with_hops(0);
+        assert!(p.validate().is_err());
+        let mut p = MultiHopParams::default();
+        p.update_rate = 0.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn multi_hop_refresh_scaling() {
+        let p = MultiHopParams::default().with_refresh_timer_scaled_timeout(10.0);
+        assert_eq!(p.refresh_timer, 10.0);
+        assert_eq!(p.timeout_timer, 30.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Per-message-type signaling rate breakdown (paper Equations 3–7).
+
+use serde::{Deserialize, Serialize};
+
+/// Mean signaling message rates (messages per second of receiver-side state
+/// lifetime), broken down by message class.
+///
+/// The components mirror Equations (3)–(7) of the paper:
+///
+/// * [`MessageRates::trigger`] — explicit trigger (setup/update) messages
+///   (`m_ET`, Eq. 3);
+/// * [`MessageRates::explicit_removal`] — explicit removal messages
+///   (`m_ER`, Eq. 4);
+/// * [`MessageRates::refresh`] — periodic soft-state refresh messages
+///   (`m_R`, Eq. 5);
+/// * [`MessageRates::reliable_trigger_extra`] — the *extra* messages that
+///   reliable triggers cost: retransmissions, acknowledgments and the
+///   removal notification sent after a false removal (`m_RT`, Eq. 6);
+/// * [`MessageRates::reliable_removal_extra`] — the extra messages that
+///   reliable removal costs: removal retransmissions and removal
+///   acknowledgments (`m_RR`, Eq. 7).
+///
+/// Components that do not apply to a protocol are zero, so the protocol's
+/// overall mean message rate is simply the sum of all five components — which
+/// reproduces the per-protocol sums listed at the end of Section III-A.2.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MessageRates {
+    /// Explicit trigger (state setup / update) messages, `m_ET`.
+    pub trigger: f64,
+    /// Periodic refresh messages, `m_R`.
+    pub refresh: f64,
+    /// Explicit removal messages, `m_ER`.
+    pub explicit_removal: f64,
+    /// Extra messages due to reliable triggers (retransmissions, ACKs,
+    /// false-removal notifications), `m_RT`.
+    pub reliable_trigger_extra: f64,
+    /// Extra messages due to reliable removal (removal retransmissions and
+    /// ACKs), `m_RR`.
+    pub reliable_removal_extra: f64,
+}
+
+impl MessageRates {
+    /// The protocol's overall mean signaling message rate `m` (messages per
+    /// second while the receiver-side state exists).
+    pub fn total(&self) -> f64 {
+        self.trigger
+            + self.refresh
+            + self.explicit_removal
+            + self.reliable_trigger_extra
+            + self.reliable_removal_extra
+    }
+
+    /// Fraction of the total rate spent on refresh messages — the knob the
+    /// refresh-timer sweeps (Figures 6, 7, 9) trade against consistency.
+    pub fn refresh_fraction(&self) -> f64 {
+        let t = self.total();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.refresh / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_is_sum_of_components() {
+        let r = MessageRates {
+            trigger: 0.1,
+            refresh: 0.2,
+            explicit_removal: 0.05,
+            reliable_trigger_extra: 0.03,
+            reliable_removal_extra: 0.02,
+        };
+        assert!((r.total() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_all_zero() {
+        let r = MessageRates::default();
+        assert_eq!(r.total(), 0.0);
+        assert_eq!(r.refresh_fraction(), 0.0);
+    }
+
+    #[test]
+    fn refresh_fraction() {
+        let r = MessageRates {
+            trigger: 0.1,
+            refresh: 0.3,
+            ..Default::default()
+        };
+        assert!((r.refresh_fraction() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,341 @@
+//! Protocol-specific transition rates (paper Table I plus the common
+//! transitions described in Section III-A.1).
+//!
+//! Parameter notation (matching the paper):
+//!
+//! * `λ_u` — state update rate at the sender,
+//! * `λ_r` — state removal rate (`1/λ_r` = mean session length),
+//! * `λ_f` — false removal rate; for soft-state protocols
+//!   `λ_f = p_l^(τ/T)/τ` (all refreshes within one timeout interval lost),
+//!   for HS it is the external detector's false-signal rate `λ_e`,
+//! * `p_l` — channel loss probability,
+//! * `Δ` — mean one-way channel delay,
+//! * `T` — refresh timer, `τ` — state-timeout timer, `R` — retransmission
+//!   timer.
+//!
+//! Table I entries reproduced here (rates from/to the states of Figure 3):
+//!
+//! | transition                | SS          | SS+ER       | SS+RT                | SS+RTR               | HS          |
+//! |---------------------------|-------------|-------------|----------------------|----------------------|-------------|
+//! | `(1,0)₁→(1,0)₂`, `IC₁→IC₂`| `p_l/Δ`     | `p_l/Δ`     | `p_l/Δ`              | `p_l/Δ`              | `p_l/Δ`     |
+//! | `(1,0)₁→C`, `IC₁→C`       | `(1-p_l)/Δ` | `(1-p_l)/Δ` | `(1-p_l)/Δ`          | `(1-p_l)/Δ`          | `(1-p_l)/Δ` |
+//! | `(1,0)₂→C`, `IC₂→C`       | `(1-p_l)/T` | `(1-p_l)/T` | `(1/T+1/R)(1-p_l)`   | `(1/T+1/R)(1-p_l)`   | `(1-p_l)/R` |
+//! | `(0,1)₁→(0,1)₂`           | —           | `p_l/Δ`     | —                    | `p_l/Δ`              | `p_l/Δ`     |
+//! | `(0,1)₁→(0,0)`            | `1/τ`       | `(1-p_l)/Δ` | `1/τ`                | `(1-p_l)/Δ`          | `(1-p_l)/Δ` |
+//! | `(0,1)₂→(0,0)`            | —           | `1/τ`       | —                    | `1/τ + (1-p_l)/R`    | `(1-p_l)/R` |
+//! | false removal `λ_f`       | `p_l^(τ/T)/τ` | `p_l^(τ/T)/τ` | `p_l^(τ/T)/τ`    | `p_l^(τ/T)/τ`        | `λ_e`       |
+//!
+//! Common transitions (Figure 3 narrative): updates `C→IC₁`, `(1,0)₂→(1,0)₁`,
+//! `IC₂→IC₁` at rate `λ_u`; removal `C→(0,1)₁`, `IC₂→(0,1)₁`,
+//! `(1,0)₂→(0,0)` at rate `λ_r`; false removal `C→(1,0)₂`, `IC₂→(1,0)₂` at
+//! rate `λ_f`.  The model serializes events, so no update/removal/false
+//! removal can originate from a fast-path state with a message in flight.
+
+use super::states::SingleHopState;
+use crate::params::{Protocol, SingleHopParams};
+use serde::{Deserialize, Serialize};
+
+/// One row of the transition table: a `from → to` transition and its rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateEntry {
+    /// Source state.
+    pub from: SingleHopState,
+    /// Destination state.
+    pub to: SingleHopState,
+    /// Transition rate (per second).
+    pub rate: f64,
+}
+
+/// The full set of transitions of one protocol under one parameter set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateTable {
+    /// The protocol the rates belong to.
+    pub protocol: Protocol,
+    /// All non-zero transitions.
+    pub entries: Vec<RateEntry>,
+}
+
+impl RateTable {
+    /// Accumulated rate of a particular transition (0 if absent).
+    pub fn rate(&self, from: SingleHopState, to: SingleHopState) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| e.from == from && e.to == to)
+            .map(|e| e.rate)
+            .sum()
+    }
+
+    /// Total exit rate of a state.
+    pub fn exit_rate(&self, from: SingleHopState) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| e.from == from)
+            .map(|e| e.rate)
+            .sum()
+    }
+
+    /// Renders the table in a human-readable form (used by the
+    /// `table1_transitions` binary to reproduce Table I numerically).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("Protocol {}\n", self.protocol));
+        for e in &self.entries {
+            out.push_str(&format!(
+                "  {:>8} -> {:<8} {:>14.8} /s\n",
+                e.from.paper_notation(),
+                e.to.paper_notation(),
+                e.rate
+            ));
+        }
+        out
+    }
+}
+
+/// Rate at which a slow-path state (`(1,0)₂` or `IC₂`) returns to the
+/// consistent state: by refresh for pure soft state, refresh or
+/// retransmission for the reliable-trigger soft-state variants, and
+/// retransmission only for hard state (Table I row 3).
+pub fn slow_path_repair_rate(protocol: Protocol, p: &SingleHopParams) -> f64 {
+    let success = 1.0 - p.loss;
+    match protocol {
+        Protocol::Ss | Protocol::SsEr => success / p.refresh_timer,
+        Protocol::SsRt | Protocol::SsRtr => {
+            (1.0 / p.refresh_timer + 1.0 / p.retrans_timer) * success
+        }
+        Protocol::Hs => success / p.retrans_timer,
+    }
+}
+
+/// The false-removal rate `λ_f` of Table I's last row.
+pub fn false_removal_rate(protocol: Protocol, p: &SingleHopParams) -> f64 {
+    match protocol {
+        Protocol::Hs => p.false_signal_rate,
+        _ => p.false_removal_rate(),
+    }
+}
+
+/// Rate at which orphaned receiver state is finally removed once the removal
+/// message was lost (`(0,1)₂ → (0,0)`, Table I row 6).  `None` when the
+/// protocol has no `(0,1)₂` state.
+pub fn orphan_cleanup_rate(protocol: Protocol, p: &SingleHopParams) -> Option<f64> {
+    let success = 1.0 - p.loss;
+    match protocol {
+        Protocol::Ss | Protocol::SsRt => None,
+        Protocol::SsEr => Some(1.0 / p.timeout_timer),
+        Protocol::SsRtr => Some(1.0 / p.timeout_timer + success / p.retrans_timer),
+        Protocol::Hs => Some(success / p.retrans_timer),
+    }
+}
+
+/// Rate of the `(0,1)₁ → (0,0)` transition (Table I row 5): state-timeout for
+/// the protocols without explicit removal, successful delivery of the removal
+/// message otherwise.
+pub fn removal_delivery_rate(protocol: Protocol, p: &SingleHopParams) -> f64 {
+    let success = 1.0 - p.loss;
+    if protocol.uses_explicit_removal() {
+        success / p.delay
+    } else {
+        1.0 / p.timeout_timer
+    }
+}
+
+/// Builds the complete transition list of one protocol.
+pub fn protocol_transitions(protocol: Protocol, p: &SingleHopParams) -> RateTable {
+    use SingleHopState::*;
+    let mut entries: Vec<RateEntry> = Vec::new();
+    let mut push = |from: SingleHopState, to: SingleHopState, rate: f64| {
+        if rate > 0.0 {
+            entries.push(RateEntry { from, to, rate });
+        }
+    };
+
+    let success = 1.0 - p.loss;
+    let fast_delivery = success / p.delay;
+    let fast_loss = p.loss / p.delay;
+    let slow_repair = slow_path_repair_rate(protocol, p);
+    let lambda_f = false_removal_rate(protocol, p);
+
+    // --- Setup and update propagation (rows 1–3 of Table I). ---
+    push(Setup1, Consistent, fast_delivery);
+    push(Setup1, Setup2, fast_loss);
+    push(Diff1, Consistent, fast_delivery);
+    push(Diff1, Diff2, fast_loss);
+    push(Setup2, Consistent, slow_repair);
+    push(Diff2, Consistent, slow_repair);
+
+    // --- Sender-side updates (rate λ_u, Figure 3). ---
+    push(Consistent, Diff1, p.update_rate);
+    push(Setup2, Setup1, p.update_rate);
+    push(Diff2, Diff1, p.update_rate);
+
+    // --- Sender-side removal (rate λ_r, Figure 3). ---
+    push(Setup2, Absorbed, p.removal_rate);
+    push(Consistent, Removing1, p.removal_rate);
+    push(Diff2, Removing1, p.removal_rate);
+
+    // --- False removal (rate λ_f, Figure 3 / Table I last row). ---
+    push(Consistent, Setup2, lambda_f);
+    push(Diff2, Setup2, lambda_f);
+
+    // --- Orphan removal at the receiver (rows 4–6 of Table I). ---
+    push(Removing1, Absorbed, removal_delivery_rate(protocol, p));
+    if protocol.uses_explicit_removal() {
+        push(Removing1, Removing2, fast_loss);
+    }
+    if let Some(rate) = orphan_cleanup_rate(protocol, p) {
+        push(Removing2, Absorbed, rate);
+    }
+
+    RateTable { protocol, entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use SingleHopState::*;
+
+    fn params() -> SingleHopParams {
+        SingleHopParams::kazaa_defaults()
+    }
+
+    #[test]
+    fn fast_path_rates_are_protocol_independent() {
+        let p = params();
+        for proto in Protocol::ALL {
+            let t = protocol_transitions(proto, &p);
+            assert!((t.rate(Setup1, Consistent) - (1.0 - p.loss) / p.delay).abs() < 1e-12);
+            assert!((t.rate(Setup1, Setup2) - p.loss / p.delay).abs() < 1e-12);
+            assert!((t.rate(Diff1, Consistent) - (1.0 - p.loss) / p.delay).abs() < 1e-12);
+            assert!((t.rate(Diff1, Diff2) - p.loss / p.delay).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn slow_path_repair_matches_table_one() {
+        let p = params();
+        let success = 1.0 - p.loss;
+        assert!(
+            (slow_path_repair_rate(Protocol::Ss, &p) - success / p.refresh_timer).abs() < 1e-12
+        );
+        assert!(
+            (slow_path_repair_rate(Protocol::SsRt, &p)
+                - (1.0 / p.refresh_timer + 1.0 / p.retrans_timer) * success)
+                .abs()
+                < 1e-12
+        );
+        assert!(
+            (slow_path_repair_rate(Protocol::Hs, &p) - success / p.retrans_timer).abs() < 1e-12
+        );
+        // Reliable-trigger protocols recover faster from a lost trigger.
+        assert!(
+            slow_path_repair_rate(Protocol::SsRt, &p) > slow_path_repair_rate(Protocol::Ss, &p)
+        );
+    }
+
+    #[test]
+    fn removing2_exists_only_with_explicit_removal() {
+        let p = params();
+        for proto in Protocol::ALL {
+            let t = protocol_transitions(proto, &p);
+            let has_r2 = t.rate(Removing1, Removing2) > 0.0 || t.rate(Removing2, Absorbed) > 0.0;
+            assert_eq!(has_r2, proto.uses_explicit_removal(), "{proto}");
+        }
+    }
+
+    #[test]
+    fn removal_delivery_uses_timeout_without_explicit_removal() {
+        let p = params();
+        let ss = protocol_transitions(Protocol::Ss, &p);
+        assert!((ss.rate(Removing1, Absorbed) - 1.0 / p.timeout_timer).abs() < 1e-12);
+        let sser = protocol_transitions(Protocol::SsEr, &p);
+        assert!((sser.rate(Removing1, Absorbed) - (1.0 - p.loss) / p.delay).abs() < 1e-12);
+        // Explicit removal removes orphaned state much faster than timeout.
+        assert!(sser.rate(Removing1, Absorbed) > ss.rate(Removing1, Absorbed));
+    }
+
+    #[test]
+    fn hs_false_removal_uses_external_signal_rate() {
+        let p = params();
+        assert_eq!(false_removal_rate(Protocol::Hs, &p), p.false_signal_rate);
+        assert_eq!(
+            false_removal_rate(Protocol::Ss, &p),
+            p.false_removal_rate()
+        );
+        let hs = protocol_transitions(Protocol::Hs, &p);
+        assert!((hs.rate(Consistent, Setup2) - p.false_signal_rate).abs() < 1e-18);
+    }
+
+    #[test]
+    fn orphan_cleanup_rates() {
+        let p = params();
+        assert_eq!(orphan_cleanup_rate(Protocol::Ss, &p), None);
+        assert_eq!(orphan_cleanup_rate(Protocol::SsRt, &p), None);
+        assert!(
+            (orphan_cleanup_rate(Protocol::SsEr, &p).unwrap() - 1.0 / p.timeout_timer).abs()
+                < 1e-12
+        );
+        let rtr = orphan_cleanup_rate(Protocol::SsRtr, &p).unwrap();
+        assert!(
+            (rtr - (1.0 / p.timeout_timer + (1.0 - p.loss) / p.retrans_timer)).abs() < 1e-12
+        );
+        let hs = orphan_cleanup_rate(Protocol::Hs, &p).unwrap();
+        assert!((hs - (1.0 - p.loss) / p.retrans_timer).abs() < 1e-12);
+        // SS+RTR can also fall back to timeout, so it cleans up at least as
+        // fast as HS.
+        assert!(rtr >= hs);
+    }
+
+    #[test]
+    fn absorbing_state_has_no_exit() {
+        let p = params();
+        for proto in Protocol::ALL {
+            let t = protocol_transitions(proto, &p);
+            assert_eq!(t.exit_rate(Absorbed), 0.0, "{proto}");
+        }
+    }
+
+    #[test]
+    fn serialization_constraints_hold() {
+        // No update, removal or false removal out of fast-path states.
+        let p = params();
+        for proto in Protocol::ALL {
+            let t = protocol_transitions(proto, &p);
+            assert_eq!(t.rate(Setup1, Absorbed), 0.0);
+            assert_eq!(t.rate(Diff1, Removing1), 0.0);
+            assert_eq!(t.rate(Diff1, Setup2), 0.0);
+            assert_eq!(t.rate(Diff1, Diff1), 0.0);
+            assert_eq!(t.rate(Consistent, Setup1), 0.0);
+        }
+    }
+
+    #[test]
+    fn every_rate_is_positive_and_finite() {
+        let p = params();
+        for proto in Protocol::ALL {
+            for e in protocol_transitions(proto, &p).entries {
+                assert!(e.rate.is_finite() && e.rate > 0.0, "{proto} {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_protocol_and_states() {
+        let p = params();
+        let table = protocol_transitions(Protocol::SsEr, &p);
+        let text = table.render();
+        assert!(text.contains("SS+ER"));
+        assert!(text.contains("(1,0)_1"));
+        assert!(text.contains("(0,0)"));
+    }
+
+    #[test]
+    fn zero_loss_removes_slow_path_entries() {
+        let mut p = params();
+        p.loss = 0.0;
+        let t = protocol_transitions(Protocol::Ss, &p);
+        assert_eq!(t.rate(Setup1, Setup2), 0.0);
+        assert_eq!(t.rate(Diff1, Diff2), 0.0);
+        // False removal disappears as well (p_l^(τ/T) = 0).
+        assert_eq!(t.rate(Consistent, Setup2), 0.0);
+    }
+}

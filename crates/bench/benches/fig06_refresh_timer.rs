@@ -1,0 +1,22 @@
+//! Reproduces Figure 6: inconsistency and message rate versus the soft-state refresh timer.
+//!
+//! Running `cargo bench --bench fig06_refresh_timer` first prints the regenerated data
+//! series (the reproduction itself), then times the computation behind it
+//! with Criterion.
+
+use criterion::{black_box, Criterion};
+use signaling::experiment::ExperimentId;
+
+
+fn main() {
+    // Reproduction: print the regenerated series.
+    sigbench::print_experiments(&[ExperimentId::Fig6a, ExperimentId::Fig6b]);
+
+    // Benchmark: time the computation behind the figure.
+    let mut c = Criterion::default().configure_from_args();
+
+    c.bench_function("fig06/refresh_timer_sweep", |b| {
+        b.iter(|| black_box(ExperimentId::Fig6a.run()))
+    });
+    c.final_summary();
+}

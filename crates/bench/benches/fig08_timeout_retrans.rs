@@ -1,0 +1,25 @@
+//! Reproduces Figure 8: inconsistency versus the state-timeout timer and the retransmission timer.
+//!
+//! Running `cargo bench --bench fig08_timeout_retrans` first prints the regenerated data
+//! series (the reproduction itself), then times the computation behind it
+//! with Criterion.
+
+use criterion::{black_box, Criterion};
+use signaling::experiment::ExperimentId;
+
+
+fn main() {
+    // Reproduction: print the regenerated series.
+    sigbench::print_experiments(&[ExperimentId::Fig8a, ExperimentId::Fig8b]);
+
+    // Benchmark: time the computation behind the figure.
+    let mut c = Criterion::default().configure_from_args();
+
+    c.bench_function("fig08/timeout_sweep", |b| {
+        b.iter(|| black_box(ExperimentId::Fig8a.run()))
+    });
+    c.bench_function("fig08/retrans_sweep", |b| {
+        b.iter(|| black_box(ExperimentId::Fig8b.run()))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,22 @@
+//! Reproduces Figure 9: message overhead versus inconsistency, tracing out the refresh-timer tradeoff.
+//!
+//! Running `cargo bench --bench fig09_tradeoff_refresh` first prints the regenerated data
+//! series (the reproduction itself), then times the computation behind it
+//! with Criterion.
+
+use criterion::{black_box, Criterion};
+use signaling::experiment::ExperimentId;
+
+
+fn main() {
+    // Reproduction: print the regenerated series.
+    sigbench::print_experiments(&[ExperimentId::Fig9]);
+
+    // Benchmark: time the computation behind the figure.
+    let mut c = Criterion::default().configure_from_args();
+
+    c.bench_function("fig09/tradeoff_sweep", |b| {
+        b.iter(|| black_box(ExperimentId::Fig9.run()))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,25 @@
+//! Reproduces Figure 10: the overhead/inconsistency tradeoff under varying update rate and channel delay.
+//!
+//! Running `cargo bench --bench fig10_tradeoff_update_delay` first prints the regenerated data
+//! series (the reproduction itself), then times the computation behind it
+//! with Criterion.
+
+use criterion::{black_box, Criterion};
+use signaling::experiment::ExperimentId;
+
+
+fn main() {
+    // Reproduction: print the regenerated series.
+    sigbench::print_experiments(&[ExperimentId::Fig10a, ExperimentId::Fig10b]);
+
+    // Benchmark: time the computation behind the figure.
+    let mut c = Criterion::default().configure_from_args();
+
+    c.bench_function("fig10/tradeoff_sweeps", |b| {
+        b.iter(|| {
+            black_box(ExperimentId::Fig10a.run());
+            black_box(ExperimentId::Fig10b.run());
+        })
+    });
+    c.final_summary();
+}

@@ -1,0 +1,22 @@
+//! Reproduces Figure 18: end-to-end inconsistency and message rate versus the number of hops.
+//!
+//! Running `cargo bench --bench fig18_hops` first prints the regenerated data
+//! series (the reproduction itself), then times the computation behind it
+//! with Criterion.
+
+use criterion::{black_box, Criterion};
+use signaling::experiment::ExperimentId;
+
+
+fn main() {
+    // Reproduction: print the regenerated series.
+    sigbench::print_experiments(&[ExperimentId::Fig18a, ExperimentId::Fig18b]);
+
+    // Benchmark: time the computation behind the figure.
+    let mut c = Criterion::default().configure_from_args();
+
+    c.bench_function("fig18/hop_count_sweep", |b| {
+        b.iter(|| black_box(ExperimentId::Fig18a.run()))
+    });
+    c.final_summary();
+}

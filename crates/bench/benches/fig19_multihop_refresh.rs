@@ -1,0 +1,22 @@
+//! Reproduces Figure 19: multi-hop inconsistency and message rate versus the refresh timer.
+//!
+//! Running `cargo bench --bench fig19_multihop_refresh` first prints the regenerated data
+//! series (the reproduction itself), then times the computation behind it
+//! with Criterion.
+
+use criterion::{black_box, Criterion};
+use signaling::experiment::ExperimentId;
+
+
+fn main() {
+    // Reproduction: print the regenerated series.
+    sigbench::print_experiments(&[ExperimentId::Fig19a, ExperimentId::Fig19b]);
+
+    // Benchmark: time the computation behind the figure.
+    let mut c = Criterion::default().configure_from_args();
+
+    c.bench_function("fig19/refresh_timer_sweep", |b| {
+        b.iter(|| black_box(ExperimentId::Fig19a.run()))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,105 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro                 # regenerate everything with default options
+//! repro --quick         # smaller simulation campaigns
+//! repro --fig fig4a     # one experiment only (repeat --fig for several)
+//! repro --csv DIR       # additionally write one CSV file per figure to DIR
+//! repro --list          # list the available experiment ids
+//! ```
+
+use signaling::experiment::{ExperimentId, ExperimentOptions, ExperimentOutput};
+use signaling::report::{render_csv, run_and_render};
+use std::path::PathBuf;
+
+struct Args {
+    quick: bool,
+    figs: Vec<ExperimentId>,
+    csv_dir: Option<PathBuf>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        figs: Vec::new(),
+        csv_dir: None,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--list" => args.list = true,
+            "--fig" => {
+                let name = it.next().ok_or("--fig needs an experiment id")?;
+                let id = ExperimentId::parse(&name)
+                    .ok_or_else(|| format!("unknown experiment id '{name}' (try --list)"))?;
+                args.figs.push(id);
+            }
+            "--csv" => {
+                let dir = it.next().ok_or("--csv needs a directory")?;
+                args.csv_dir = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro [--quick] [--fig ID]... [--csv DIR] [--list]\n\
+                     Regenerates the paper's tables and figures."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    if args.list {
+        for id in ExperimentId::ALL {
+            println!("{:<8} {}", id.name(), id.description());
+        }
+        return;
+    }
+
+    let options = if args.quick {
+        ExperimentOptions::quick()
+    } else {
+        ExperimentOptions::default()
+    };
+    let ids: Vec<ExperimentId> = if args.figs.is_empty() {
+        ExperimentId::ALL.to_vec()
+    } else {
+        args.figs.clone()
+    };
+
+    if let Some(dir) = &args.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+
+    for id in ids {
+        print!("{}", run_and_render(id, &options));
+        if let Some(dir) = &args.csv_dir {
+            if let ExperimentOutput::Figure(fig) = id.run_with(&options) {
+                let path = dir.join(format!("{}.csv", id.name()));
+                if let Err(e) = std::fs::write(&path, render_csv(&fig)) {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Support library for the benchmark harness.
+//!
+//! Each Criterion bench in `benches/` regenerates one of the paper's figures
+//! (printing the data series so `cargo bench` output doubles as a
+//! reproduction log) and then times the computation that produces it.  The
+//! `repro` binary in `src/bin/` regenerates everything at once and is what
+//! `EXPERIMENTS.md` is derived from.
+
+use signaling::experiment::{ExperimentId, ExperimentOptions};
+use signaling::report::run_and_render;
+
+/// Options used by the benches: small simulation campaigns so `cargo bench`
+/// stays fast; the `repro` binary uses the full defaults instead.
+pub fn bench_options() -> ExperimentOptions {
+    ExperimentOptions::quick()
+}
+
+/// Prints one experiment's regenerated data to stdout (the bench log).
+pub fn print_experiment(id: ExperimentId) {
+    print!("{}", run_and_render(id, &bench_options()));
+}
+
+/// Prints several experiments.
+pub fn print_experiments(ids: &[ExperimentId]) {
+    for id in ids {
+        print_experiment(*id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_options_are_small() {
+        let o = bench_options();
+        assert!(o.sim_replications <= 20);
+        assert!(o.sim_points <= 6);
+    }
+
+    #[test]
+    fn printing_an_experiment_does_not_panic() {
+        // Smoke-test the cheap analytic path used by most benches.
+        print_experiment(ExperimentId::Fig5a);
+    }
+}

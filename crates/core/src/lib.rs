@@ -1,0 +1,86 @@
+//! `signaling` — the public facade of the hard-state / soft-state signaling
+//! reproduction.
+//!
+//! The crate re-exports the pieces a user needs to compare signaling
+//! protocols:
+//!
+//! * the five protocols and their parameters ([`Protocol`],
+//!   [`SingleHopParams`], [`MultiHopParams`]) — from `siganalytic`;
+//! * the analytic models ([`SingleHopModel`], [`MultiHopModel`]) and their
+//!   solutions;
+//! * the discrete-event simulator ([`SessionConfig`], [`Campaign`],
+//!   [`MultiHopSimConfig`], [`MultiHopCampaign`]) — from `sigproto`;
+//! * the application scenarios and parameter sweeps — from `sigworkload`;
+//! * and, on top of those, this crate's own contribution:
+//!   - [`experiment`] — a registry that regenerates every table and figure of
+//!     the paper's evaluation section,
+//!   - [`compare`] — side-by-side analytic-vs-simulation comparisons
+//!     (the paper's Figures 11–12 methodology),
+//!   - [`report`] — plain-text / CSV / JSON rendering of experiment results.
+//!
+//! # Quick start
+//!
+//! ```
+//! use signaling::{Protocol, SingleHopModel, SingleHopParams};
+//!
+//! // How inconsistent is pure soft state for a Kazaa-like workload?
+//! let params = SingleHopParams::kazaa_defaults();
+//! let solution = SingleHopModel::new(Protocol::Ss, params).unwrap().solve().unwrap();
+//! assert!(solution.inconsistency > 0.0 && solution.inconsistency < 1.0);
+//!
+//! // And how much does adding explicit removal help?
+//! let with_removal = SingleHopModel::new(Protocol::SsEr, params).unwrap().solve().unwrap();
+//! assert!(with_removal.inconsistency < solution.inconsistency);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod experiment;
+pub mod report;
+
+pub use compare::{compare_single_hop, ComparisonRow};
+pub use experiment::{ExperimentId, ExperimentOptions, ExperimentOutput};
+pub use report::{render_csv, render_json, render_table};
+
+// Re-exports of the building blocks.
+pub use siganalytic::{
+    integrated_cost, solve_all, solve_all_multi_hop, CostWeights, MessageRates, ModelError,
+    MultiHopModel, MultiHopParams, MultiHopSolution, Protocol, SingleHopModel, SingleHopParams,
+    SingleHopSolution,
+};
+pub use sigproto::{
+    Campaign, CampaignResult, MultiHopCampaign, MultiHopCampaignResult, MultiHopSession,
+    MultiHopSimConfig, SessionConfig, SessionMetrics, SingleHopSession,
+};
+pub use sigstats::{ConfidenceInterval, OnlineStats, Point, Series, SeriesSet, Summary};
+pub use sigworkload::{MultiHopScenario, SingleHopScenario, Sweep};
+pub use simcore::{SimRng, TimerMode};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let params = SingleHopScenario::KazaaPeer.params();
+        let analytic = SingleHopModel::new(Protocol::SsEr, params)
+            .unwrap()
+            .solve()
+            .unwrap();
+        let cfg = SessionConfig::exponential(Protocol::SsEr, params);
+        let mut rng = SimRng::new(1);
+        let sim = SingleHopSession::run(&cfg, &mut rng);
+        assert!(analytic.inconsistency >= 0.0);
+        assert!(sim.inconsistency >= 0.0);
+    }
+
+    #[test]
+    fn doc_example_holds() {
+        let params = SingleHopParams::kazaa_defaults();
+        let ss = SingleHopModel::new(Protocol::Ss, params).unwrap().solve().unwrap();
+        let er = SingleHopModel::new(Protocol::SsEr, params).unwrap().solve().unwrap();
+        assert!(er.inconsistency < ss.inconsistency);
+    }
+}

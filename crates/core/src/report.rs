@@ -1,0 +1,97 @@
+//! Rendering experiment results.
+//!
+//! The `repro` binary and `EXPERIMENTS.md` are produced from these renderers:
+//! aligned plain-text tables for reading in a terminal, CSV for plotting, and
+//! JSON for programmatic consumption.
+
+use crate::experiment::{ExperimentId, ExperimentOptions, ExperimentOutput};
+use serde_json::json;
+use sigstats::SeriesSet;
+
+/// Renders a figure as an aligned plain-text table.
+pub fn render_table(set: &SeriesSet) -> String {
+    set.to_table()
+}
+
+/// Renders a figure as CSV.
+pub fn render_csv(set: &SeriesSet) -> String {
+    set.to_csv()
+}
+
+/// Renders a figure as a JSON document
+/// (`{"title", "x_label", "y_label", "series": [{label, points: [[x, y, err]]}]}`).
+pub fn render_json(set: &SeriesSet) -> String {
+    let series: Vec<_> = set
+        .series
+        .iter()
+        .map(|s| {
+            json!({
+                "label": s.label,
+                "points": s
+                    .points
+                    .iter()
+                    .map(|p| json!([p.x, p.y, p.err]))
+                    .collect::<Vec<_>>(),
+            })
+        })
+        .collect();
+    serde_json::to_string_pretty(&json!({
+        "title": set.title,
+        "x_label": set.x_label,
+        "y_label": set.y_label,
+        "series": series,
+    }))
+    .expect("serializable")
+}
+
+/// Runs an experiment and renders it as text, prefixed with its description.
+pub fn run_and_render(id: ExperimentId, options: &ExperimentOptions) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {} — {} ==\n", id.name(), id.description()));
+    let output = id.run_with(options);
+    match output {
+        ExperimentOutput::Figure(fig) => out.push_str(&render_table(&fig)),
+        ExperimentOutput::Text(text) => out.push_str(&text),
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigstats::Series;
+
+    fn sample() -> SeriesSet {
+        let mut set = SeriesSet::new("Fig X", "x", "y");
+        set.push(Series::from_xy("SS", [(1.0, 0.5), (2.0, 0.25)]));
+        set.push(Series::from_xy("HS", [(1.0, 0.1), (2.0, 0.05)]));
+        set
+    }
+
+    #[test]
+    fn table_and_csv_render() {
+        let s = sample();
+        assert!(render_table(&s).contains("Fig X"));
+        assert!(render_csv(&s).starts_with("x,SS,HS"));
+    }
+
+    #[test]
+    fn json_is_valid_and_contains_series() {
+        let s = sample();
+        let text = render_json(&s);
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed["title"], "Fig X");
+        assert_eq!(parsed["series"].as_array().unwrap().len(), 2);
+        assert_eq!(parsed["series"][0]["label"], "SS");
+        assert_eq!(parsed["series"][0]["points"][0][0], 1.0);
+    }
+
+    #[test]
+    fn run_and_render_produces_header_and_data() {
+        let text = run_and_render(ExperimentId::Fig5a, &ExperimentOptions::quick());
+        assert!(text.contains("fig5a"));
+        assert!(text.contains("SS+ER"));
+        assert!(text.lines().count() > 10);
+    }
+}

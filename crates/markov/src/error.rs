@@ -1,0 +1,84 @@
+//! Error type for the CTMC toolkit.
+
+use std::fmt;
+
+/// Errors produced while building or analysing a chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtmcError {
+    /// A transition rate was negative or not finite.
+    InvalidRate {
+        /// Source state index.
+        from: usize,
+        /// Destination state index.
+        to: usize,
+        /// The offending rate.
+        rate: f64,
+    },
+    /// A state index was out of range.
+    StateOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of states in the chain.
+        states: usize,
+    },
+    /// The linear system was singular (e.g. the chain is not irreducible so
+    /// the stationary distribution is not unique, or every state is
+    /// absorbing).
+    SingularSystem,
+    /// Dimensions of matrices/vectors did not match.
+    DimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was found.
+        found: usize,
+    },
+    /// The chain has no transient states / no absorbing states where the
+    /// requested analysis needs them.
+    BadStructure(&'static str),
+}
+
+impl fmt::Display for CtmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtmcError::InvalidRate { from, to, rate } => {
+                write!(f, "invalid rate {rate} on transition {from} -> {to}")
+            }
+            CtmcError::StateOutOfRange { index, states } => {
+                write!(f, "state index {index} out of range (chain has {states} states)")
+            }
+            CtmcError::SingularSystem => write!(f, "singular linear system"),
+            CtmcError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            CtmcError::BadStructure(msg) => write!(f, "bad chain structure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CtmcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CtmcError::InvalidRate {
+            from: 1,
+            to: 2,
+            rate: -3.0,
+        };
+        assert!(e.to_string().contains("invalid rate"));
+        assert!(CtmcError::SingularSystem.to_string().contains("singular"));
+        let e = CtmcError::StateOutOfRange { index: 9, states: 3 };
+        assert!(e.to_string().contains("out of range"));
+        let e = CtmcError::DimensionMismatch {
+            expected: 3,
+            found: 2,
+        };
+        assert!(e.to_string().contains("mismatch"));
+        assert!(CtmcError::BadStructure("no absorbing states")
+            .to_string()
+            .contains("no absorbing states"));
+    }
+}

@@ -1,0 +1,37 @@
+//! `ctmc` — a small continuous-time Markov chain toolkit.
+//!
+//! The paper's analytic results all come from one unified CTMC whose
+//! transition rates are protocol-specific (Table I / Figure 3 for the single
+//! hop model; Figures 15–16 for the multi-hop model).  This crate provides
+//! the machinery those models need, implemented from scratch:
+//!
+//! * [`matrix::DMatrix`] — a dense row-major `f64` matrix;
+//! * [`linalg`] — Gaussian elimination with partial pivoting for solving the
+//!   linear systems that stationary distributions and absorption times reduce
+//!   to;
+//! * [`chain::Ctmc`] — the chain itself: generator matrix, stationary
+//!   distribution of a recurrent chain, expected time to absorption and
+//!   expected visit times for transient analysis;
+//! * [`builder::CtmcBuilder`] — an ergonomic way to assemble a chain from
+//!   named states and individual transition rates (multiple rates between the
+//!   same pair of states accumulate, mirroring how the paper's models add
+//!   competing exponential events).
+//!
+//! The state spaces in this reproduction are tiny (8 states for the single-hop
+//! model, `2K + 2` for the multi-hop model with `K ≤ a few hundred`), so dense
+//! `O(n³)` solves are more than fast enough and avoid the complexity of a
+//! sparse solver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod chain;
+pub mod error;
+pub mod linalg;
+pub mod matrix;
+
+pub use builder::CtmcBuilder;
+pub use chain::Ctmc;
+pub use error::CtmcError;
+pub use matrix::DMatrix;

@@ -1,0 +1,181 @@
+//! Linear-system solving via Gaussian elimination with partial pivoting.
+//!
+//! Stationary distributions and mean-time-to-absorption computations reduce
+//! to solving small dense linear systems.  State spaces in this workspace are
+//! at most a few hundred states, so an `O(n³)` dense solve with partial
+//! pivoting is simple, robust and instantaneous.
+
+use crate::error::CtmcError;
+use crate::matrix::DMatrix;
+
+/// Solves `A·x = b` for a square `A`, returning `x`.
+///
+/// Uses Gaussian elimination with partial pivoting on a copy of the inputs.
+/// Returns [`CtmcError::SingularSystem`] when a pivot is (numerically) zero.
+pub fn solve(a: &DMatrix, b: &[f64]) -> Result<Vec<f64>, CtmcError> {
+    if !a.is_square() {
+        return Err(CtmcError::DimensionMismatch {
+            expected: a.rows(),
+            found: a.cols(),
+        });
+    }
+    let n = a.rows();
+    if b.len() != n {
+        return Err(CtmcError::DimensionMismatch {
+            expected: n,
+            found: b.len(),
+        });
+    }
+    // Augmented working copy.
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+
+    // Scale for the singularity tolerance.
+    let scale = m.max_abs().max(1.0);
+    let tol = scale * 1e-14;
+
+    for col in 0..n {
+        // Partial pivoting: find the row with the largest absolute value in
+        // this column at or below the diagonal.
+        let mut pivot_row = col;
+        let mut pivot_val = m[(col, col)].abs();
+        for r in (col + 1)..n {
+            let v = m[(r, col)].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val <= tol {
+            return Err(CtmcError::SingularSystem);
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = m[(col, c)];
+                m[(col, c)] = m[(pivot_row, c)];
+                m[(pivot_row, c)] = tmp;
+            }
+            rhs.swap(col, pivot_row);
+        }
+        // Eliminate below the pivot.
+        let pivot = m[(col, col)];
+        for r in (col + 1)..n {
+            let factor = m[(r, col)] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            m[(r, col)] = 0.0;
+            for c in (col + 1)..n {
+                m[(r, c)] -= factor * m[(col, c)];
+            }
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut acc = rhs[i];
+        for c in (i + 1)..n {
+            acc -= m[(i, c)] * x[c];
+        }
+        x[i] = acc / m[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Computes the residual ∞-norm `‖A·x − b‖∞`, used by tests and by callers
+/// that want to sanity-check a solution.
+pub fn residual_norm(a: &DMatrix, x: &[f64], b: &[f64]) -> Result<f64, CtmcError> {
+    let ax = a.mul_vec(x)?;
+    if b.len() != ax.len() {
+        return Err(CtmcError::DimensionMismatch {
+            expected: ax.len(),
+            found: b.len(),
+        });
+    }
+    Ok(ax
+        .iter()
+        .zip(b.iter())
+        .map(|(p, q)| (p - q).abs())
+        .fold(0.0f64, f64::max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_simple_system() {
+        // 2x + y = 5 ; x + 3y = 10  => x = 1, y = 3
+        let a = DMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_returns_rhs() {
+        let a = DMatrix::identity(4);
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(solve(&a, &b).unwrap(), b);
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // Leading zero on the diagonal forces a row swap.
+        let a = DMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = DMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(solve(&a, &[1.0, 2.0]), Err(CtmcError::SingularSystem));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_detected() {
+        let a = DMatrix::zeros(2, 3);
+        assert!(matches!(
+            solve(&a, &[1.0, 2.0]),
+            Err(CtmcError::DimensionMismatch { .. })
+        ));
+        let a = DMatrix::identity(2);
+        assert!(matches!(
+            solve(&a, &[1.0]),
+            Err(CtmcError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        let a = DMatrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
+        let b = vec![1.0, 2.0];
+        let x = solve(&a, &b).unwrap();
+        assert!(residual_norm(&a, &x, &b).unwrap() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_solution_satisfies_system(
+            seed_rows in proptest::collection::vec(
+                proptest::collection::vec(-10.0f64..10.0, 4), 4),
+            b in proptest::collection::vec(-10.0f64..10.0, 4),
+        ) {
+            // Make the system diagonally dominant so it is well conditioned.
+            let mut rows = seed_rows.clone();
+            for (i, row) in rows.iter_mut().enumerate() {
+                let sum: f64 = row.iter().map(|v| v.abs()).sum();
+                row[i] = sum + 1.0;
+            }
+            let a = DMatrix::from_rows(&rows);
+            let x = solve(&a, &b).unwrap();
+            let res = residual_norm(&a, &x, &b).unwrap();
+            prop_assert!(res < 1e-8, "residual = {}", res);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Dense row-major matrices.
+
+use crate::error::CtmcError;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DMatrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from nested rows.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map(|x| x.len()).unwrap_or(0);
+        assert!(
+            rows.iter().all(|row| row.len() == c),
+            "inconsistent row lengths"
+        );
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Element access with bounds checking, returning `None` when out of
+    /// range.
+    pub fn get(&self, r: usize, c: usize) -> Option<f64> {
+        if r < self.rows && c < self.cols {
+            Some(self.data[r * self.cols + c])
+        } else {
+            None
+        }
+    }
+
+    /// Sets an element, returning an error when out of range.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) -> Result<(), CtmcError> {
+        if r >= self.rows || c >= self.cols {
+            return Err(CtmcError::StateOutOfRange {
+                index: r.max(c),
+                states: self.rows.max(self.cols),
+            });
+        }
+        self.data[r * self.cols + c] = v;
+        Ok(())
+    }
+
+    /// One full row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> DMatrix {
+        let mut t = DMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product `A·x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, CtmcError> {
+        if x.len() != self.cols {
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.cols,
+                found: x.len(),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = self.row(r);
+            out[r] = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+        }
+        Ok(out)
+    }
+
+    /// Vector–matrix product `xᵀ·A` (useful for `π·Q`).
+    pub fn vec_mul(&self, x: &[f64]) -> Result<Vec<f64>, CtmcError> {
+        if x.len() != self.rows {
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.rows,
+                found: x.len(),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            let row = self.row(r);
+            for c in 0..self.cols {
+                out[c] += xr * row[c];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Extracts the square submatrix formed by the given row/column indices
+    /// (in the given order).
+    pub fn submatrix(&self, indices: &[usize]) -> Result<DMatrix, CtmcError> {
+        for &i in indices {
+            if i >= self.rows || i >= self.cols {
+                return Err(CtmcError::StateOutOfRange {
+                    index: i,
+                    states: self.rows.min(self.cols),
+                });
+            }
+        }
+        let n = indices.len();
+        let mut m = DMatrix::zeros(n, n);
+        for (ri, &r) in indices.iter().enumerate() {
+            for (ci, &c) in indices.iter().enumerate() {
+                m[(ri, ci)] = self[(r, c)];
+            }
+        }
+        Ok(m)
+    }
+
+    /// Maximum absolute element (∞-norm of the flattened matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+}
+
+impl Index<(usize, usize)> for DMatrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DMatrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for DMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                write!(f, "{:>12.6} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = DMatrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(!z.is_square());
+        assert_eq!(z[(1, 2)], 0.0);
+
+        let i = DMatrix::identity(3);
+        assert!(i.is_square());
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn from_rows_and_indexing() {
+        let m = DMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m.get(1, 0), Some(3.0));
+        assert_eq!(m.get(2, 0), None);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn set_checks_bounds() {
+        let mut m = DMatrix::zeros(2, 2);
+        assert!(m.set(1, 1, 5.0).is_ok());
+        assert_eq!(m[(1, 1)], 5.0);
+        assert!(m.set(2, 0, 1.0).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = DMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn mat_vec_products() {
+        let m = DMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.mul_vec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert_eq!(m.vec_mul(&[1.0, 1.0]).unwrap(), vec![4.0, 6.0]);
+        assert!(m.mul_vec(&[1.0]).is_err());
+        assert!(m.vec_mul(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let i = DMatrix::identity(4);
+        let x = vec![1.0, -2.0, 3.5, 0.0];
+        assert_eq!(i.mul_vec(&x).unwrap(), x);
+        assert_eq!(i.vec_mul(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn submatrix_extraction() {
+        let m = DMatrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ]);
+        let s = m.submatrix(&[0, 2]).unwrap();
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s[(0, 0)], 1.0);
+        assert_eq!(s[(0, 1)], 3.0);
+        assert_eq!(s[(1, 1)], 9.0);
+        assert!(m.submatrix(&[5]).is_err());
+    }
+
+    #[test]
+    fn max_abs_value() {
+        let m = DMatrix::from_rows(&[vec![-7.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.max_abs(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = DMatrix::zeros(1, 1);
+        let _ = m[(1, 0)];
+    }
+}

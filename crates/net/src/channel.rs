@@ -1,0 +1,284 @@
+//! A single logical signaling hop.
+
+use crate::delay::DelayModel;
+use crate::loss::{LossModel, LossState};
+use crate::message::MsgKind;
+use serde::{Deserialize, Serialize};
+use simcore::SimRng;
+
+/// Outcome of handing a message to a channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransmitOutcome {
+    /// The message will arrive at the absolute time given (seconds).
+    Delivered {
+        /// Absolute arrival time in seconds of virtual time.
+        arrival: f64,
+    },
+    /// The message was lost.
+    Lost,
+}
+
+impl TransmitOutcome {
+    /// Arrival time if delivered.
+    pub fn arrival(&self) -> Option<f64> {
+        match self {
+            TransmitOutcome::Delivered { arrival } => Some(*arrival),
+            TransmitOutcome::Lost => None,
+        }
+    }
+
+    /// Whether the message was lost.
+    pub fn is_lost(&self) -> bool {
+        matches!(self, TransmitOutcome::Lost)
+    }
+}
+
+/// Per-channel transmission statistics, broken down by message kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ChannelStats {
+    sent: [u64; MsgKind::ALL.len()],
+    delivered: [u64; MsgKind::ALL.len()],
+    dropped: [u64; MsgKind::ALL.len()],
+}
+
+impl ChannelStats {
+    fn kind_index(kind: MsgKind) -> usize {
+        MsgKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind present in ALL")
+    }
+
+    /// Total messages handed to the channel.
+    pub fn total_sent(&self) -> u64 {
+        self.sent.iter().sum()
+    }
+
+    /// Total messages delivered.
+    pub fn total_delivered(&self) -> u64 {
+        self.delivered.iter().sum()
+    }
+
+    /// Total messages dropped.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped.iter().sum()
+    }
+
+    /// Messages of one kind handed to the channel.
+    pub fn sent(&self, kind: MsgKind) -> u64 {
+        self.sent[Self::kind_index(kind)]
+    }
+
+    /// Messages of one kind delivered.
+    pub fn delivered(&self, kind: MsgKind) -> u64 {
+        self.delivered[Self::kind_index(kind)]
+    }
+
+    /// Messages of one kind dropped.
+    pub fn dropped(&self, kind: MsgKind) -> u64 {
+        self.dropped[Self::kind_index(kind)]
+    }
+
+    /// Total messages that count toward the signaling-overhead metric
+    /// (excludes the external failure-detection signal, per the paper).
+    pub fn total_signaling_sent(&self) -> u64 {
+        MsgKind::ALL
+            .iter()
+            .filter(|k| k.counts_as_signaling())
+            .map(|k| self.sent(*k))
+            .sum()
+    }
+
+    /// Empirical loss rate of the channel so far.
+    pub fn loss_rate(&self) -> f64 {
+        let sent = self.total_sent();
+        if sent == 0 {
+            0.0
+        } else {
+            self.total_dropped() as f64 / sent as f64
+        }
+    }
+
+    /// Merges counters from another stats object.
+    pub fn merge(&mut self, other: &ChannelStats) {
+        for i in 0..MsgKind::ALL.len() {
+            self.sent[i] += other.sent[i];
+            self.delivered[i] += other.delivered[i];
+            self.dropped[i] += other.dropped[i];
+        }
+    }
+}
+
+/// One logical hop: a loss process, a delay process, FIFO ordering, and
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    loss: LossModel,
+    loss_state: LossState,
+    delay: DelayModel,
+    stats: ChannelStats,
+    last_arrival: f64,
+}
+
+impl Channel {
+    /// Creates a channel from a loss and a delay model.
+    pub fn new(loss: LossModel, delay: DelayModel) -> Self {
+        Self {
+            loss,
+            loss_state: LossState::default(),
+            delay,
+            stats: ChannelStats::default(),
+            last_arrival: 0.0,
+        }
+    }
+
+    /// The paper's default channel: independent Bernoulli loss `p_l` and a
+    /// delay with mean `delta` drawn from the given model.
+    pub fn bernoulli(p_l: f64, delay: DelayModel) -> Self {
+        Self::new(LossModel::bernoulli(p_l), delay)
+    }
+
+    /// Mean one-way delay of the channel.
+    pub fn mean_delay(&self) -> f64 {
+        self.delay.mean()
+    }
+
+    /// Long-run loss probability of the channel's loss model.
+    pub fn loss_probability(&self) -> f64 {
+        self.loss.mean_loss()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// Hands a message of the given kind to the channel at time `now`.
+    ///
+    /// The returned outcome is either `Lost` or `Delivered { arrival }` where
+    /// `arrival >= now` and arrivals are non-decreasing across calls (FIFO —
+    /// the channel never reorders messages, as assumed in Section III).
+    pub fn transmit(&mut self, rng: &mut SimRng, now: f64, kind: MsgKind) -> TransmitOutcome {
+        let idx = ChannelStats::kind_index(kind);
+        self.stats.sent[idx] += 1;
+        if self.loss_state.is_lost(&self.loss, rng) {
+            self.stats.dropped[idx] += 1;
+            return TransmitOutcome::Lost;
+        }
+        let d = self.delay.sample(rng);
+        let arrival = (now + d).max(self.last_arrival).max(now);
+        self.last_arrival = arrival;
+        self.stats.delivered[idx] += 1;
+        TransmitOutcome::Delivered { arrival }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn lossless_fixed() -> Channel {
+        Channel::bernoulli(0.0, DelayModel::fixed(0.03))
+    }
+
+    #[test]
+    fn lossless_channel_delivers_everything() {
+        let mut ch = lossless_fixed();
+        let mut rng = SimRng::new(1);
+        for i in 0..100 {
+            let out = ch.transmit(&mut rng, i as f64, MsgKind::Trigger);
+            assert_eq!(out.arrival(), Some(i as f64 + 0.03));
+            assert!(!out.is_lost());
+        }
+        assert_eq!(ch.stats().total_sent(), 100);
+        assert_eq!(ch.stats().total_delivered(), 100);
+        assert_eq!(ch.stats().total_dropped(), 0);
+        assert_eq!(ch.stats().loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn lossy_channel_drop_rate_matches() {
+        let mut ch = Channel::bernoulli(0.3, DelayModel::fixed(0.01));
+        let mut rng = SimRng::new(2);
+        for _ in 0..50_000 {
+            ch.transmit(&mut rng, 0.0, MsgKind::Refresh);
+        }
+        let rate = ch.stats().loss_rate();
+        assert!((rate - 0.3).abs() < 0.01, "rate = {rate}");
+        assert_eq!(
+            ch.stats().total_sent(),
+            ch.stats().total_delivered() + ch.stats().total_dropped()
+        );
+    }
+
+    #[test]
+    fn fifo_ordering_with_random_delays() {
+        let mut ch = Channel::bernoulli(0.0, DelayModel::exponential(0.1));
+        let mut rng = SimRng::new(3);
+        let mut last = 0.0;
+        for i in 0..1000 {
+            let now = i as f64 * 0.001;
+            if let TransmitOutcome::Delivered { arrival } = ch.transmit(&mut rng, now, MsgKind::Trigger) {
+                assert!(arrival >= last, "reordered: {arrival} < {last}");
+                assert!(arrival >= now);
+                last = arrival;
+            }
+        }
+    }
+
+    #[test]
+    fn per_kind_counters() {
+        let mut ch = lossless_fixed();
+        let mut rng = SimRng::new(4);
+        ch.transmit(&mut rng, 0.0, MsgKind::Trigger);
+        ch.transmit(&mut rng, 0.0, MsgKind::Refresh);
+        ch.transmit(&mut rng, 0.0, MsgKind::Refresh);
+        ch.transmit(&mut rng, 0.0, MsgKind::ExternalSignal);
+        assert_eq!(ch.stats().sent(MsgKind::Trigger), 1);
+        assert_eq!(ch.stats().sent(MsgKind::Refresh), 2);
+        assert_eq!(ch.stats().sent(MsgKind::Removal), 0);
+        assert_eq!(ch.stats().total_sent(), 4);
+        assert_eq!(ch.stats().total_signaling_sent(), 3);
+    }
+
+    #[test]
+    fn stats_merge_adds_counters() {
+        let mut a = ChannelStats::default();
+        let mut ch1 = lossless_fixed();
+        let mut ch2 = lossless_fixed();
+        let mut rng = SimRng::new(5);
+        ch1.transmit(&mut rng, 0.0, MsgKind::Trigger);
+        ch2.transmit(&mut rng, 0.0, MsgKind::Removal);
+        a.merge(ch1.stats());
+        a.merge(ch2.stats());
+        assert_eq!(a.total_sent(), 2);
+        assert_eq!(a.sent(MsgKind::Trigger), 1);
+        assert_eq!(a.sent(MsgKind::Removal), 1);
+    }
+
+    #[test]
+    fn accessors_report_models() {
+        let ch = Channel::bernoulli(0.07, DelayModel::fixed(0.25));
+        assert_eq!(ch.loss_probability(), 0.07);
+        assert_eq!(ch.mean_delay(), 0.25);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_arrival_never_before_send(
+            p in 0.0f64..0.9,
+            delays in proptest::collection::vec(0.0f64..2.0, 1..100),
+        ) {
+            let mut ch = Channel::bernoulli(p, DelayModel::exponential(0.05));
+            let mut rng = SimRng::new(42);
+            let mut now = 0.0;
+            for d in delays {
+                now += d;
+                if let Some(arrival) = ch.transmit(&mut rng, now, MsgKind::Trigger).arrival() {
+                    prop_assert!(arrival >= now);
+                }
+            }
+        }
+    }
+}

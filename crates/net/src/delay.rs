@@ -1,0 +1,116 @@
+//! Delay processes.
+//!
+//! The analytic model approximates the one-way channel delay as exponential
+//! with mean `Δ`; deployed networks are closer to a fixed propagation delay
+//! plus jitter.  Both are available here.  The channel additionally enforces
+//! FIFO delivery (no reordering), matching the paper's channel assumptions.
+
+use serde::{Deserialize, Serialize};
+use simcore::{Dist, SimRng, TimerMode};
+
+/// A per-hop one-way delay process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayModel {
+    /// Base delay distribution.
+    pub base: Dist,
+    /// Optional uniform jitter added on top of the base delay, in seconds
+    /// (`[0, jitter)`).
+    pub jitter: f64,
+}
+
+impl DelayModel {
+    /// Fixed (deterministic) delay.
+    pub fn fixed(seconds: f64) -> Self {
+        Self {
+            base: Dist::Deterministic(seconds),
+            jitter: 0.0,
+        }
+    }
+
+    /// Exponentially distributed delay with the given mean (the analytic
+    /// model's assumption).
+    pub fn exponential(mean: f64) -> Self {
+        Self {
+            base: Dist::Exponential { mean },
+            jitter: 0.0,
+        }
+    }
+
+    /// Delay built from a [`TimerMode`], used when a whole simulation is
+    /// switched between "model assumptions" and "deployed protocol" modes.
+    pub fn from_mode(mode: TimerMode, mean: f64) -> Self {
+        Self {
+            base: mode.dist(mean),
+            jitter: 0.0,
+        }
+    }
+
+    /// Adds uniform jitter in `[0, jitter)` seconds.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter.max(0.0);
+        self
+    }
+
+    /// Mean one-way delay.
+    pub fn mean(&self) -> f64 {
+        self.base.mean() + self.jitter / 2.0
+    }
+
+    /// Draws one delay sample (always non-negative).
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        let mut d = self.base.sample(rng);
+        if self.jitter > 0.0 {
+            d += rng.uniform_range(0.0, self.jitter);
+        }
+        d.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_delay_is_constant() {
+        let d = DelayModel::fixed(0.03);
+        let mut rng = SimRng::new(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 0.03);
+        }
+        assert_eq!(d.mean(), 0.03);
+    }
+
+    #[test]
+    fn exponential_delay_mean() {
+        let d = DelayModel::exponential(0.1);
+        let mut rng = SimRng::new(2);
+        let n = 100_000;
+        let s: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        assert!((s / n as f64 - 0.1).abs() < 0.005);
+    }
+
+    #[test]
+    fn jitter_raises_mean_and_stays_in_range() {
+        let d = DelayModel::fixed(0.05).with_jitter(0.02);
+        assert!((d.mean() - 0.06).abs() < 1e-12);
+        let mut rng = SimRng::new(3);
+        for _ in 0..1000 {
+            let s = d.sample(&mut rng);
+            assert!((0.05..0.07).contains(&s), "sample = {s}");
+        }
+    }
+
+    #[test]
+    fn negative_jitter_is_clamped() {
+        let d = DelayModel::fixed(0.05).with_jitter(-1.0);
+        assert_eq!(d.jitter, 0.0);
+    }
+
+    #[test]
+    fn from_mode_matches_mode() {
+        let det = DelayModel::from_mode(TimerMode::Deterministic, 0.3);
+        let exp = DelayModel::from_mode(TimerMode::Exponential, 0.3);
+        assert_eq!(det.base, Dist::Deterministic(0.3));
+        assert_eq!(exp.base, Dist::Exponential { mean: 0.3 });
+    }
+}

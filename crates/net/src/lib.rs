@@ -1,0 +1,36 @@
+//! `signet` — the network substrate under the signaling-protocol simulator.
+//!
+//! The paper assumes a signaling channel that "can delay and lose, but not
+//! reorder, messages".  This crate models exactly that:
+//!
+//! * [`message`] — the signaling message vocabulary shared by all five
+//!   protocols (trigger, refresh, explicit removal, acknowledgments,
+//!   removal notifications, external failure signals);
+//! * [`loss`] — per-hop loss processes (independent Bernoulli as in the
+//!   paper, plus a Gilbert–Elliott bursty-loss extension);
+//! * [`delay`] — per-hop delay processes (deterministic or exponential, with
+//!   optional jitter), constrained to be FIFO so messages are never
+//!   reordered;
+//! * [`channel`] — one logical hop combining a loss and a delay process and
+//!   keeping transmission statistics;
+//! * [`path`] — a chain of hops for the multi-hop scenario of Section III-B.
+//!
+//! The channel does not own the event queue; it *decides* the fate of a
+//! transmission (lost, or delivered after `d` seconds) and the protocol layer
+//! schedules the corresponding delivery event.  This keeps the substrate free
+//! of any knowledge about protocol state machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod delay;
+pub mod loss;
+pub mod message;
+pub mod path;
+
+pub use channel::{Channel, ChannelStats, TransmitOutcome};
+pub use delay::DelayModel;
+pub use loss::LossModel;
+pub use message::{MsgKind, SignalMessage, StateValue};
+pub use path::Path;

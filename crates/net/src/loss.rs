@@ -1,0 +1,176 @@
+//! Loss processes.
+//!
+//! The paper models losses as independent Bernoulli trials with parameter
+//! `p_l` per hop.  [`LossModel::Bernoulli`] reproduces that; the
+//! Gilbert–Elliott variant is an extension used by the ablation benches to
+//! probe how bursty loss changes the protocol comparison.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimRng;
+
+/// A per-hop packet loss process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LossModel {
+    /// Independent loss with probability `p` per transmission (the paper's
+    /// model).
+    Bernoulli {
+        /// Loss probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Two-state Gilbert–Elliott bursty loss.  The channel alternates between
+    /// a Good state (loss probability `p_good`) and a Bad state (loss
+    /// probability `p_bad`); after every transmission the state switches with
+    /// the corresponding transition probability.
+    GilbertElliott {
+        /// Loss probability while in the Good state.
+        p_good: f64,
+        /// Loss probability while in the Bad state.
+        p_bad: f64,
+        /// Probability of moving Good → Bad after a transmission.
+        p_g2b: f64,
+        /// Probability of moving Bad → Good after a transmission.
+        p_b2g: f64,
+    },
+}
+
+impl LossModel {
+    /// Convenience constructor for the paper's independent-loss model.
+    pub fn bernoulli(p: f64) -> Self {
+        LossModel::Bernoulli { p: p.clamp(0.0, 1.0) }
+    }
+
+    /// Long-run average loss probability of the process.
+    pub fn mean_loss(&self) -> f64 {
+        match *self {
+            LossModel::Bernoulli { p } => p,
+            LossModel::GilbertElliott {
+                p_good,
+                p_bad,
+                p_g2b,
+                p_b2g,
+            } => {
+                // Stationary probability of being in Bad: p_g2b / (p_g2b + p_b2g).
+                let denom = p_g2b + p_b2g;
+                if denom <= 0.0 {
+                    return p_good;
+                }
+                let pi_bad = p_g2b / denom;
+                p_good * (1.0 - pi_bad) + p_bad * pi_bad
+            }
+        }
+    }
+}
+
+/// The mutable runtime state of a loss process (only Gilbert–Elliott needs
+/// any).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LossState {
+    in_bad: bool,
+}
+
+impl Default for LossState {
+    fn default() -> Self {
+        Self { in_bad: false }
+    }
+}
+
+impl LossState {
+    /// Decides whether a transmission is lost, advancing the process state.
+    pub fn is_lost(&mut self, model: &LossModel, rng: &mut SimRng) -> bool {
+        match *model {
+            LossModel::Bernoulli { p } => rng.bernoulli(p),
+            LossModel::GilbertElliott {
+                p_good,
+                p_bad,
+                p_g2b,
+                p_b2g,
+            } => {
+                let p = if self.in_bad { p_bad } else { p_good };
+                let lost = rng.bernoulli(p);
+                // Advance the channel state after the trial.
+                if self.in_bad {
+                    if rng.bernoulli(p_b2g) {
+                        self.in_bad = false;
+                    }
+                } else if rng.bernoulli(p_g2b) {
+                    self.in_bad = true;
+                }
+                lost
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bernoulli_mean_loss_is_p() {
+        assert_eq!(LossModel::bernoulli(0.05).mean_loss(), 0.05);
+        assert_eq!(LossModel::bernoulli(-1.0).mean_loss(), 0.0);
+        assert_eq!(LossModel::bernoulli(2.0).mean_loss(), 1.0);
+    }
+
+    #[test]
+    fn bernoulli_empirical_rate_matches() {
+        let model = LossModel::bernoulli(0.2);
+        let mut state = LossState::default();
+        let mut rng = SimRng::new(123);
+        let n = 100_000;
+        let lost = (0..n)
+            .filter(|_| state.is_lost(&model, &mut rng))
+            .count();
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn gilbert_elliott_mean_loss() {
+        let model = LossModel::GilbertElliott {
+            p_good: 0.0,
+            p_bad: 0.5,
+            p_g2b: 0.1,
+            p_b2g: 0.3,
+        };
+        // pi_bad = 0.25 => mean loss = 0.125
+        assert!((model.mean_loss() - 0.125).abs() < 1e-12);
+
+        let mut state = LossState::default();
+        let mut rng = SimRng::new(7);
+        let n = 200_000;
+        let lost = (0..n)
+            .filter(|_| state.is_lost(&model, &mut rng))
+            .count();
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.125).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn gilbert_elliott_degenerate_transitions() {
+        let model = LossModel::GilbertElliott {
+            p_good: 0.3,
+            p_bad: 0.9,
+            p_g2b: 0.0,
+            p_b2g: 0.0,
+        };
+        // Never leaves Good; mean loss defined as p_good.
+        assert_eq!(model.mean_loss(), 0.3);
+    }
+
+    #[test]
+    fn zero_loss_never_drops() {
+        let model = LossModel::bernoulli(0.0);
+        let mut state = LossState::default();
+        let mut rng = SimRng::new(5);
+        assert!((0..1000).all(|_| !state.is_lost(&model, &mut rng)));
+    }
+
+    #[test]
+    fn full_loss_always_drops() {
+        let model = LossModel::bernoulli(1.0);
+        let mut state = LossState::default();
+        let mut rng = SimRng::new(5);
+        assert!((0..1000).all(|_| state.is_lost(&model, &mut rng)));
+    }
+}

@@ -1,0 +1,144 @@
+//! Multi-hop signaling paths.
+//!
+//! Section III-B models a chain of `K` hops between the signaling sender and
+//! the final receiver, with state installed at every node along the path.
+//! [`Path`] owns the `K` channels (which may be heterogeneous — an extension
+//! over the paper's homogeneous-hop assumption) and exposes aggregate
+//! statistics.
+
+use crate::channel::{Channel, ChannelStats, TransmitOutcome};
+use crate::delay::DelayModel;
+use crate::message::MsgKind;
+use simcore::SimRng;
+
+/// A chain of channels from the signaling sender (before hop 0) to the final
+/// signaling receiver (after hop `len() - 1`).
+#[derive(Debug, Clone)]
+pub struct Path {
+    hops: Vec<Channel>,
+}
+
+impl Path {
+    /// Builds a path from explicit channels.
+    pub fn new(hops: Vec<Channel>) -> Self {
+        Self { hops }
+    }
+
+    /// Builds a homogeneous path of `k` hops, each with independent Bernoulli
+    /// loss `p_l` and the given delay model — the paper's multi-hop setting.
+    pub fn homogeneous(k: usize, p_l: f64, delay: DelayModel) -> Self {
+        Self {
+            hops: (0..k).map(|_| Channel::bernoulli(p_l, delay)).collect(),
+        }
+    }
+
+    /// Number of hops.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Whether the path has no hops (degenerate, only used in tests).
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Immutable access to one hop.
+    pub fn hop(&self, i: usize) -> Option<&Channel> {
+        self.hops.get(i)
+    }
+
+    /// Transmits a message on hop `i` at time `now`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range — protocol code always iterates over
+    /// `0..len()`.
+    pub fn transmit(
+        &mut self,
+        i: usize,
+        rng: &mut SimRng,
+        now: f64,
+        kind: MsgKind,
+    ) -> TransmitOutcome {
+        self.hops[i].transmit(rng, now, kind)
+    }
+
+    /// Probability that a message survives hops `0..=i` (i.e. reaches the
+    /// node after hop `i`), from the hops' long-run loss probabilities.
+    pub fn survival_probability(&self, i: usize) -> f64 {
+        self.hops
+            .iter()
+            .take(i + 1)
+            .map(|h| 1.0 - h.loss_probability())
+            .product()
+    }
+
+    /// End-to-end mean one-way delay (sum of hop means).
+    pub fn end_to_end_mean_delay(&self) -> f64 {
+        self.hops.iter().map(|h| h.mean_delay()).sum()
+    }
+
+    /// Aggregate statistics over all hops.
+    pub fn total_stats(&self) -> ChannelStats {
+        let mut s = ChannelStats::default();
+        for h in &self.hops {
+            s.merge(h.stats());
+        }
+        s
+    }
+
+    /// Per-hop statistics.
+    pub fn per_hop_stats(&self) -> Vec<ChannelStats> {
+        self.hops.iter().map(|h| *h.stats()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_path_properties() {
+        let p = Path::homogeneous(5, 0.1, DelayModel::fixed(0.03));
+        assert_eq!(p.len(), 5);
+        assert!(!p.is_empty());
+        assert!((p.end_to_end_mean_delay() - 0.15).abs() < 1e-12);
+        assert!((p.survival_probability(0) - 0.9).abs() < 1e-12);
+        assert!((p.survival_probability(4) - 0.9f64.powi(5)).abs() < 1e-12);
+        assert!(p.hop(4).is_some());
+        assert!(p.hop(5).is_none());
+    }
+
+    #[test]
+    fn heterogeneous_path() {
+        let p = Path::new(vec![
+            Channel::bernoulli(0.0, DelayModel::fixed(0.01)),
+            Channel::bernoulli(0.5, DelayModel::fixed(0.02)),
+        ]);
+        assert_eq!(p.len(), 2);
+        assert!((p.survival_probability(1) - 0.5).abs() < 1e-12);
+        assert!((p.end_to_end_mean_delay() - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transmit_uses_the_right_hop() {
+        let mut p = Path::new(vec![
+            Channel::bernoulli(0.0, DelayModel::fixed(0.01)),
+            Channel::bernoulli(1.0, DelayModel::fixed(0.02)),
+        ]);
+        let mut rng = SimRng::new(1);
+        assert!(!p.transmit(0, &mut rng, 0.0, MsgKind::Trigger).is_lost());
+        assert!(p.transmit(1, &mut rng, 0.0, MsgKind::Trigger).is_lost());
+        let stats = p.per_hop_stats();
+        assert_eq!(stats[0].total_delivered(), 1);
+        assert_eq!(stats[1].total_dropped(), 1);
+        assert_eq!(p.total_stats().total_sent(), 2);
+    }
+
+    #[test]
+    fn empty_path_is_empty() {
+        let p = Path::new(vec![]);
+        assert!(p.is_empty());
+        assert_eq!(p.end_to_end_mean_delay(), 0.0);
+        assert_eq!(p.total_stats().total_sent(), 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Replicated simulation campaigns.
+//!
+//! A single simulated session is one random sample; the paper's simulation
+//! curves (Figures 11–12) are means over many independent replications with
+//! 95% confidence intervals.  [`Campaign`] and [`MultiHopCampaign`] run the
+//! replications — in parallel across OS threads when asked to — and summarize
+//! the results with the `sigstats` machinery.
+
+use crate::config::{MultiHopSimConfig, SessionConfig};
+use crate::metrics::{MessageCounts, MultiHopRunMetrics, SessionMetrics};
+use crate::multi_hop::MultiHopSession;
+use crate::single_hop::SingleHopSession;
+use sigstats::{OnlineStats, RatioEstimator, Summary};
+use simcore::SimRng;
+
+/// Aggregated results of a single-hop campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// Number of replications.
+    pub replications: usize,
+    /// Long-run inconsistency ratio, estimated with the regenerative
+    /// (renewal-reward) estimator `Σ inconsistent time / Σ receiver lifetime`
+    /// and a delta-method 95% confidence interval.
+    pub inconsistency: Summary,
+    /// Plain mean of the per-session inconsistency ratios (each session
+    /// weighted equally).  Biased toward short sessions; kept for diagnostics
+    /// and for contrasting the two estimators.
+    pub per_session_inconsistency: Summary,
+    /// Summary of the per-session normalized message rate `Λ·λ_r`.
+    pub normalized_message_rate: Summary,
+    /// Summary of the per-session receiver-side lifetime.
+    pub receiver_lifetime: Summary,
+    /// Summary of the per-session sender lifetime (a check that the workload
+    /// generator matches `1/λ_r`).
+    pub sender_lifetime: Summary,
+    /// Total messages sent across all replications, by kind.
+    pub messages: MessageCounts,
+    /// Total number of false removals observed.
+    pub false_removals: u64,
+}
+
+/// A single-hop simulation campaign: one configuration, many replications.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    config: SessionConfig,
+    replications: usize,
+    seed: u64,
+    parallel: bool,
+}
+
+impl Campaign {
+    /// Creates a campaign with the given number of replications.
+    pub fn new(config: SessionConfig, replications: usize, seed: u64) -> Self {
+        Self {
+            config,
+            replications: replications.max(1),
+            seed,
+            parallel: false,
+        }
+    }
+
+    /// Enables multi-threaded execution (one chunk of replications per
+    /// available CPU).
+    pub fn parallel(mut self, enabled: bool) -> Self {
+        self.parallel = enabled;
+        self
+    }
+
+    /// The configuration being replicated.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Runs every replication and aggregates the results.
+    pub fn run(&self) -> CampaignResult {
+        let metrics = if self.parallel {
+            self.run_parallel()
+        } else {
+            self.run_serial()
+        };
+        self.aggregate(&metrics)
+    }
+
+    fn run_serial(&self) -> Vec<SessionMetrics> {
+        (0..self.replications)
+            .map(|i| {
+                let mut rng = SimRng::for_replication(self.seed, i as u64);
+                SingleHopSession::run(&self.config, &mut rng)
+            })
+            .collect()
+    }
+
+    fn run_parallel(&self) -> Vec<SessionMetrics> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(self.replications.max(1));
+        let mut results: Vec<Option<SessionMetrics>> = vec![None; self.replications];
+        let config = self.config;
+        let seed = self.seed;
+        crossbeam::thread::scope(|scope| {
+            for (chunk_idx, chunk) in results.chunks_mut(self.replications.div_ceil(threads)).enumerate() {
+                let chunk_size = self.replications.div_ceil(threads);
+                scope.spawn(move |_| {
+                    for (offset, slot) in chunk.iter_mut().enumerate() {
+                        let index = chunk_idx * chunk_size + offset;
+                        let mut rng = SimRng::for_replication(seed, index as u64);
+                        *slot = Some(SingleHopSession::run(&config, &mut rng));
+                    }
+                });
+            }
+        })
+        .expect("simulation worker panicked");
+        results.into_iter().map(|m| m.expect("slot filled")).collect()
+    }
+
+    fn aggregate(&self, metrics: &[SessionMetrics]) -> CampaignResult {
+        let mut inconsistency = RatioEstimator::new();
+        let mut per_session = OnlineStats::new();
+        let mut normalized = OnlineStats::new();
+        let mut receiver_lifetime = OnlineStats::new();
+        let mut sender_lifetime = OnlineStats::new();
+        let mut messages = MessageCounts::default();
+        let mut false_removals = 0u64;
+        for m in metrics {
+            inconsistency.push(m.receiver_lifetime, m.inconsistent_time);
+            per_session.push(m.inconsistency);
+            normalized.push(m.normalized_message_rate(self.config.params.removal_rate));
+            receiver_lifetime.push(m.receiver_lifetime);
+            sender_lifetime.push(m.sender_lifetime);
+            messages.merge(&m.messages);
+            false_removals += m.false_removals;
+        }
+        CampaignResult {
+            replications: metrics.len(),
+            inconsistency: inconsistency.to_summary(),
+            per_session_inconsistency: Summary::from_stats(&per_session),
+            normalized_message_rate: Summary::from_stats(&normalized),
+            receiver_lifetime: Summary::from_stats(&receiver_lifetime),
+            sender_lifetime: Summary::from_stats(&sender_lifetime),
+            messages,
+            false_removals,
+        }
+    }
+}
+
+/// Aggregated results of a multi-hop campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiHopCampaignResult {
+    /// Number of replications.
+    pub replications: usize,
+    /// Summary of the end-to-end inconsistency across replications.
+    pub end_to_end_inconsistency: Summary,
+    /// Per-hop mean inconsistency (index 0 = hop 1).
+    pub per_hop_inconsistency: Vec<Summary>,
+    /// Summary of the per-replication signaling message rate.
+    pub message_rate: Summary,
+    /// Total messages across replications.
+    pub messages: MessageCounts,
+}
+
+/// A multi-hop simulation campaign.
+#[derive(Debug, Clone)]
+pub struct MultiHopCampaign {
+    config: MultiHopSimConfig,
+    replications: usize,
+    seed: u64,
+}
+
+impl MultiHopCampaign {
+    /// Creates a campaign with the given number of replications.
+    pub fn new(config: MultiHopSimConfig, replications: usize, seed: u64) -> Self {
+        Self {
+            config,
+            replications: replications.max(1),
+            seed,
+        }
+    }
+
+    /// Runs every replication and aggregates the results.
+    pub fn run(&self) -> MultiHopCampaignResult {
+        let runs: Vec<MultiHopRunMetrics> = (0..self.replications)
+            .map(|i| {
+                let mut rng = SimRng::for_replication(self.seed, i as u64);
+                MultiHopSession::run(&self.config, &mut rng)
+            })
+            .collect();
+        let k = self.config.params.hops;
+        let mut end_to_end = OnlineStats::new();
+        let mut rate = OnlineStats::new();
+        let mut per_hop: Vec<OnlineStats> = vec![OnlineStats::new(); k];
+        let mut messages = MessageCounts::default();
+        for r in &runs {
+            end_to_end.push(r.end_to_end_inconsistency);
+            rate.push(r.message_rate);
+            for (i, v) in r.per_hop_inconsistency.iter().enumerate() {
+                per_hop[i].push(*v);
+            }
+            messages.merge(&r.messages);
+        }
+        MultiHopCampaignResult {
+            replications: runs.len(),
+            end_to_end_inconsistency: Summary::from_stats(&end_to_end),
+            per_hop_inconsistency: per_hop.iter().map(Summary::from_stats).collect(),
+            message_rate: Summary::from_stats(&rate),
+            messages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siganalytic::{MultiHopParams, Protocol, SingleHopParams};
+
+    fn quick_config(protocol: Protocol) -> SessionConfig {
+        SessionConfig::deterministic(
+            protocol,
+            SingleHopParams::kazaa_defaults()
+                .with_mean_lifetime(60.0)
+                .with_mean_update_interval(20.0),
+        )
+    }
+
+    #[test]
+    fn campaign_aggregates_replications() {
+        let result = Campaign::new(quick_config(Protocol::SsEr), 50, 1).run();
+        assert_eq!(result.replications, 50);
+        assert_eq!(result.inconsistency.count, 50);
+        assert!(result.inconsistency.mean >= 0.0);
+        assert!(result.messages.signaling_total() > 0);
+        // Sender lifetimes should average near 60 s (within wide sampling
+        // noise for 50 exponential samples).
+        assert!(result.sender_lifetime.mean > 30.0 && result.sender_lifetime.mean < 110.0);
+    }
+
+    #[test]
+    fn campaign_is_reproducible_for_fixed_seed() {
+        let a = Campaign::new(quick_config(Protocol::Ss), 20, 7).run();
+        let b = Campaign::new(quick_config(Protocol::Ss), 20, 7).run();
+        assert_eq!(a, b);
+        let c = Campaign::new(quick_config(Protocol::Ss), 20, 8).run();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let serial = Campaign::new(quick_config(Protocol::SsRtr), 24, 3).run();
+        let parallel = Campaign::new(quick_config(Protocol::SsRtr), 24, 3)
+            .parallel(true)
+            .run();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn zero_replications_clamps_to_one() {
+        let result = Campaign::new(quick_config(Protocol::Hs), 0, 1).run();
+        assert_eq!(result.replications, 1);
+    }
+
+    #[test]
+    fn multi_hop_campaign_aggregates() {
+        let cfg = MultiHopSimConfig::deterministic(
+            Protocol::Ss,
+            MultiHopParams::reservation_defaults().with_hops(4),
+        )
+        .with_horizon(400.0);
+        let result = MultiHopCampaign::new(cfg, 5, 11).run();
+        assert_eq!(result.replications, 5);
+        assert_eq!(result.per_hop_inconsistency.len(), 4);
+        assert!(result.message_rate.mean > 0.0);
+        assert!(result.end_to_end_inconsistency.mean >= 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Simulation configuration.
+
+use siganalytic::{MultiHopParams, Protocol, SingleHopParams};
+use signet::LossModel;
+use simcore::TimerMode;
+
+/// Configuration of a single-hop signaling session simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// The signaling protocol to simulate.
+    pub protocol: Protocol,
+    /// Model parameters (same structure the analytic model uses, so the two
+    /// can be compared point for point).
+    pub params: SingleHopParams,
+    /// Whether protocol timers (refresh, state-timeout, retransmission) are
+    /// deterministic — as in deployed protocols — or exponential — as the
+    /// analytic model assumes.  Figures 11–12 compare the two.
+    pub timer_mode: TimerMode,
+    /// Whether the channel delay is deterministic or exponential.  The paper
+    /// treats the delay like the timers; keeping it separate lets the
+    /// agreement tests isolate the two approximations.
+    pub delay_mode: TimerMode,
+    /// Optional override of the channel loss process.  `None` (the default)
+    /// uses the paper's independent Bernoulli loss with probability
+    /// `params.loss`; setting a [`LossModel::GilbertElliott`] here lets the
+    /// ablation benches and tests probe how *bursty* loss — which defeats the
+    /// "some refresh will get through" assumption — changes the comparison.
+    pub loss_model: Option<LossModel>,
+}
+
+impl SessionConfig {
+    /// Deterministic-timer configuration (what a deployed protocol would do).
+    pub fn deterministic(protocol: Protocol, params: SingleHopParams) -> Self {
+        Self {
+            protocol,
+            params,
+            timer_mode: TimerMode::Deterministic,
+            delay_mode: TimerMode::Deterministic,
+            loss_model: None,
+        }
+    }
+
+    /// Fully exponential configuration (matches the analytic model's
+    /// assumptions; used to validate the model itself).
+    pub fn exponential(protocol: Protocol, params: SingleHopParams) -> Self {
+        Self {
+            protocol,
+            params,
+            timer_mode: TimerMode::Exponential,
+            delay_mode: TimerMode::Exponential,
+            loss_model: None,
+        }
+    }
+
+    /// Overrides the channel loss process (see [`SessionConfig::loss_model`]).
+    pub fn with_loss_model(mut self, model: LossModel) -> Self {
+        self.loss_model = Some(model);
+        self
+    }
+
+    /// The loss process the simulator will use.
+    pub fn effective_loss_model(&self) -> LossModel {
+        self.loss_model
+            .unwrap_or(LossModel::Bernoulli { p: self.params.loss })
+    }
+
+    /// Validates the embedded parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        self.params.validate()?;
+        if let Some(model) = self.loss_model {
+            let p = model.mean_loss();
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("loss model mean {p} outside [0, 1]"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of a multi-hop simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiHopSimConfig {
+    /// The signaling protocol (SS, SS+RT and HS are the meaningful choices,
+    /// matching the paper's Section III-B).
+    pub protocol: Protocol,
+    /// Multi-hop model parameters.
+    pub params: MultiHopParams,
+    /// Deterministic or exponential protocol timers.
+    pub timer_mode: TimerMode,
+    /// Deterministic or exponential per-hop delay.
+    pub delay_mode: TimerMode,
+    /// Simulated horizon in seconds over which metrics are measured.
+    pub horizon: f64,
+}
+
+impl MultiHopSimConfig {
+    /// Deterministic-timer configuration with a default two-hour horizon.
+    pub fn deterministic(protocol: Protocol, params: MultiHopParams) -> Self {
+        Self {
+            protocol,
+            params,
+            timer_mode: TimerMode::Deterministic,
+            delay_mode: TimerMode::Deterministic,
+            horizon: 7200.0,
+        }
+    }
+
+    /// Exponential-timer configuration with a default two-hour horizon.
+    pub fn exponential(protocol: Protocol, params: MultiHopParams) -> Self {
+        Self {
+            timer_mode: TimerMode::Exponential,
+            delay_mode: TimerMode::Exponential,
+            ..Self::deterministic(protocol, params)
+        }
+    }
+
+    /// Overrides the measurement horizon.
+    pub fn with_horizon(mut self, seconds: f64) -> Self {
+        self.horizon = seconds;
+        self
+    }
+
+    /// Validates the embedded parameters and the horizon.
+    pub fn validate(&self) -> Result<(), String> {
+        self.params.validate()?;
+        if self.horizon <= 0.0 {
+            return Err("simulation horizon must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_modes() {
+        let det = SessionConfig::deterministic(Protocol::Ss, SingleHopParams::default());
+        assert_eq!(det.timer_mode, TimerMode::Deterministic);
+        assert_eq!(det.delay_mode, TimerMode::Deterministic);
+        let exp = SessionConfig::exponential(Protocol::Hs, SingleHopParams::default());
+        assert_eq!(exp.timer_mode, TimerMode::Exponential);
+        assert_eq!(exp.delay_mode, TimerMode::Exponential);
+        det.validate().unwrap();
+        exp.validate().unwrap();
+    }
+
+    #[test]
+    fn multi_hop_config_defaults_and_overrides() {
+        let c = MultiHopSimConfig::deterministic(Protocol::SsRt, MultiHopParams::default());
+        assert_eq!(c.horizon, 7200.0);
+        let c = c.with_horizon(100.0);
+        assert_eq!(c.horizon, 100.0);
+        c.validate().unwrap();
+        assert!(c.with_horizon(0.0).validate().is_err());
+    }
+
+    #[test]
+    fn invalid_params_fail_validation() {
+        let mut p = SingleHopParams::default();
+        p.loss = 7.0;
+        let c = SessionConfig::deterministic(Protocol::Ss, p);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn loss_model_override() {
+        let base = SessionConfig::deterministic(Protocol::Ss, SingleHopParams::default());
+        assert_eq!(
+            base.effective_loss_model(),
+            LossModel::Bernoulli { p: base.params.loss }
+        );
+        let bursty = base.with_loss_model(LossModel::GilbertElliott {
+            p_good: 0.0,
+            p_bad: 0.5,
+            p_g2b: 0.02,
+            p_b2g: 0.48,
+        });
+        assert!(matches!(
+            bursty.effective_loss_model(),
+            LossModel::GilbertElliott { .. }
+        ));
+        bursty.validate().unwrap();
+    }
+}

@@ -1,0 +1,758 @@
+//! Discrete-event simulation of one single-hop signaling session.
+//!
+//! A session follows the full life cycle of Section II: the sender installs
+//! state (trigger), keeps it alive (refresh, retransmission), updates it, and
+//! finally removes it; the receiver installs state on triggers/refreshes,
+//! removes it on explicit removal messages, state timeouts, or (for HS)
+//! external failure signals, and — where the protocol provides it — notifies
+//! the sender of removals so that false removals can be repaired.
+//!
+//! The session ends when the state is gone from both ends; the returned
+//! [`SessionMetrics`] mirror the analytic model's metrics so the two can be
+//! compared point by point (paper Figures 11 and 12).
+
+use crate::config::SessionConfig;
+use crate::metrics::{MessageCounts, SessionMetrics};
+use siganalytic::Protocol;
+use signet::{Channel, DelayModel, MsgKind, SignalMessage, StateValue};
+
+use simcore::{Dist, EventId, EventQueue, SimRng, SimTime, Timer, Trace};
+use sigstats::TimeWeighted;
+
+/// Safety cap on processed events per session; generously above anything a
+/// sane parameter set produces, it only guards against pathological
+/// configurations (e.g. a zero-length retransmission timer).
+const MAX_EVENTS: u64 = 20_000_000;
+
+/// Tiny slack added to retransmission timers.  The paper sets `R = 2Δ`, i.e.
+/// exactly one round-trip; with deterministic timers and delays the ACK and
+/// the retransmission would then fire at the same instant and the tie-break
+/// would produce a spurious retransmission for every trigger.  Deployed
+/// protocols always keep the RTO strictly above the RTT; the slack models
+/// that without perturbing any measured quantity.
+pub(crate) const RETRANS_SLACK: f64 = 1e-6;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Event {
+    ArriveAtReceiver(SignalMessage),
+    ArriveAtSender(SignalMessage),
+    RefreshTimer,
+    TriggerRetrans,
+    RemovalRetrans,
+    ReceiverTimeout,
+    SenderUpdate,
+    SenderRemoval,
+    FalseSignal,
+}
+
+/// A runnable single-hop signaling session.
+pub struct SingleHopSession<'a> {
+    cfg: &'a SessionConfig,
+    rng: &'a mut SimRng,
+    queue: EventQueue<Event>,
+    forward: Channel,
+    backward: Channel,
+
+    refresh_dist: Dist,
+    timeout_dist: Dist,
+    retrans_dist: Dist,
+
+    sender_value: Option<StateValue>,
+    receiver_value: Option<StateValue>,
+    next_seq: u64,
+    pending_trigger: Option<u64>,
+    pending_removal: bool,
+
+    refresh_timer: Timer,
+    trigger_retrans: Timer,
+    removal_retrans: Timer,
+    receiver_timeout: Timer,
+
+    counts: MessageCounts,
+    inconsistent: TimeWeighted,
+    updates: u64,
+    false_removals: u64,
+    sender_lifetime: f64,
+    trace: Trace,
+}
+
+impl<'a> SingleHopSession<'a> {
+    /// Runs one session and returns its metrics.
+    pub fn run(cfg: &SessionConfig, rng: &mut SimRng) -> SessionMetrics {
+        Self::run_traced(cfg, rng, 0).0
+    }
+
+    /// Runs one session, additionally recording an event trace with at most
+    /// `trace_capacity` entries (0 disables tracing).
+    pub fn run_traced(
+        cfg: &SessionConfig,
+        rng: &mut SimRng,
+        trace_capacity: usize,
+    ) -> (SessionMetrics, Trace) {
+        let mut session = SingleHopSession::new(cfg, rng, trace_capacity);
+        session.start();
+        let mut processed: u64 = 0;
+        while !session.done() && processed < MAX_EVENTS {
+            let Some(scheduled) = session.queue.pop() else {
+                break;
+            };
+            session.handle(scheduled.time, scheduled.id, scheduled.event);
+            processed += 1;
+        }
+        session.finish()
+    }
+
+    fn new(cfg: &'a SessionConfig, rng: &'a mut SimRng, trace_capacity: usize) -> Self {
+        let delay = DelayModel::from_mode(cfg.delay_mode, cfg.params.delay);
+        let trace = if trace_capacity > 0 {
+            Trace::enabled(trace_capacity)
+        } else {
+            Trace::disabled()
+        };
+        Self {
+            cfg,
+            rng,
+            queue: EventQueue::new(),
+            forward: Channel::new(cfg.effective_loss_model(), delay),
+            backward: Channel::new(cfg.effective_loss_model(), delay),
+            refresh_dist: cfg.timer_mode.dist(cfg.params.refresh_timer),
+            timeout_dist: cfg.timer_mode.dist(cfg.params.timeout_timer),
+            retrans_dist: cfg.timer_mode.dist(cfg.params.retrans_timer),
+            sender_value: None,
+            receiver_value: None,
+            next_seq: 0,
+            pending_trigger: None,
+            pending_removal: false,
+            refresh_timer: Timer::new(),
+            trigger_retrans: Timer::new(),
+            removal_retrans: Timer::new(),
+            receiver_timeout: Timer::new(),
+            counts: MessageCounts::default(),
+            inconsistent: TimeWeighted::new(0.0, 0.0),
+            updates: 0,
+            false_removals: 0,
+            sender_lifetime: 0.0,
+            trace,
+        }
+    }
+
+    fn protocol(&self) -> Protocol {
+        self.cfg.protocol
+    }
+
+    fn start(&mut self) {
+        // Install local state and send the initial trigger.
+        self.sender_value = Some(1);
+        self.inconsistent = TimeWeighted::new(0.0, 1.0);
+        self.send_trigger();
+        if self.protocol().uses_refresh() {
+            let d = self.refresh_dist.sample(self.rng);
+            self.refresh_timer.arm(&mut self.queue, d, Event::RefreshTimer);
+        }
+        // Sender-side workload: lifetime and updates are exponential by
+        // definition (they model the application, not the protocol timers).
+        let lifetime = self.rng.exponential_rate(self.cfg.params.removal_rate);
+        self.queue.schedule_in(lifetime, Event::SenderRemoval);
+        self.schedule_next_update();
+        self.schedule_next_false_signal();
+    }
+
+    fn schedule_next_update(&mut self) {
+        if self.cfg.params.update_rate > 0.0 {
+            let dt = self.rng.exponential_rate(self.cfg.params.update_rate);
+            if dt.is_finite() {
+                self.queue.schedule_in(dt, Event::SenderUpdate);
+            }
+        }
+    }
+
+    fn schedule_next_false_signal(&mut self) {
+        if self.protocol() == Protocol::Hs && self.cfg.params.false_signal_rate > 0.0 {
+            let dt = self.rng.exponential_rate(self.cfg.params.false_signal_rate);
+            if dt.is_finite() {
+                self.queue.schedule_in(dt, Event::FalseSignal);
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.sender_value.is_none() && self.receiver_value.is_none()
+    }
+
+    fn now(&self) -> f64 {
+        self.queue.now().as_secs()
+    }
+
+    fn finish(self) -> (SessionMetrics, Trace) {
+        let end = self.now();
+        let metrics = SessionMetrics {
+            inconsistency: self.inconsistent.positive_fraction_until(end),
+            inconsistent_time: self.inconsistent.positive_time_until(end),
+            sender_lifetime: self.sender_lifetime,
+            receiver_lifetime: end,
+            messages: self.counts,
+            updates: self.updates,
+            false_removals: self.false_removals,
+        };
+        (metrics, self.trace)
+    }
+
+    // ------------------------------------------------------------------
+    // Message transmission helpers.
+    // ------------------------------------------------------------------
+
+    fn send_to_receiver(&mut self, kind: MsgKind, value: StateValue, seq: u64) {
+        self.counts.record(kind);
+        let now = self.now();
+        let msg = SignalMessage::new(kind, value, seq);
+        self.trace.record(SimTime::from_secs(now), "send", format!("{msg}"));
+        match self.forward.transmit(self.rng, now, kind) {
+            signet::TransmitOutcome::Delivered { arrival } => {
+                self.queue
+                    .schedule_at(SimTime::from_secs(arrival), Event::ArriveAtReceiver(msg));
+            }
+            signet::TransmitOutcome::Lost => {
+                self.trace
+                    .record(SimTime::from_secs(now), "drop", format!("{msg}"));
+            }
+        }
+    }
+
+    fn send_to_sender(&mut self, kind: MsgKind, value: StateValue, seq: u64) {
+        self.counts.record(kind);
+        let now = self.now();
+        let msg = SignalMessage::new(kind, value, seq);
+        self.trace.record(SimTime::from_secs(now), "send", format!("{msg}"));
+        match self.backward.transmit(self.rng, now, kind) {
+            signet::TransmitOutcome::Delivered { arrival } => {
+                self.queue
+                    .schedule_at(SimTime::from_secs(arrival), Event::ArriveAtSender(msg));
+            }
+            signet::TransmitOutcome::Lost => {
+                self.trace
+                    .record(SimTime::from_secs(now), "drop", format!("{msg}"));
+            }
+        }
+    }
+
+    fn send_trigger(&mut self) {
+        let Some(value) = self.sender_value else {
+            return;
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.send_to_receiver(MsgKind::Trigger, value, seq);
+        if self.protocol().reliable_triggers() {
+            self.pending_trigger = Some(seq);
+            let d = self.retrans_dist.sample(self.rng) + RETRANS_SLACK;
+            self.trigger_retrans
+                .arm(&mut self.queue, d, Event::TriggerRetrans);
+        }
+        if self.protocol().uses_refresh() && self.refresh_timer.is_armed() {
+            // Sending an explicit trigger resets the refresh cycle.
+            let d = self.refresh_dist.sample(self.rng);
+            self.refresh_timer.arm(&mut self.queue, d, Event::RefreshTimer);
+        }
+    }
+
+    fn send_removal(&mut self) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.send_to_receiver(MsgKind::Removal, 0, seq);
+        if self.protocol().reliable_removal() {
+            self.pending_removal = true;
+            let d = self.retrans_dist.sample(self.rng) + RETRANS_SLACK;
+            self.removal_retrans
+                .arm(&mut self.queue, d, Event::RemovalRetrans);
+        }
+    }
+
+    fn restart_receiver_timeout(&mut self) {
+        if self.protocol().uses_state_timeout() {
+            let d = self.timeout_dist.sample(self.rng);
+            self.receiver_timeout
+                .arm(&mut self.queue, d, Event::ReceiverTimeout);
+        }
+    }
+
+    fn update_consistency(&mut self) {
+        let now = self.now();
+        let inconsistent = self.sender_value != self.receiver_value;
+        self.inconsistent.set_bool(now, inconsistent);
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling.
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, time: SimTime, id: EventId, event: Event) {
+        match event {
+            Event::SenderUpdate => self.on_sender_update(),
+            Event::SenderRemoval => self.on_sender_removal(time),
+            Event::RefreshTimer => self.on_refresh_timer(id),
+            Event::TriggerRetrans => self.on_trigger_retrans(id),
+            Event::RemovalRetrans => self.on_removal_retrans(id),
+            Event::ReceiverTimeout => self.on_receiver_timeout(id, time),
+            Event::FalseSignal => self.on_false_signal(time),
+            Event::ArriveAtReceiver(msg) => self.on_receiver_message(msg, time),
+            Event::ArriveAtSender(msg) => self.on_sender_message(msg),
+        }
+    }
+
+    fn on_sender_update(&mut self) {
+        if let Some(v) = self.sender_value {
+            self.sender_value = Some(v + 1);
+            self.updates += 1;
+            self.send_trigger();
+            self.update_consistency();
+            self.schedule_next_update();
+        }
+    }
+
+    fn on_sender_removal(&mut self, time: SimTime) {
+        if self.sender_value.is_none() {
+            return;
+        }
+        self.sender_value = None;
+        self.sender_lifetime = time.as_secs();
+        self.pending_trigger = None;
+        self.refresh_timer.cancel(&mut self.queue);
+        self.trigger_retrans.cancel(&mut self.queue);
+        self.trace.record(time, "sender", "state removed locally");
+        if self.protocol().uses_explicit_removal() {
+            self.send_removal();
+        }
+        self.update_consistency();
+    }
+
+    fn on_refresh_timer(&mut self, id: EventId) {
+        if !self.refresh_timer.on_fired(id) {
+            return;
+        }
+        if let Some(value) = self.sender_value {
+            if self.protocol().uses_refresh() {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.send_to_receiver(MsgKind::Refresh, value, seq);
+                let d = self.refresh_dist.sample(self.rng);
+                self.refresh_timer.arm(&mut self.queue, d, Event::RefreshTimer);
+            }
+        }
+    }
+
+    fn on_trigger_retrans(&mut self, id: EventId) {
+        if !self.trigger_retrans.on_fired(id) {
+            return;
+        }
+        if self.pending_trigger.is_none() || self.sender_value.is_none() {
+            return;
+        }
+        let value = self.sender_value.expect("checked above");
+        let seq = self.pending_trigger.expect("checked above");
+        self.send_to_receiver(MsgKind::Trigger, value, seq);
+        let d = self.retrans_dist.sample(self.rng) + RETRANS_SLACK;
+        self.trigger_retrans
+            .arm(&mut self.queue, d, Event::TriggerRetrans);
+    }
+
+    fn on_removal_retrans(&mut self, id: EventId) {
+        if !self.removal_retrans.on_fired(id) {
+            return;
+        }
+        if !self.pending_removal {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.send_to_receiver(MsgKind::Removal, 0, seq);
+        let d = self.retrans_dist.sample(self.rng) + RETRANS_SLACK;
+        self.removal_retrans
+            .arm(&mut self.queue, d, Event::RemovalRetrans);
+    }
+
+    fn on_receiver_timeout(&mut self, id: EventId, time: SimTime) {
+        if !self.receiver_timeout.on_fired(id) {
+            return;
+        }
+        if self.receiver_value.is_none() {
+            return;
+        }
+        self.receiver_value = None;
+        self.trace.record(time, "timeout", "receiver state timed out");
+        if self.sender_value.is_some() {
+            self.false_removals += 1;
+            if self.protocol().notifies_on_removal() {
+                self.send_to_sender(MsgKind::RemovalNotice, 0, 0);
+            }
+        }
+        self.update_consistency();
+    }
+
+    fn on_false_signal(&mut self, time: SimTime) {
+        // The external failure detector (wrongly) reports a sender crash to
+        // the hard-state receiver.  The signal itself travels out of band and
+        // is not signaling overhead, but we track its occurrences.
+        self.counts.record(MsgKind::ExternalSignal);
+        if self.receiver_value.is_some() {
+            self.receiver_value = None;
+            self.trace
+                .record(time, "external", "false failure signal removed receiver state");
+            if self.sender_value.is_some() {
+                self.false_removals += 1;
+                if self.protocol().notifies_on_removal() {
+                    self.send_to_sender(MsgKind::RemovalNotice, 0, 0);
+                }
+            }
+            self.update_consistency();
+        }
+        self.schedule_next_false_signal();
+    }
+
+    fn on_receiver_message(&mut self, msg: SignalMessage, time: SimTime) {
+        self.trace.record(time, "recv", format!("{msg}"));
+        match msg.kind {
+            MsgKind::Trigger | MsgKind::Refresh => {
+                self.receiver_value = Some(msg.value);
+                self.restart_receiver_timeout();
+                if msg.kind == MsgKind::Trigger && self.protocol().reliable_triggers() {
+                    self.send_to_sender(MsgKind::TriggerAck, msg.value, msg.seq);
+                }
+                self.update_consistency();
+            }
+            MsgKind::Removal => {
+                self.receiver_value = None;
+                self.receiver_timeout.cancel(&mut self.queue);
+                if self.protocol().reliable_removal() {
+                    self.send_to_sender(MsgKind::RemovalAck, 0, msg.seq);
+                }
+                self.update_consistency();
+            }
+            // Backward-direction kinds never arrive at the receiver.
+            MsgKind::TriggerAck
+            | MsgKind::RemovalAck
+            | MsgKind::RemovalNotice
+            | MsgKind::ExternalSignal => {}
+        }
+    }
+
+    fn on_sender_message(&mut self, msg: SignalMessage) {
+        match msg.kind {
+            MsgKind::TriggerAck => {
+                if self.pending_trigger == Some(msg.seq) {
+                    self.pending_trigger = None;
+                    self.trigger_retrans.cancel(&mut self.queue);
+                }
+            }
+            MsgKind::RemovalAck => {
+                if self.pending_removal {
+                    self.pending_removal = false;
+                    self.removal_retrans.cancel(&mut self.queue);
+                }
+            }
+            MsgKind::RemovalNotice => {
+                // The receiver removed our state even though we still hold
+                // it: repair by re-installing.
+                if self.sender_value.is_some() {
+                    self.send_trigger();
+                }
+            }
+            MsgKind::Trigger
+            | MsgKind::Refresh
+            | MsgKind::Removal
+            | MsgKind::ExternalSignal => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siganalytic::SingleHopParams;
+    use sigstats::OnlineStats;
+
+    fn lossless_params() -> SingleHopParams {
+        let mut p = SingleHopParams::kazaa_defaults();
+        p.loss = 0.0;
+        p
+    }
+
+    fn quick_params() -> SingleHopParams {
+        // Short sessions keep unit tests fast.
+        SingleHopParams::kazaa_defaults()
+            .with_mean_lifetime(120.0)
+            .with_mean_update_interval(20.0)
+    }
+
+    fn run_one(protocol: Protocol, params: SingleHopParams, seed: u64) -> SessionMetrics {
+        let cfg = SessionConfig::deterministic(protocol, params);
+        let mut rng = SimRng::new(seed);
+        SingleHopSession::run(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn session_terminates_and_reports_sane_metrics() {
+        for proto in Protocol::ALL {
+            for seed in 0..5u64 {
+                let m = run_one(proto, quick_params(), seed);
+                assert!((0.0..=1.0).contains(&m.inconsistency), "{proto}: {m:?}");
+                assert!(m.receiver_lifetime >= m.sender_lifetime, "{proto}: {m:?}");
+                assert!(m.sender_lifetime > 0.0);
+                assert!(m.messages.signaling_total() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let a = run_one(Protocol::SsEr, quick_params(), 99);
+        let b = run_one(Protocol::SsEr, quick_params(), 99);
+        assert_eq!(a, b);
+        let c = run_one(Protocol::SsEr, quick_params(), 100);
+        assert_ne!(a, c, "different seeds should explore different sample paths");
+    }
+
+    #[test]
+    fn lossless_channel_keeps_soft_state_nearly_consistent() {
+        // With no loss and explicit removal, inconsistency is only the
+        // propagation delay of setup/update/removal messages.
+        for proto in [Protocol::SsEr, Protocol::SsRtr, Protocol::Hs] {
+            let mut stats = OnlineStats::new();
+            for seed in 0..20u64 {
+                let m = run_one(proto, lossless_params().with_mean_lifetime(300.0), seed);
+                stats.push(m.inconsistency);
+            }
+            assert!(
+                stats.mean() < 0.01,
+                "{proto}: mean inconsistency {} too high for a lossless channel",
+                stats.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn pure_soft_state_pays_the_timeout_penalty_on_removal() {
+        // Under SS the orphaned state lives ~τ after the sender leaves, so
+        // with a 120 s session the inconsistency is roughly τ/(lifetime+τ).
+        let mut ss = OnlineStats::new();
+        let mut sser = OnlineStats::new();
+        for seed in 0..40u64 {
+            ss.push(run_one(Protocol::Ss, lossless_params().with_mean_lifetime(120.0), seed).inconsistency);
+            sser.push(
+                run_one(Protocol::SsEr, lossless_params().with_mean_lifetime(120.0), seed)
+                    .inconsistency,
+            );
+        }
+        assert!(
+            ss.mean() > 5.0 * sser.mean(),
+            "SS ({}) should be much worse than SS+ER ({}) for short sessions",
+            ss.mean(),
+            sser.mean()
+        );
+        // And the orphan lives about one timeout: I ≈ 15/135 ≈ 0.11.
+        assert!(ss.mean() > 0.05 && ss.mean() < 0.25, "SS mean = {}", ss.mean());
+    }
+
+    #[test]
+    fn hard_state_sends_fewest_messages() {
+        let mut per_proto: Vec<(Protocol, f64)> = Vec::new();
+        for proto in Protocol::ALL {
+            let mut total = 0u64;
+            for seed in 0..10u64 {
+                total += run_one(proto, quick_params(), seed).messages.signaling_total();
+            }
+            per_proto.push((proto, total as f64 / 10.0));
+        }
+        let hs = per_proto
+            .iter()
+            .find(|(p, _)| *p == Protocol::Hs)
+            .unwrap()
+            .1;
+        for (p, msgs) in &per_proto {
+            if *p != Protocol::Hs {
+                assert!(
+                    hs < *msgs,
+                    "HS ({hs}) should send fewer messages than {p} ({msgs})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn soft_state_message_count_tracks_refresh_rate() {
+        // Refresh messages dominate; roughly lifetime / T of them are sent.
+        let params = lossless_params()
+            .with_mean_lifetime(200.0)
+            .with_mean_update_interval(1e9);
+        let mut refreshes = OnlineStats::new();
+        let mut lifetimes = OnlineStats::new();
+        for seed in 0..30u64 {
+            let m = run_one(Protocol::Ss, params, seed);
+            refreshes.push(m.messages.refresh as f64);
+            lifetimes.push(m.sender_lifetime);
+        }
+        let expected = lifetimes.mean() / params.refresh_timer;
+        let ratio = refreshes.mean() / expected;
+        assert!(
+            (0.8..1.2).contains(&ratio),
+            "refresh count {} vs expected {expected}",
+            refreshes.mean()
+        );
+    }
+
+    #[test]
+    fn reliable_triggers_are_acked_and_retransmitted_under_loss() {
+        let mut p = quick_params();
+        p.loss = 0.4;
+        let mut acks = 0u64;
+        let mut triggers = 0u64;
+        let mut updates = 0u64;
+        for seed in 0..20u64 {
+            let m = run_one(Protocol::SsRt, p, seed);
+            acks += m.messages.trigger_ack;
+            triggers += m.messages.trigger;
+            updates += m.updates;
+        }
+        assert!(acks > 0, "ACKs must flow for SS+RT");
+        // Retransmissions mean strictly more triggers than setup+updates.
+        assert!(triggers > updates + 20, "triggers {triggers} vs updates {updates}");
+        // Best-effort SS never sends ACKs.
+        let m = run_one(Protocol::Ss, p, 7);
+        assert_eq!(m.messages.trigger_ack, 0);
+        assert_eq!(m.messages.removal_ack, 0);
+    }
+
+    #[test]
+    fn explicit_removal_is_sent_only_by_removal_protocols() {
+        for proto in Protocol::ALL {
+            let m = run_one(proto, quick_params(), 3);
+            if proto.uses_explicit_removal() {
+                assert!(m.messages.removal >= 1, "{proto}");
+            } else {
+                assert_eq!(m.messages.removal, 0, "{proto}");
+            }
+        }
+    }
+
+    #[test]
+    fn false_removals_occur_under_extreme_loss_for_pure_soft_state() {
+        let mut p = quick_params().with_mean_lifetime(500.0);
+        p.loss = 0.6;
+        p.timeout_timer = 2.0 * p.refresh_timer;
+        let mut false_removals = 0u64;
+        for seed in 0..20u64 {
+            false_removals += run_one(Protocol::Ss, p, seed).false_removals;
+        }
+        assert!(
+            false_removals > 0,
+            "with 60% loss some state timeouts must be false removals"
+        );
+    }
+
+    #[test]
+    fn hard_state_recovers_from_false_external_signal() {
+        let mut p = lossless_params().with_mean_lifetime(2000.0);
+        p.false_signal_rate = 0.01; // roughly 20 false signals per session
+        let mut total_false = 0u64;
+        let mut inconsistency = OnlineStats::new();
+        for seed in 0..10u64 {
+            let m = run_one(Protocol::Hs, p, seed);
+            total_false += m.false_removals;
+            inconsistency.push(m.inconsistency);
+        }
+        assert!(total_false > 0, "false signals must cause removals");
+        // Recovery via notification + retrigger keeps inconsistency small.
+        assert!(inconsistency.mean() < 0.02, "mean = {}", inconsistency.mean());
+    }
+
+    #[test]
+    fn exponential_timer_mode_also_terminates() {
+        for proto in Protocol::ALL {
+            let cfg = SessionConfig::exponential(proto, quick_params());
+            let mut rng = SimRng::new(17);
+            let m = SingleHopSession::run(&cfg, &mut rng);
+            assert!((0.0..=1.0).contains(&m.inconsistency));
+            assert!(m.receiver_lifetime > 0.0);
+        }
+    }
+
+    #[test]
+    fn trace_records_message_flow() {
+        let cfg = SessionConfig::deterministic(Protocol::SsEr, quick_params());
+        let mut rng = SimRng::new(5);
+        let (_, trace) = SingleHopSession::run_traced(&cfg, &mut rng, 10_000);
+        assert!(trace.is_enabled());
+        assert!(!trace.with_tag("send").is_empty());
+        assert!(!trace.with_tag("recv").is_empty());
+        let rendered = trace.render();
+        assert!(rendered.contains("TRIGGER"));
+        assert!(rendered.contains("REMOVAL"));
+    }
+
+    #[test]
+    fn bursty_loss_hurts_soft_state_more_than_independent_loss() {
+        // A Gilbert-Elliott channel with the same mean loss concentrates
+        // drops into bursts.  A burst silences several consecutive refreshes,
+        // so the receiver's state stays (falsely) removed for the whole burst
+        // instead of the single refresh interval an isolated loss costs —
+        // pure soft state is therefore much more exposed to correlated loss
+        // even at an identical average loss rate.
+        use signet::LossModel;
+        let mut params = quick_params().with_mean_lifetime(600.0);
+        params.loss = 0.2;
+        params.timeout_timer = 2.0 * params.refresh_timer;
+        let independent = SessionConfig::deterministic(Protocol::Ss, params);
+        // Mean loss = p_g2b/(p_g2b+p_b2g) * p_bad = 0.25 * 0.8 = 0.2, but
+        // losses arrive in long runs.
+        let bursty = independent.with_loss_model(LossModel::GilbertElliott {
+            p_good: 0.0,
+            p_bad: 0.8,
+            p_g2b: 0.05,
+            p_b2g: 0.15,
+        });
+        let outage_time = |cfg: &SessionConfig| -> f64 {
+            (0..40u64)
+                .map(|seed| {
+                    let mut rng = SimRng::new(seed);
+                    SingleHopSession::run(cfg, &mut rng).inconsistent_time
+                })
+                .sum()
+        };
+        let independent_outage = outage_time(&independent);
+        let bursty_outage = outage_time(&bursty);
+        assert!(
+            bursty_outage > 1.5 * independent_outage,
+            "bursty loss should cause much longer outages ({bursty_outage:.1} s vs {independent_outage:.1} s)"
+        );
+    }
+
+    #[test]
+    fn receiver_lifetime_reflects_removal_mechanism() {
+        // SS holds orphaned state for about τ beyond the sender lifetime,
+        // SS+ER only for about one channel delay.
+        let params = lossless_params().with_mean_lifetime(100.0);
+        let mut ss_extra = OnlineStats::new();
+        let mut er_extra = OnlineStats::new();
+        for seed in 0..30u64 {
+            let ss = run_one(Protocol::Ss, params, seed);
+            ss_extra.push(ss.receiver_lifetime - ss.sender_lifetime);
+            let er = run_one(Protocol::SsEr, params, seed);
+            er_extra.push(er.receiver_lifetime - er.sender_lifetime);
+        }
+        // The timeout timer was last restarted by a refresh, so the orphan
+        // lives between τ - T and τ (+ one delivery delay) after the sender
+        // departs.
+        assert!(
+            ss_extra.mean() > params.timeout_timer - params.refresh_timer
+                && ss_extra.mean() < params.timeout_timer + 1.0,
+            "SS orphan time {} should be within (τ-T, τ] = ({}, {}]",
+            ss_extra.mean(),
+            params.timeout_timer - params.refresh_timer,
+            params.timeout_timer
+        );
+        assert!(
+            er_extra.mean() < 3.0 * params.delay,
+            "SS+ER orphan time {} should be ≈ Δ",
+            er_extra.mean()
+        );
+    }
+}

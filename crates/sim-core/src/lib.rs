@@ -1,0 +1,42 @@
+//! `simcore` — a small, deterministic discrete-event simulation engine.
+//!
+//! The engine is the substrate under the signaling-protocol simulator used to
+//! validate the paper's analytic models (Figures 11, 12 and the agreement
+//! tests).  It is intentionally minimal and synchronous:
+//!
+//! * [`time::SimTime`] — virtual time as seconds in an `f64` newtype with a
+//!   total order;
+//! * [`queue::EventQueue`] — the future event list: a binary heap of
+//!   `(time, sequence, event)` entries with O(log n) insertion, stable
+//!   FIFO ordering for simultaneous events, and lazy cancellation;
+//! * [`rng::SimRng`] — a seedable deterministic random number generator with
+//!   the handful of samplers the protocols need (exponential, Bernoulli,
+//!   uniform);
+//! * [`dist::Dist`] — deterministic vs. exponential duration distributions,
+//!   matching the paper's "deterministic timers in practice, exponential
+//!   timers in the model" comparison;
+//! * [`timer::Timer`] — a restartable one-shot timer built on top of event
+//!   cancellation (refresh timers, state-timeout timers, retransmission
+//!   timers);
+//! * [`trace::Trace`] — an optional event trace for debugging and for the
+//!   example binaries.
+//!
+//! The engine is single-threaded; campaigns of independent replications are
+//! parallelized one level up (each replication owns its own `EventQueue`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod queue;
+pub mod rng;
+pub mod time;
+pub mod timer;
+pub mod trace;
+
+pub use dist::{Dist, TimerMode};
+pub use queue::{EventId, EventQueue, ScheduledEvent};
+pub use rng::SimRng;
+pub use time::SimTime;
+pub use timer::Timer;
+pub use trace::{Trace, TraceEntry};

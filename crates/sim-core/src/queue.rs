@@ -1,0 +1,313 @@
+//! The future event list.
+
+use crate::time::SimTime;
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifier of a scheduled event, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// The raw identifier value (for logging / tracing).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// An event popped from the queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// The identifier the event was scheduled under.
+    pub id: EventId,
+    /// The event payload.
+    pub event: E,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A future event list: events are scheduled at absolute virtual times and
+/// popped in non-decreasing time order.  Simultaneous events preserve their
+/// scheduling order (FIFO), which keeps simulations deterministic.
+///
+/// Cancellation is lazy: [`EventQueue::cancel`] records the id and the entry
+/// is discarded when it reaches the head of the heap.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: HashSet<EventId>,
+    now: SimTime,
+    next_id: u64,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+            next_id: 0,
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Current virtual time (time of the last popped event, or zero).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events currently scheduled (including not-yet-collected
+    /// cancelled entries).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.len() <= self.cancelled.len()
+    }
+
+    /// Total number of events popped so far.
+    pub fn popped_count(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `event` at the absolute time `time`.
+    ///
+    /// Scheduling in the past is clamped to "now" (this can only arise from
+    /// floating-point rounding of zero-length delays).
+    pub fn schedule_at(&mut self, time: SimTime, event: E) -> EventId {
+        let time = if time < self.now { self.now } else { time };
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry {
+            time,
+            seq,
+            id,
+            event,
+        }));
+        id
+    }
+
+    /// Schedules `event` after a delay of `delay` seconds from now.
+    pub fn schedule_in(&mut self, delay: f64, event: E) -> EventId {
+        self.schedule_at(self.now.after(delay), event)
+    }
+
+    /// Cancels a previously scheduled event.  Returns `true` if the event was
+    /// still pending (not yet popped and not already cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Pops the next non-cancelled event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            self.now = entry.time;
+            self.popped += 1;
+            return Some(ScheduledEvent {
+                time: entry.time,
+                id: entry.id,
+                event: entry.event,
+            });
+        }
+        None
+    }
+
+    /// Peeks at the time of the next non-cancelled event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop cancelled entries from the head so the peek is accurate.
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let id = entry.id;
+                self.heap.pop();
+                self.cancelled.remove(&id);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Discards all pending events (the clock is left unchanged).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(3.0), "c");
+        q.schedule_at(SimTime::from_secs(1.0), "a");
+        q.schedule_at(SimTime::from_secs(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now().as_secs(), 3.0);
+        assert_eq!(q.popped_count(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule_at(SimTime::from_secs(5.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_in(1.0, "a");
+        q.schedule_in(2.0, "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        let got = q.pop().unwrap();
+        assert_eq!(got.event, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn schedule_in_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule_in(5.0, "x");
+        let e = q.pop().unwrap();
+        assert_eq!(e.time.as_secs(), 5.0);
+        q.schedule_in(2.0, "y");
+        let e = q.pop().unwrap();
+        assert_eq!(e.time.as_secs(), 7.0);
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_in(10.0, "later");
+        q.pop();
+        q.schedule_at(SimTime::from_secs(1.0), "past");
+        let e = q.pop().unwrap();
+        assert_eq!(e.time.as_secs(), 10.0);
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_in(1.0, "a");
+        q.schedule_in(2.0, "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time().unwrap().as_secs(), 2.0);
+    }
+
+    #[test]
+    fn is_empty_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_in(1.0, "a");
+        assert!(!q.is_empty());
+        q.cancel(a);
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn clear_discards_everything() {
+        let mut q = EventQueue::new();
+        q.schedule_in(1.0, 1);
+        q.schedule_in(2.0, 2);
+        q.clear();
+        assert!(q.pop().is_none());
+        assert_eq!(q.len(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pop_order_is_nondecreasing(delays in proptest::collection::vec(0.0f64..1000.0, 1..100)) {
+            let mut q = EventQueue::new();
+            for (i, d) in delays.iter().enumerate() {
+                q.schedule_at(SimTime::from_secs(*d), i);
+            }
+            let mut last = 0.0f64;
+            while let Some(e) = q.pop() {
+                prop_assert!(e.time.as_secs() >= last);
+                last = e.time.as_secs();
+            }
+        }
+
+        #[test]
+        fn prop_all_noncancelled_events_delivered(
+            delays in proptest::collection::vec(0.0f64..100.0, 1..60),
+            cancel_mask in proptest::collection::vec(any::<bool>(), 1..60),
+        ) {
+            let mut q = EventQueue::new();
+            let ids: Vec<EventId> = delays.iter().enumerate()
+                .map(|(i, d)| q.schedule_at(SimTime::from_secs(*d), i)).collect();
+            let mut expected = delays.len();
+            for (id, &c) in ids.iter().zip(cancel_mask.iter()) {
+                if c {
+                    q.cancel(*id);
+                    expected -= 1;
+                }
+            }
+            let mut got = 0;
+            while q.pop().is_some() {
+                got += 1;
+            }
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Deterministic random number generation for simulations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seedable random number generator with the samplers used by the
+/// signaling simulator.
+///
+/// Every simulation replication receives its own `SimRng` derived from a
+/// campaign seed and the replication index, making campaigns reproducible and
+/// embarrassingly parallel.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives a generator for replication `index` of a campaign seeded with
+    /// `campaign_seed`.  Uses SplitMix64-style mixing so neighbouring indices
+    /// produce uncorrelated streams.
+    pub fn for_replication(campaign_seed: u64, index: u64) -> Self {
+        let mut z = campaign_seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Self::new(z)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(hi >= lo);
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Bernoulli trial: returns `true` with probability `p`.
+    ///
+    /// `p <= 0` never succeeds, `p >= 1` always succeeds.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform() < p
+        }
+    }
+
+    /// Exponential sample with the given mean (`mean <= 0` returns 0).
+    pub fn exponential_mean(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        // Inverse transform; `1 - u` avoids ln(0).
+        let u = self.uniform();
+        -mean * (1.0 - u).ln()
+    }
+
+    /// Exponential sample with the given rate (`rate <= 0` returns +inf,
+    /// representing an event that never happens).
+    pub fn exponential_rate(&mut self, rate: f64) -> f64 {
+        if rate <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.exponential_mean(1.0 / rate)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        self.inner.gen_range(0..n)
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let xa: Vec<f64> = (0..10).map(|_| a.uniform()).collect();
+        let xb: Vec<f64> = (0..10).map(|_| b.uniform()).collect();
+        assert_ne!(xa, xb);
+    }
+
+    #[test]
+    fn replication_streams_are_deterministic_and_distinct() {
+        let mut r0 = SimRng::for_replication(42, 0);
+        let mut r0b = SimRng::for_replication(42, 0);
+        let mut r1 = SimRng::for_replication(42, 1);
+        assert_eq!(r0.uniform(), r0b.uniform());
+        assert_ne!(r0.uniform(), r1.uniform());
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = SimRng::new(3);
+        assert!(!rng.bernoulli(0.0));
+        assert!(rng.bernoulli(1.0));
+        assert!(!rng.bernoulli(-1.0));
+        assert!(rng.bernoulli(2.0));
+    }
+
+    #[test]
+    fn bernoulli_frequency_close_to_p() {
+        let mut rng = SimRng::new(11);
+        let p = 0.3;
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.bernoulli(p)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - p).abs() < 0.01, "freq = {freq}");
+    }
+
+    #[test]
+    fn exponential_mean_close_to_requested() {
+        let mut rng = SimRng::new(5);
+        let mean = 4.0;
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential_mean(mean)).sum();
+        let emp = sum / n as f64;
+        assert!((emp - mean).abs() / mean < 0.02, "empirical mean = {emp}");
+    }
+
+    #[test]
+    fn exponential_rate_zero_is_never() {
+        let mut rng = SimRng::new(5);
+        assert!(rng.exponential_rate(0.0).is_infinite());
+        assert_eq!(rng.exponential_mean(0.0), 0.0);
+    }
+
+    #[test]
+    fn index_bounds() {
+        let mut rng = SimRng::new(9);
+        for _ in 0..1000 {
+            let i = rng.index(7);
+            assert!(i < 7);
+        }
+        assert_eq!(rng.index(0), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_uniform_in_unit_interval(seed in any::<u64>()) {
+            let mut rng = SimRng::new(seed);
+            for _ in 0..50 {
+                let u = rng.uniform();
+                prop_assert!((0.0..1.0).contains(&u));
+            }
+        }
+
+        #[test]
+        fn prop_exponential_nonnegative(seed in any::<u64>(), mean in 0.001f64..1e4) {
+            let mut rng = SimRng::new(seed);
+            for _ in 0..20 {
+                prop_assert!(rng.exponential_mean(mean) >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Restartable one-shot timers.
+//!
+//! Protocol agents use a handful of timers that are constantly restarted:
+//! the sender's refresh timer, the receiver's state-timeout timer, and the
+//! sender's retransmission timer.  [`Timer`] wraps the "cancel the previous
+//! event, schedule a new one" pattern so each protocol implementation cannot
+//! forget to cancel a stale timer event.
+
+use crate::queue::{EventId, EventQueue};
+
+/// A restartable one-shot timer bound to a specific event payload producer.
+///
+/// The timer does not own the queue — every operation takes the queue as an
+/// argument — which keeps borrow-checking simple inside protocol agents that
+/// own several timers.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Timer {
+    pending: Option<EventId>,
+    /// Number of times the timer has fired (acknowledged via [`Timer::on_fired`]).
+    fired: u64,
+    /// Number of times the timer has been armed or re-armed.
+    armed: u64,
+}
+
+impl Timer {
+    /// Creates an idle timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether an expiry event is currently scheduled.
+    pub fn is_armed(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// How many times the timer fired.
+    pub fn fired_count(&self) -> u64 {
+        self.fired
+    }
+
+    /// How many times the timer was (re)armed.
+    pub fn armed_count(&self) -> u64 {
+        self.armed
+    }
+
+    /// (Re)arms the timer to fire after `delay` seconds, cancelling any
+    /// previously scheduled expiry.
+    pub fn arm<E>(&mut self, queue: &mut EventQueue<E>, delay: f64, event: E) {
+        self.cancel(queue);
+        self.pending = Some(queue.schedule_in(delay, event));
+        self.armed += 1;
+    }
+
+    /// Cancels the pending expiry, if any.  Returns `true` when something was
+    /// cancelled.
+    pub fn cancel<E>(&mut self, queue: &mut EventQueue<E>) -> bool {
+        if let Some(id) = self.pending.take() {
+            queue.cancel(id)
+        } else {
+            false
+        }
+    }
+
+    /// Must be called by the event handler when a timer event with the given
+    /// id is delivered.  Returns `true` when the event corresponds to the
+    /// currently armed expiry (i.e. it is not a stale event that raced with a
+    /// re-arm), in which case the timer transitions to idle.
+    pub fn on_fired(&mut self, id: EventId) -> bool {
+        if self.pending == Some(id) {
+            self.pending = None;
+            self.fired += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick,
+        Other,
+    }
+
+    #[test]
+    fn arm_and_fire() {
+        let mut q = EventQueue::new();
+        let mut t = Timer::new();
+        t.arm(&mut q, 5.0, Ev::Tick);
+        assert!(t.is_armed());
+        let e = q.pop().unwrap();
+        assert_eq!(e.event, Ev::Tick);
+        assert!(t.on_fired(e.id));
+        assert!(!t.is_armed());
+        assert_eq!(t.fired_count(), 1);
+    }
+
+    #[test]
+    fn rearm_cancels_previous() {
+        let mut q = EventQueue::new();
+        let mut t = Timer::new();
+        t.arm(&mut q, 5.0, Ev::Tick);
+        t.arm(&mut q, 1.0, Ev::Tick);
+        assert_eq!(t.armed_count(), 2);
+        // Only the second event should be delivered.
+        let e = q.pop().unwrap();
+        assert_eq!(e.time.as_secs(), 1.0);
+        assert!(t.on_fired(e.id));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_prevents_fire() {
+        let mut q = EventQueue::new();
+        let mut t = Timer::new();
+        t.arm(&mut q, 5.0, Ev::Tick);
+        assert!(t.cancel(&mut q));
+        assert!(!t.is_armed());
+        assert!(q.pop().is_none());
+        assert!(!t.cancel(&mut q), "second cancel is a no-op");
+    }
+
+    #[test]
+    fn stale_fire_is_rejected() {
+        let mut q = EventQueue::new();
+        let mut t = Timer::new();
+        t.arm(&mut q, 1.0, Ev::Tick);
+        let other = q.schedule_in(0.5, Ev::Other);
+        assert!(!t.on_fired(other));
+        assert!(t.is_armed());
+    }
+}

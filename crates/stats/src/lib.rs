@@ -1,0 +1,72 @@
+//! Statistics substrate for the signaling-protocol reproduction.
+//!
+//! This crate provides the small set of statistical tools the rest of the
+//! workspace relies on:
+//!
+//! * [`online::OnlineStats`] — numerically stable (Welford) accumulation of
+//!   mean / variance / extrema for independent samples;
+//! * [`timeweighted::TimeWeighted`] — time-weighted averages of piecewise
+//!   constant signals, used to measure the *fraction of time* the sender and
+//!   receiver state disagree;
+//! * [`ci::ConfidenceInterval`] — Student-t confidence intervals used to
+//!   report simulation results with 95% error bars (paper Figures 11–12);
+//! * [`series::Series`] and [`series::SeriesSet`] — named `(x, y)` data
+//!   series, the exchange format between experiments, reports and benches;
+//! * [`summary::Summary`] — a compact five-number + moment summary.
+//!
+//! Everything is plain `std` Rust; the only dependency is `serde` so the
+//! experiment results can be serialized to JSON by the facade crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ci;
+pub mod online;
+pub mod ratio;
+pub mod series;
+pub mod summary;
+pub mod timeweighted;
+
+pub use ci::ConfidenceInterval;
+pub use online::OnlineStats;
+pub use ratio::RatioEstimator;
+pub use series::{Point, Series, SeriesSet};
+pub use summary::Summary;
+pub use timeweighted::TimeWeighted;
+
+/// Relative comparison of two floating point values with a tolerance that is
+/// meaningful for the quantities manipulated in this workspace (probabilities,
+/// rates, costs).
+///
+/// Returns `true` when `a` and `b` differ by less than `tol` in relative terms
+/// (or absolute terms when both are close to zero).
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    if diff <= tol {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    diff <= tol * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute_near_zero() {
+        assert!(approx_eq(0.0, 1e-12, 1e-9));
+        assert!(!approx_eq(0.0, 1e-3, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_relative_for_large_values() {
+        assert!(approx_eq(1000.0, 1000.5, 1e-3));
+        assert!(!approx_eq(1000.0, 1010.0, 1e-3));
+    }
+
+    #[test]
+    fn approx_eq_is_symmetric() {
+        assert_eq!(approx_eq(3.0, 3.001, 1e-3), approx_eq(3.001, 3.0, 1e-3));
+    }
+}

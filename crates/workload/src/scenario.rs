@@ -1,0 +1,181 @@
+//! Named application scenarios.
+
+use siganalytic::{MultiHopParams, SingleHopParams};
+use serde::{Deserialize, Serialize};
+
+/// A named single-hop application scenario with its parameter set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SingleHopScenario {
+    /// A Kazaa peer registers its shared-file list at a supernode; the
+    /// state value is the file list, updates are new downloads, removal is
+    /// the peer quitting.  The paper's default evaluation scenario.
+    KazaaPeer,
+    /// An IGMP host joins a multicast group at its first-hop router:
+    /// state is group membership, it is rarely updated, the LAN has low
+    /// loss and sub-millisecond delay, and membership reports every ~60 s
+    /// play the refresh role (τ ≈ 2.5 × T as in IGMPv2's defaults).
+    IgmpMembership,
+    /// A SIP user agent keeps a registration alive at its registrar over a
+    /// wide-area path: long expiry interval, occasional contact updates.
+    SipRegistration,
+}
+
+impl SingleHopScenario {
+    /// All single-hop scenarios.
+    pub const ALL: [SingleHopScenario; 3] = [
+        SingleHopScenario::KazaaPeer,
+        SingleHopScenario::IgmpMembership,
+        SingleHopScenario::SipRegistration,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SingleHopScenario::KazaaPeer => "Kazaa peer/supernode registration",
+            SingleHopScenario::IgmpMembership => "IGMP group membership",
+            SingleHopScenario::SipRegistration => "SIP registration",
+        }
+    }
+
+    /// The application-specific inconsistency weight `w` the scenario uses in
+    /// the integrated cost `C = w·I + M`: how many messages per second of
+    /// wasted work one unit of inconsistency causes (fruitless peer contacts,
+    /// unwanted multicast traffic, misdirected calls).
+    pub fn inconsistency_weight(self) -> f64 {
+        match self {
+            SingleHopScenario::KazaaPeer => 10.0,
+            SingleHopScenario::IgmpMembership => 50.0,
+            SingleHopScenario::SipRegistration => 5.0,
+        }
+    }
+
+    /// The scenario's parameter set.
+    pub fn params(self) -> SingleHopParams {
+        match self {
+            SingleHopScenario::KazaaPeer => SingleHopParams::kazaa_defaults(),
+            SingleHopScenario::IgmpMembership => {
+                let mut p = SingleHopParams::kazaa_defaults();
+                p.loss = 0.001;
+                p = p.with_delay_scaled_retrans(0.001);
+                p = p
+                    .with_mean_lifetime(1200.0)
+                    .with_mean_update_interval(1.0e6); // membership rarely changes
+                p.refresh_timer = 60.0;
+                p.timeout_timer = 150.0;
+                p
+            }
+            SingleHopScenario::SipRegistration => {
+                let mut p = SingleHopParams::kazaa_defaults();
+                p.loss = 0.01;
+                p = p.with_delay_scaled_retrans(0.08);
+                p = p
+                    .with_mean_lifetime(3600.0)
+                    .with_mean_update_interval(600.0);
+                p.refresh_timer = 120.0;
+                p.timeout_timer = 360.0;
+                p
+            }
+        }
+    }
+}
+
+/// A named multi-hop application scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MultiHopScenario {
+    /// RSVP-style bandwidth reservation along a 20-hop path — the paper's
+    /// multi-hop evaluation setting.
+    BandwidthReservation,
+    /// A short enterprise path (5 hops) with very low loss.
+    EnterprisePath,
+    /// A long, lossy overlay path (30 hops, 5% per-hop loss) — a stress
+    /// scenario beyond the paper's defaults.
+    LossyOverlay,
+}
+
+impl MultiHopScenario {
+    /// All multi-hop scenarios.
+    pub const ALL: [MultiHopScenario; 3] = [
+        MultiHopScenario::BandwidthReservation,
+        MultiHopScenario::EnterprisePath,
+        MultiHopScenario::LossyOverlay,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MultiHopScenario::BandwidthReservation => "bandwidth reservation (paper default)",
+            MultiHopScenario::EnterprisePath => "enterprise path",
+            MultiHopScenario::LossyOverlay => "lossy overlay path",
+        }
+    }
+
+    /// The scenario's parameter set.
+    pub fn params(self) -> MultiHopParams {
+        match self {
+            MultiHopScenario::BandwidthReservation => MultiHopParams::reservation_defaults(),
+            MultiHopScenario::EnterprisePath => {
+                let mut p = MultiHopParams::reservation_defaults().with_hops(5);
+                p.loss = 0.001;
+                p.delay = 0.002;
+                p.retrans_timer = 2.0 * p.delay;
+                p
+            }
+            MultiHopScenario::LossyOverlay => {
+                let mut p = MultiHopParams::reservation_defaults().with_hops(30);
+                p.loss = 0.05;
+                p.delay = 0.05;
+                p.retrans_timer = 2.0 * p.delay;
+                p
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_single_hop_scenarios_are_valid() {
+        for s in SingleHopScenario::ALL {
+            s.params().validate().unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+            assert!(s.inconsistency_weight() > 0.0);
+            assert!(!s.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn all_multi_hop_scenarios_are_valid() {
+        for s in MultiHopScenario::ALL {
+            s.params().validate().unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+            assert!(!s.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn kazaa_scenario_matches_paper_defaults() {
+        assert_eq!(
+            SingleHopScenario::KazaaPeer.params(),
+            SingleHopParams::kazaa_defaults()
+        );
+        assert_eq!(SingleHopScenario::KazaaPeer.inconsistency_weight(), 10.0);
+    }
+
+    #[test]
+    fn igmp_scenario_is_lan_like() {
+        let p = SingleHopScenario::IgmpMembership.params();
+        assert!(p.delay < 0.01);
+        assert!(p.loss < 0.01);
+        assert!(p.refresh_timer >= 30.0);
+        assert!(p.timeout_timer > p.refresh_timer);
+    }
+
+    #[test]
+    fn reservation_scenario_matches_paper_defaults() {
+        assert_eq!(
+            MultiHopScenario::BandwidthReservation.params(),
+            MultiHopParams::reservation_defaults()
+        );
+        assert_eq!(MultiHopScenario::LossyOverlay.params().hops, 30);
+    }
+}

@@ -1,0 +1,27 @@
+//! Workspace root crate.
+//!
+//! This crate exists to host the runnable `examples/` and the workspace-level
+//! integration tests in `tests/`, which exercise the public API exactly the
+//! way a downstream user would.  All functionality lives in the member crates
+//! and is re-exported through the [`signaling`] facade.
+
+#![forbid(unsafe_code)]
+
+pub use signaling;
+
+/// A tiny convenience used by the examples: format a ratio as a percentage
+/// with two decimals.
+pub fn percent(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_formats() {
+        assert_eq!(percent(0.1234), "12.34%");
+        assert_eq!(percent(0.0), "0.00%");
+    }
+}

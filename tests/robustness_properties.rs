@@ -1,0 +1,172 @@
+//! Property-based integration tests: the models and the simulator must stay
+//! well-behaved over the whole parameter space, not just at the paper's
+//! defaults.
+
+use proptest::prelude::*;
+use signaling::{
+    MultiHopModel, MultiHopParams, Protocol, SessionConfig, SingleHopModel, SingleHopParams,
+    SingleHopSession, SimRng, TimerMode,
+};
+
+/// Strategy over reasonable single-hop parameter sets.
+fn single_hop_params() -> impl Strategy<Value = SingleHopParams> {
+    (
+        0.0f64..0.5,        // loss
+        0.005f64..0.5,      // delay
+        5.0f64..500.0,      // mean update interval
+        20.0f64..5000.0,    // mean lifetime
+        0.5f64..60.0,       // refresh timer
+        1.1f64..5.0,        // timeout / refresh ratio
+        1.0f64..4.0,        // retrans / delay ratio
+        0.0f64..1e-3,       // false signal rate
+    )
+        .prop_map(
+            |(loss, delay, update, lifetime, refresh, tau_ratio, r_ratio, false_rate)| {
+                SingleHopParams {
+                    loss,
+                    delay,
+                    update_rate: 1.0 / update,
+                    removal_rate: 1.0 / lifetime,
+                    refresh_timer: refresh,
+                    timeout_timer: tau_ratio * refresh,
+                    retrans_timer: r_ratio * delay,
+                    false_signal_rate: false_rate,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn analytic_model_is_well_behaved(params in single_hop_params()) {
+        for protocol in Protocol::ALL {
+            let solution = SingleHopModel::new(protocol, params)
+                .expect("strategy produces valid params")
+                .solve()
+                .expect("chain must solve");
+            prop_assert!((0.0..=1.0).contains(&solution.inconsistency), "{protocol}");
+            prop_assert!(solution.normalized_message_rate >= 0.0);
+            prop_assert!(solution.expected_lifetime >= params.mean_lifetime() * 0.999,
+                "{protocol}: receiver lifetime {} below sender lifetime {}",
+                solution.expected_lifetime, params.mean_lifetime());
+            let total: f64 = solution.stationary.values().sum();
+            prop_assert!((total - 1.0).abs() < 1e-6);
+            prop_assert!(solution.message_rates.total() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn simulator_terminates_and_stays_in_range(
+        params in single_hop_params(),
+        seed in 0u64..1_000,
+        deterministic in any::<bool>(),
+    ) {
+        // Cap the lifetime so a single property case stays cheap.
+        let params = SingleHopParams {
+            removal_rate: params.removal_rate.max(1.0 / 600.0),
+            ..params
+        };
+        for protocol in Protocol::ALL {
+            let cfg = if deterministic {
+                SessionConfig::deterministic(protocol, params)
+            } else {
+                SessionConfig::exponential(protocol, params)
+            };
+            let mut rng = SimRng::new(seed);
+            let metrics = SingleHopSession::run(&cfg, &mut rng);
+            prop_assert!((0.0..=1.0).contains(&metrics.inconsistency), "{protocol}");
+            prop_assert!(metrics.receiver_lifetime >= metrics.sender_lifetime - 1e-9);
+            prop_assert!(metrics.inconsistent_time <= metrics.receiver_lifetime + 1e-9);
+            prop_assert!(metrics.messages.signaling_total() >= 1, "{protocol} sent nothing");
+        }
+    }
+
+    #[test]
+    fn explicit_removal_never_hurts_consistency(params in single_hop_params()) {
+        // Adding a best-effort removal message can only shorten the orphan
+        // phase, so SS+ER must never be (meaningfully) worse than SS, and
+        // SS+RTR never worse than SS+RT.
+        let i = |p: Protocol| {
+            SingleHopModel::new(p, params).unwrap().solve().unwrap().inconsistency
+        };
+        prop_assert!(i(Protocol::SsEr) <= i(Protocol::Ss) * 1.0001 + 1e-12);
+        prop_assert!(i(Protocol::SsRtr) <= i(Protocol::SsRt) * 1.0001 + 1e-12);
+    }
+
+    #[test]
+    fn reliable_triggers_never_hurt_consistency(params in single_hop_params()) {
+        let i = |p: Protocol| {
+            SingleHopModel::new(p, params).unwrap().solve().unwrap().inconsistency
+        };
+        prop_assert!(i(Protocol::SsRt) <= i(Protocol::Ss) * 1.0001 + 1e-12);
+        prop_assert!(i(Protocol::SsRtr) <= i(Protocol::SsEr) * 1.0001 + 1e-12);
+    }
+
+    #[test]
+    fn multi_hop_model_is_well_behaved(
+        hops in 1usize..30,
+        loss in 0.0f64..0.3,
+        delay in 0.005f64..0.2,
+        update in 10.0f64..300.0,
+        refresh in 1.0f64..30.0,
+    ) {
+        let params = MultiHopParams {
+            hops,
+            loss,
+            delay,
+            update_rate: 1.0 / update,
+            refresh_timer: refresh,
+            timeout_timer: 3.0 * refresh,
+            retrans_timer: 2.0 * delay,
+            false_signal_rate: 1e-6,
+        };
+        for protocol in Protocol::MULTI_HOP {
+            let s = MultiHopModel::new(protocol, params)
+                .expect("valid")
+                .solve()
+                .expect("solvable");
+            prop_assert!((0.0..=1.0).contains(&s.inconsistency), "{protocol}");
+            prop_assert_eq!(s.per_hop_inconsistency.len(), hops);
+            for w in s.per_hop_inconsistency.windows(2) {
+                prop_assert!(w[1] + 1e-9 >= w[0], "{protocol}: per-hop not monotone");
+            }
+            prop_assert!(s.message_rate >= 0.0);
+            let total: f64 = s.stationary.values().sum();
+            prop_assert!((total - 1.0).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn timer_mode_changes_little_at_the_paper_defaults() {
+    // Deterministic vs exponential protocol timers: the difference is small
+    // for the protocols that either have no state-timeout timer (HS) or
+    // recover from a false timeout immediately via the removal notification
+    // (SS+RTR).  For the refresh-repaired soft-state variants an exponential
+    // timeout races the refresh timer and false removals dominate — that
+    // known model gap is covered by
+    // `compare::tests::fully_exponential_timeout_race_is_a_known_model_gap`.
+    let params = SingleHopParams::kazaa_defaults()
+        .with_mean_lifetime(400.0)
+        .with_mean_update_interval(40.0);
+    for protocol in [Protocol::SsRtr, Protocol::Hs] {
+        let run = |mode: TimerMode| {
+            let cfg = SessionConfig {
+                protocol,
+                params,
+                timer_mode: mode,
+                delay_mode: TimerMode::Deterministic,
+                loss_model: None,
+            };
+            signaling::Campaign::new(cfg, 200, 9).parallel(true).run().inconsistency.mean
+        };
+        let det = run(TimerMode::Deterministic);
+        let exp = run(TimerMode::Exponential);
+        assert!(
+            (det - exp).abs() < 0.02,
+            "{protocol}: deterministic {det} vs exponential {exp}"
+        );
+    }
+}
