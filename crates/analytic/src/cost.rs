@@ -7,10 +7,8 @@
 //! (messages/second equivalent of one unit of inconsistency; the paper uses
 //! `w = 10` for the Kazaa example) and `M` is the normalized message rate.
 
-use serde::{Deserialize, Serialize};
-
 /// Weights of the integrated cost function.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostWeights {
     /// Weight `w` of the inconsistency ratio, in message/second units.
     pub inconsistency_weight: f64,

@@ -6,13 +6,12 @@ use super::transitions::multi_hop_transitions;
 use crate::params::{MultiHopParams, Protocol};
 use crate::single_hop::model::ModelError;
 use ctmc::CtmcBuilder;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Per-message-class rates of the multi-hop model, measured in *hop
 /// transmissions* per second (a refresh that travels 10 hops counts as 10
 /// transmissions), matching the paper's message-overhead accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct MultiHopMessageRates {
     /// Trigger (update) hop transmissions.
     pub trigger: f64,
@@ -35,7 +34,7 @@ impl MultiHopMessageRates {
 }
 
 /// The solved multi-hop model for one protocol.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiHopSolution {
     /// The protocol.
     pub protocol: Protocol,
@@ -172,10 +171,7 @@ impl MultiHopModel {
         let slow_mass: f64 = (0..k)
             .map(|i| pi.get(&MultiHopState::slow(i)).copied().unwrap_or(0.0))
             .sum();
-        let recovery_mass = pi
-            .get(&MultiHopState::Recovery)
-            .copied()
-            .unwrap_or(0.0);
+        let recovery_mass = pi.get(&MultiHopState::Recovery).copied().unwrap_or(0.0);
 
         // A trigger is being transmitted on some hop whenever the chain is in
         // a fast-path state; each such sojourn lasts Δ on average.
@@ -225,9 +221,7 @@ impl MultiHopModel {
 
 /// Solves the paper's three multi-hop protocols (SS, SS+RT, HS) under one
 /// parameter set.
-pub fn solve_all_multi_hop(
-    params: MultiHopParams,
-) -> Result<Vec<MultiHopSolution>, ModelError> {
+pub fn solve_all_multi_hop(params: MultiHopParams) -> Result<Vec<MultiHopSolution>, ModelError> {
     Protocol::MULTI_HOP
         .iter()
         .map(|p| MultiHopModel::new(*p, params)?.solve())
@@ -246,7 +240,10 @@ mod tests {
     }
 
     fn solve_with(protocol: Protocol, params: MultiHopParams) -> MultiHopSolution {
-        MultiHopModel::new(protocol, params).unwrap().solve().unwrap()
+        MultiHopModel::new(protocol, params)
+            .unwrap()
+            .solve()
+            .unwrap()
     }
 
     #[test]
@@ -313,14 +310,8 @@ mod tests {
         // Figure 18: both metrics increase monotonically with K; SS is the
         // most sensitive to the number of hops.
         for proto in Protocol::MULTI_HOP {
-            let small = solve_with(
-                proto,
-                MultiHopParams::reservation_defaults().with_hops(2),
-            );
-            let large = solve_with(
-                proto,
-                MultiHopParams::reservation_defaults().with_hops(20),
-            );
+            let small = solve_with(proto, MultiHopParams::reservation_defaults().with_hops(2));
+            let large = solve_with(proto, MultiHopParams::reservation_defaults().with_hops(20));
             assert!(large.inconsistency > small.inconsistency, "{proto}");
             assert!(large.message_rate > small.message_rate, "{proto}");
         }
@@ -365,8 +356,7 @@ mod tests {
 
     #[test]
     fn expected_hops_per_message() {
-        let m = MultiHopModel::new(Protocol::Ss, MultiHopParams::reservation_defaults())
-            .unwrap();
+        let m = MultiHopModel::new(Protocol::Ss, MultiHopParams::reservation_defaults()).unwrap();
         let e = m.expected_hops_per_message();
         let p = MultiHopParams::reservation_defaults();
         let expected = (1.0 - (1.0 - p.loss).powf(20.0)) / p.loss;

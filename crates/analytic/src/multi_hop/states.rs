@@ -1,12 +1,11 @@
 //! Markov states of the multi-hop model (paper Figures 15 and 16).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Whether the chain is progressing on the *fast path* (an explicit trigger
 /// message is travelling hop by hop) or the *slow path* (the trigger was lost
 /// at some hop and the system waits for a refresh / retransmission).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PathMode {
     /// A trigger is in flight toward the next hop (`s = 0` in the paper).
     Fast,
@@ -15,7 +14,7 @@ pub enum PathMode {
 }
 
 /// A state of the multi-hop signaling Markov chain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MultiHopState {
     /// `(i, s)` — the first `i` hops hold state consistent with the sender,
     /// and the chain is on the fast or slow path toward hop `i + 1`.

@@ -1,10 +1,9 @@
 //! Protocols and model parameters.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The five signaling protocols studied by the paper (Section II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Protocol {
     /// Pure soft state: best-effort triggers + periodic refresh; removal only
     /// by receiver-side state timeout.
@@ -93,7 +92,7 @@ impl fmt::Display for Protocol {
 /// decoded defaults (documented in `DESIGN.md`) are: `p_l = 0.02`,
 /// `Δ = 30 ms`, `1/λ_u = 30 s`, `1/λ_r = 1800 s`, `T = 5 s`, `τ = 3 T`,
 /// `R = 2 Δ`, `λ_e = 1e-4 /s`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SingleHopParams {
     /// Signaling channel loss probability `p_l`.
     pub loss: f64,
@@ -218,7 +217,7 @@ impl SingleHopParams {
 /// Defaults correspond to the paper's bandwidth-reservation scenario:
 /// `K = 20` hops, `p_l = 0.02` and `Δ = 30 ms` per hop, `1/λ_u = 60 s`,
 /// `T = 5 s`, `τ = 3 T`, `R = 2 Δ`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MultiHopParams {
     /// Number of hops `K` between the signaling sender and the final
     /// receiver.
@@ -388,17 +387,25 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_parameters() {
-        let mut p = SingleHopParams::default();
-        p.loss = 1.5;
+        let p = SingleHopParams {
+            loss: 1.5,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = SingleHopParams::default();
-        p.delay = 0.0;
+        let p = SingleHopParams {
+            delay: 0.0,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = SingleHopParams::default();
-        p.removal_rate = 0.0;
+        let p = SingleHopParams {
+            removal_rate: 0.0,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = SingleHopParams::default();
-        p.refresh_timer = -1.0;
+        let p = SingleHopParams {
+            refresh_timer: -1.0,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
     }
 
@@ -415,8 +422,10 @@ mod tests {
     fn multi_hop_validation() {
         let p = MultiHopParams::default().with_hops(0);
         assert!(p.validate().is_err());
-        let mut p = MultiHopParams::default();
-        p.update_rate = 0.0;
+        let p = MultiHopParams {
+            update_rate: 0.0,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
     }
 

@@ -1,7 +1,5 @@
 //! Per-message-type signaling rate breakdown (paper Equations 3–7).
 
-use serde::{Deserialize, Serialize};
-
 /// Mean signaling message rates (messages per second of receiver-side state
 /// lifetime), broken down by message class.
 ///
@@ -23,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// Components that do not apply to a protocol are zero, so the protocol's
 /// overall mean message rate is simply the sum of all five components — which
 /// reproduces the per-protocol sums listed at the end of Section III-A.2.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct MessageRates {
     /// Explicit trigger (state setup / update) messages, `m_ET`.
     pub trigger: f64,

@@ -5,7 +5,6 @@ use super::states::SingleHopState;
 use super::transitions::{protocol_transitions, RateTable};
 use crate::params::{Protocol, SingleHopParams};
 use ctmc::{CtmcBuilder, CtmcError};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -36,7 +35,7 @@ impl From<CtmcError> for ModelError {
 }
 
 /// The solved single-hop model of one protocol under one parameter set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SingleHopSolution {
     /// The protocol.
     pub protocol: Protocol,
@@ -190,17 +189,11 @@ impl SingleHopModel {
         if s == SingleHopState::Setup1 {
             return true;
         }
-        self.table
-            .entries
-            .iter()
-            .any(|e| e.from == s || e.to == s)
+        self.table.entries.iter().any(|e| e.from == s || e.to == s)
     }
 
     fn inconsistency_from(&self, pi: &HashMap<SingleHopState, f64>) -> f64 {
-        1.0 - pi
-            .get(&SingleHopState::Consistent)
-            .copied()
-            .unwrap_or(0.0)
+        1.0 - pi.get(&SingleHopState::Consistent).copied().unwrap_or(0.0)
     }
 
     /// Message-rate components (Equations 3–7), evaluated on the merged
@@ -246,8 +239,7 @@ impl SingleHopModel {
             let retransmissions = (get(Setup2) + get(Diff2)) / p.retrans_timer;
             let acks = success / p.delay * (get(Setup1) + get(Diff1))
                 + success / p.retrans_timer * (get(Setup2) + get(Diff2));
-            let false_removal_rate =
-                super::transitions::false_removal_rate(self.protocol, p);
+            let false_removal_rate = super::transitions::false_removal_rate(self.protocol, p);
             let notifications = false_removal_rate * (get(Consistent) + get(Diff2));
             retransmissions + acks + notifications
         } else {
@@ -293,7 +285,10 @@ mod tests {
     }
 
     fn solve_with(protocol: Protocol, params: SingleHopParams) -> SingleHopSolution {
-        SingleHopModel::new(protocol, params).unwrap().solve().unwrap()
+        SingleHopModel::new(protocol, params)
+            .unwrap()
+            .solve()
+            .unwrap()
     }
 
     #[test]
@@ -329,10 +324,16 @@ mod tests {
         let hs = solve(Protocol::Hs).inconsistency;
         assert!(ss_er < ss, "SS+ER ({ss_er}) should beat SS ({ss})");
         assert!(ss_rt < ss, "SS+RT ({ss_rt}) should beat SS ({ss})");
-        assert!(ss_rtr < ss_er, "SS+RTR ({ss_rtr}) should beat SS+ER ({ss_er})");
+        assert!(
+            ss_rtr < ss_er,
+            "SS+RTR ({ss_rtr}) should beat SS+ER ({ss_er})"
+        );
         assert!(hs < ss_er, "HS ({hs}) should beat SS+ER ({ss_er})");
         // SS+RTR and HS are within a small factor of each other.
-        assert!(ss_rtr < hs * 3.0 && hs < ss_rtr * 3.0, "SS+RTR {ss_rtr} vs HS {hs}");
+        assert!(
+            ss_rtr < hs * 3.0 && hs < ss_rtr * 3.0,
+            "SS+RTR {ss_rtr} vs HS {hs}"
+        );
     }
 
     #[test]
@@ -420,7 +421,10 @@ mod tests {
         let hs = solve_with(Protocol::Hs, params).inconsistency;
         assert!(ss > 5.0 * ss_er);
         assert!(ss_rt > 5.0 * ss_er);
-        assert!((ss - ss_rt).abs() < 0.2 * ss, "SS ≈ SS+RT for short sessions");
+        assert!(
+            (ss - ss_rt).abs() < 0.2 * ss,
+            "SS ≈ SS+RT for short sessions"
+        );
         assert!(ss_er > hs);
     }
 
@@ -467,7 +471,12 @@ mod tests {
         let mut bad = SingleHopParams::kazaa_defaults();
         bad.timeout_timer = 1.0; // refresh stays at 5 s
         let good = SingleHopParams::kazaa_defaults();
-        for proto in [Protocol::Ss, Protocol::SsEr, Protocol::SsRt, Protocol::SsRtr] {
+        for proto in [
+            Protocol::Ss,
+            Protocol::SsEr,
+            Protocol::SsRt,
+            Protocol::SsRtr,
+        ] {
             let collapsed = solve_with(proto, bad).inconsistency;
             let healthy = solve_with(proto, good).inconsistency;
             // SS+RT both repairs false removals quickly (small penalty) and
@@ -506,10 +515,7 @@ mod tests {
             Protocol::Hs,
             SingleHopParams::kazaa_defaults().with_refresh_timer_scaled_timeout(20.0),
         );
-        assert!(
-            (hs_fast.normalized_message_rate - hs_slow.normalized_message_rate).abs()
-                < 1e-9
-        );
+        assert!((hs_fast.normalized_message_rate - hs_slow.normalized_message_rate).abs() < 1e-9);
         assert!((hs_fast.inconsistency - hs_slow.inconsistency).abs() < 1e-9);
     }
 

@@ -1,6 +1,5 @@
 //! Markov states of the single-hop model (paper Figure 3).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A state of the single-hop signaling Markov chain.
@@ -9,7 +8,7 @@ use std::fmt;
 /// subscript that distinguishes whether the most recent explicit message is
 /// still in flight (*fast path*, subscript 1) or has been lost so the system
 /// is waiting for a refresh/retransmission/timeout (*slow path*, subscript 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SingleHopState {
     /// `(1,0)₁` — state installed at the sender only; the trigger message is
     /// in flight.  This is the initial state of every session.
@@ -56,10 +55,7 @@ impl SingleHopState {
     /// consistent; every other state counts toward the inconsistency ratio,
     /// exactly as in Equation (1).
     pub fn is_consistent(self) -> bool {
-        matches!(
-            self,
-            SingleHopState::Consistent | SingleHopState::Absorbed
-        )
+        matches!(self, SingleHopState::Consistent | SingleHopState::Absorbed)
     }
 
     /// Whether this is the absorbing end-of-life state.

@@ -33,10 +33,9 @@
 
 use super::states::SingleHopState;
 use crate::params::{Protocol, SingleHopParams};
-use serde::{Deserialize, Serialize};
 
 /// One row of the transition table: a `from → to` transition and its rate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RateEntry {
     /// Source state.
     pub from: SingleHopState,
@@ -47,7 +46,7 @@ pub struct RateEntry {
 }
 
 /// The full set of transitions of one protocol under one parameter set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RateTable {
     /// The protocol the rates belong to.
     pub protocol: Protocol,
@@ -257,10 +256,7 @@ mod tests {
     fn hs_false_removal_uses_external_signal_rate() {
         let p = params();
         assert_eq!(false_removal_rate(Protocol::Hs, &p), p.false_signal_rate);
-        assert_eq!(
-            false_removal_rate(Protocol::Ss, &p),
-            p.false_removal_rate()
-        );
+        assert_eq!(false_removal_rate(Protocol::Ss, &p), p.false_removal_rate());
         let hs = protocol_transitions(Protocol::Hs, &p);
         assert!((hs.rate(Consistent, Setup2) - p.false_signal_rate).abs() < 1e-18);
     }
@@ -275,9 +271,7 @@ mod tests {
                 < 1e-12
         );
         let rtr = orphan_cleanup_rate(Protocol::SsRtr, &p).unwrap();
-        assert!(
-            (rtr - (1.0 / p.timeout_timer + (1.0 - p.loss) / p.retrans_timer)).abs() < 1e-12
-        );
+        assert!((rtr - (1.0 / p.timeout_timer + (1.0 - p.loss) / p.retrans_timer)).abs() < 1e-12);
         let hs = orphan_cleanup_rate(Protocol::Hs, &p).unwrap();
         assert!((hs - (1.0 - p.loss) / p.retrans_timer).abs() < 1e-12);
         // SS+RTR can also fall back to timeout, so it cleans up at least as

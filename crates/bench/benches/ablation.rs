@@ -57,10 +57,15 @@ fn print_timeout_ratio_ablation() {
     for ratio in [1.0f64, 1.5, 2.0, 3.0, 5.0, 10.0] {
         let mut params = SingleHopParams::kazaa_defaults();
         params.timeout_timer = ratio * params.refresh_timer;
-        let row: Vec<f64> = [Protocol::Ss, Protocol::SsEr, Protocol::SsRt, Protocol::SsRtr]
-            .iter()
-            .map(|p| solve(*p, params).0)
-            .collect();
+        let row: Vec<f64> = [
+            Protocol::Ss,
+            Protocol::SsEr,
+            Protocol::SsRt,
+            Protocol::SsRtr,
+        ]
+        .iter()
+        .map(|p| solve(*p, params).0)
+        .collect();
         println!(
             "{:<10} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
             ratio, row[0], row[1], row[2], row[3]
@@ -87,15 +92,11 @@ fn print_burst_loss_ablation() {
         p_b2g: 0.15,
     };
     for protocol in Protocol::ALL {
-        let independent = Campaign::new(
-            SessionConfig::deterministic(protocol, params),
-            120,
-            7,
-        )
-        .parallel(true)
-        .run()
-        .inconsistency
-        .mean;
+        let independent = Campaign::new(SessionConfig::deterministic(protocol, params), 120, 7)
+            .parallel(true)
+            .run()
+            .inconsistency
+            .mean;
         let bursty = Campaign::new(
             SessionConfig::deterministic(protocol, params).with_loss_model(bursty_model),
             120,
@@ -117,15 +118,15 @@ fn print_burst_loss_ablation() {
 }
 
 fn main() {
-    print_mechanism_ablation("Kazaa defaults, 1800 s sessions", SingleHopParams::kazaa_defaults());
     print_mechanism_ablation(
-        "short sessions (120 s), 10% loss",
-        {
-            let mut p = SingleHopParams::kazaa_defaults().with_mean_lifetime(120.0);
-            p.loss = 0.10;
-            p
-        },
+        "Kazaa defaults, 1800 s sessions",
+        SingleHopParams::kazaa_defaults(),
     );
+    print_mechanism_ablation("short sessions (120 s), 10% loss", {
+        let mut p = SingleHopParams::kazaa_defaults().with_mean_lifetime(120.0);
+        p.loss = 0.10;
+        p
+    });
     print_timeout_ratio_ablation();
     print_burst_loss_ablation();
 

@@ -7,7 +7,6 @@
 use criterion::{black_box, Criterion};
 use signaling::experiment::ExperimentId;
 
-
 fn main() {
     // Reproduction: print the regenerated series.
     sigbench::print_experiments(&[ExperimentId::Fig6a, ExperimentId::Fig6b]);

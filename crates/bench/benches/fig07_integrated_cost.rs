@@ -22,7 +22,11 @@ fn main() {
                 .unwrap()
                 .solve()
                 .unwrap();
-            black_box(integrated_cost(s.inconsistency, s.normalized_message_rate, 10.0))
+            black_box(integrated_cost(
+                s.inconsistency,
+                s.normalized_message_rate,
+                10.0,
+            ))
         })
     });
     c.final_summary();

@@ -6,7 +6,7 @@
 
 use criterion::{black_box, Criterion};
 use signaling::experiment::ExperimentId;
-use signaling::{Protocol, SessionConfig, SingleHopParams, SingleHopSession, SimRng};
+use signaling::{Protocol, SessionConfig, SimRng, SingleHopParams, SingleHopSession};
 
 fn main() {
     // Reproduction: print the regenerated series.

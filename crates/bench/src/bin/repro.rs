@@ -8,17 +8,27 @@
 //! repro --fig fig4a     # one experiment only (repeat --fig for several)
 //! repro --csv DIR       # additionally write one CSV file per figure to DIR
 //! repro --list          # list the available experiment ids
+//! repro --serial        # disable the multi-core sweep fan-out
+//! repro --jobs N        # fan simulation sweeps out across N threads
 //! ```
+//!
+//! Simulation experiments (Figures 11–12) fan their sweeps out across all
+//! CPUs by default; `--serial` / `--jobs` control the `ExecutionPolicy` and
+//! the closing line reports the wall-clock, so a serial-vs-parallel speedup
+//! is one `time`-free A/B away.
 
 use signaling::experiment::{ExperimentId, ExperimentOptions, ExperimentOutput};
-use signaling::report::{render_csv, run_and_render};
+use signaling::report::render_csv;
+use signaling::ExecutionPolicy;
 use std::path::PathBuf;
+use std::time::Instant;
 
 struct Args {
     quick: bool,
     figs: Vec<ExperimentId>,
     csv_dir: Option<PathBuf>,
     list: bool,
+    execution: ExecutionPolicy,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -27,12 +37,21 @@ fn parse_args() -> Result<Args, String> {
         figs: Vec::new(),
         csv_dir: None,
         list: false,
+        execution: ExecutionPolicy::auto(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => args.quick = true,
             "--list" => args.list = true,
+            "--serial" => args.execution = ExecutionPolicy::Serial,
+            "--jobs" => {
+                let n = it.next().ok_or("--jobs needs a thread count")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--jobs needs an integer, got '{n}'"))?;
+                args.execution = ExecutionPolicy::threads(n);
+            }
             "--fig" => {
                 let name = it.next().ok_or("--fig needs an experiment id")?;
                 let id = ExperimentId::parse(&name)
@@ -45,7 +64,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "repro [--quick] [--fig ID]... [--csv DIR] [--list]\n\
+                    "repro [--quick] [--fig ID]... [--csv DIR] [--list] [--serial | --jobs N]\n\
                      Regenerates the paper's tables and figures."
                 );
                 std::process::exit(0);
@@ -76,7 +95,8 @@ fn main() {
         ExperimentOptions::quick()
     } else {
         ExperimentOptions::default()
-    };
+    }
+    .with_execution(args.execution);
     let ids: Vec<ExperimentId> = if args.figs.is_empty() {
         ExperimentId::ALL.to_vec()
     } else {
@@ -90,16 +110,34 @@ fn main() {
         }
     }
 
-    for id in ids {
-        print!("{}", run_and_render(id, &options));
+    let start = Instant::now();
+    for id in &ids {
+        // Run each experiment once and derive both renderings from it (the
+        // simulation experiments are far too expensive to run twice).
+        let output = id.run_with(&options);
+        print!(
+            "== {} — {} ==\n{}\n",
+            id.name(),
+            id.description(),
+            output.to_text()
+        );
         if let Some(dir) = &args.csv_dir {
-            if let ExperimentOutput::Figure(fig) = id.run_with(&options) {
+            if let ExperimentOutput::Figure(fig) = &output {
                 let path = dir.join(format!("{}.csv", id.name()));
-                if let Err(e) = std::fs::write(&path, render_csv(&fig)) {
+                if let Err(e) = std::fs::write(&path, render_csv(fig)) {
                     eprintln!("error: cannot write {}: {e}", path.display());
                     std::process::exit(1);
                 }
             }
         }
     }
+    let policy = match options.execution {
+        ExecutionPolicy::Serial => "serial".to_string(),
+        ExecutionPolicy::Threads(n) => format!("{n} threads"),
+    };
+    eprintln!(
+        "repro: {} experiment(s) in {:.2} s ({policy})",
+        ids.len(),
+        start.elapsed().as_secs_f64()
+    );
 }

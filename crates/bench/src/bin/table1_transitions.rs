@@ -8,20 +8,67 @@ use signaling::{Protocol, SingleHopParams};
 fn main() {
     // Symbolic form (as printed in the paper).
     println!("Symbolic Table I (rates per protocol)\n");
-    println!("{:<28} {:<14} {:<14} {:<22} {:<22} {:<14}", "transition", "SS", "SS+ER", "SS+RT", "SS+RTR", "HS");
+    println!(
+        "{:<28} {:<14} {:<14} {:<22} {:<22} {:<14}",
+        "transition", "SS", "SS+ER", "SS+RT", "SS+RTR", "HS"
+    );
     let rows = [
-        ("(1,0)1->(1,0)2, IC1->IC2", "p/D", "p/D", "p/D", "p/D", "p/D"),
-        ("(1,0)1->C, IC1->C", "(1-p)/D", "(1-p)/D", "(1-p)/D", "(1-p)/D", "(1-p)/D"),
-        ("(1,0)2->C, IC2->C", "(1-p)/T", "(1-p)/T", "(1/T+1/R)(1-p)", "(1/T+1/R)(1-p)", "(1-p)/R"),
+        (
+            "(1,0)1->(1,0)2, IC1->IC2",
+            "p/D",
+            "p/D",
+            "p/D",
+            "p/D",
+            "p/D",
+        ),
+        (
+            "(1,0)1->C, IC1->C",
+            "(1-p)/D",
+            "(1-p)/D",
+            "(1-p)/D",
+            "(1-p)/D",
+            "(1-p)/D",
+        ),
+        (
+            "(1,0)2->C, IC2->C",
+            "(1-p)/T",
+            "(1-p)/T",
+            "(1/T+1/R)(1-p)",
+            "(1/T+1/R)(1-p)",
+            "(1-p)/R",
+        ),
         ("(0,1)1->(0,1)2", "-", "p/D", "-", "p/D", "p/D"),
-        ("(0,1)1->(0,0)", "1/tau", "(1-p)/D", "1/tau", "(1-p)/D", "(1-p)/D"),
-        ("(0,1)2->(0,0)", "-", "1/tau", "-", "1/tau+(1-p)/R", "(1-p)/R"),
-        ("false removal rate", "p^(tau/T)/tau", "p^(tau/T)/tau", "p^(tau/T)/tau", "p^(tau/T)/tau", "lambda_e"),
+        (
+            "(0,1)1->(0,0)",
+            "1/tau",
+            "(1-p)/D",
+            "1/tau",
+            "(1-p)/D",
+            "(1-p)/D",
+        ),
+        (
+            "(0,1)2->(0,0)",
+            "-",
+            "1/tau",
+            "-",
+            "1/tau+(1-p)/R",
+            "(1-p)/R",
+        ),
+        (
+            "false removal rate",
+            "p^(tau/T)/tau",
+            "p^(tau/T)/tau",
+            "p^(tau/T)/tau",
+            "p^(tau/T)/tau",
+            "lambda_e",
+        ),
     ];
     for (name, ss, sser, ssrt, ssrtr, hs) in rows {
         println!("{name:<28} {ss:<14} {sser:<14} {ssrt:<22} {ssrtr:<22} {hs:<14}");
     }
-    println!("\n(p = p_l, D = Delta; common transitions at lambda_u, lambda_r, lambda_f per Figure 3)\n");
+    println!(
+        "\n(p = p_l, D = Delta; common transitions at lambda_u, lambda_r, lambda_f per Figure 3)\n"
+    );
 
     // Numeric form from the model itself.
     println!("{}", ExperimentId::Table1.run().to_text());

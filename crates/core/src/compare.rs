@@ -9,7 +9,7 @@
 use siganalytic::{Protocol, SingleHopModel, SingleHopParams, SingleHopSolution};
 use sigproto::{Campaign, SessionConfig};
 use sigstats::Summary;
-use simcore::TimerMode;
+use simcore::{ExecutionPolicy, TimerMode};
 
 /// One analytic-vs-simulation comparison.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,12 +77,37 @@ impl ComparisonRow {
 
 /// Solves the analytic model and runs a replicated simulation campaign for
 /// the same protocol and parameters, returning both side by side.
+///
+/// Replications fan out across every available CPU; use
+/// [`compare_single_hop_with`] to control scheduling (the sweep layer passes
+/// [`ExecutionPolicy::Serial`] here because it parallelizes one level up,
+/// across sweep points).
 pub fn compare_single_hop(
     protocol: Protocol,
     params: SingleHopParams,
     timer_mode: TimerMode,
     replications: usize,
     seed: u64,
+) -> ComparisonRow {
+    compare_single_hop_with(
+        protocol,
+        params,
+        timer_mode,
+        replications,
+        seed,
+        ExecutionPolicy::auto(),
+    )
+}
+
+/// [`compare_single_hop`] with an explicit execution policy for the
+/// simulation campaign.
+pub fn compare_single_hop_with(
+    protocol: Protocol,
+    params: SingleHopParams,
+    timer_mode: TimerMode,
+    replications: usize,
+    seed: u64,
+    policy: ExecutionPolicy,
 ) -> ComparisonRow {
     let analytic = SingleHopModel::new(protocol, params)
         .expect("valid parameters")
@@ -95,7 +120,9 @@ pub fn compare_single_hop(
         delay_mode: timer_mode,
         loss_model: None,
     };
-    let result = Campaign::new(config, replications, seed).parallel(true).run();
+    let result = Campaign::new(config, replications, seed)
+        .execution(policy)
+        .run();
     ComparisonRow {
         protocol,
         params,
@@ -182,7 +209,13 @@ mod tests {
         // predicts.  The model is calibrated to the deterministic-timer
         // protocol, so the fully exponential simulation sits strictly above
         // it for pure soft state — worth documenting as a model limitation.
-        let row = compare_single_hop(Protocol::Ss, quick_params(), TimerMode::Exponential, 100, 11);
+        let row = compare_single_hop(
+            Protocol::Ss,
+            quick_params(),
+            TimerMode::Exponential,
+            100,
+            11,
+        );
         assert!(
             row.simulated_inconsistency.mean > row.analytic.inconsistency,
             "sim {} should exceed model {}",

@@ -8,7 +8,7 @@
 //! discrete-event campaigns whose size is controlled by
 //! [`ExperimentOptions`].
 
-use crate::compare::compare_single_hop;
+use crate::compare::compare_single_hop_with;
 use siganalytic::single_hop::protocol_transitions;
 use siganalytic::{
     MultiHopModel, MultiHopParams, MultiHopSolution, Protocol, SingleHopModel, SingleHopParams,
@@ -16,7 +16,7 @@ use siganalytic::{
 };
 use sigstats::{Point, Series, SeriesSet};
 use sigworkload::Sweep;
-use simcore::TimerMode;
+use simcore::{ExecutionPolicy, ReplicationEngine, TimerMode};
 
 /// Options controlling the simulation-backed experiments.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,6 +28,10 @@ pub struct ExperimentOptions {
     pub sim_points: usize,
     /// Campaign seed (replications derive their own streams from it).
     pub seed: u64,
+    /// How simulation work is scheduled.  The sweep layer fans out whole
+    /// campaigns — one unit per (protocol × sweep point) — under this
+    /// policy; results are bit-identical under every policy.
+    pub execution: ExecutionPolicy,
 }
 
 impl Default for ExperimentOptions {
@@ -36,6 +40,7 @@ impl Default for ExperimentOptions {
             sim_replications: 40,
             sim_points: 6,
             seed: 2003,
+            execution: ExecutionPolicy::auto(),
         }
     }
 }
@@ -46,8 +51,14 @@ impl ExperimentOptions {
         Self {
             sim_replications: 10,
             sim_points: 4,
-            seed: 2003,
+            ..Self::default()
         }
+    }
+
+    /// The same experiment sizes with an explicit execution policy.
+    pub fn with_execution(mut self, execution: ExecutionPolicy) -> Self {
+        self.execution = execution;
+        self
     }
 }
 
@@ -137,7 +148,10 @@ impl ExperimentId {
     pub fn uses_simulation(self) -> bool {
         matches!(
             self,
-            ExperimentId::Fig11a | ExperimentId::Fig11b | ExperimentId::Fig12a | ExperimentId::Fig12b
+            ExperimentId::Fig11a
+                | ExperimentId::Fig11b
+                | ExperimentId::Fig12a
+                | ExperimentId::Fig12b
         )
     }
 
@@ -196,8 +210,12 @@ impl ExperimentId {
             ExperimentId::Fig10b => "Fig 10(b): tradeoff varying channel delay",
             ExperimentId::Fig11a => "Fig 11(a): analytic vs simulation, inconsistency vs lifetime",
             ExperimentId::Fig11b => "Fig 11(b): analytic vs simulation, message rate vs lifetime",
-            ExperimentId::Fig12a => "Fig 12(a): analytic vs simulation, inconsistency vs refresh timer",
-            ExperimentId::Fig12b => "Fig 12(b): analytic vs simulation, message rate vs refresh timer",
+            ExperimentId::Fig12a => {
+                "Fig 12(a): analytic vs simulation, inconsistency vs refresh timer"
+            }
+            ExperimentId::Fig12b => {
+                "Fig 12(b): analytic vs simulation, message rate vs refresh timer"
+            }
             ExperimentId::Fig17 => "Fig 17: per-hop inconsistency along a 20-hop path",
             ExperimentId::Fig18a => "Fig 18(a): inconsistency vs number of hops",
             ExperimentId::Fig18b => "Fig 18(b): message rate vs number of hops",
@@ -227,13 +245,9 @@ impl ExperimentId {
             ExperimentId::Fig9 => ExperimentOutput::Figure(fig9()),
             ExperimentId::Fig10a => ExperimentOutput::Figure(fig10a()),
             ExperimentId::Fig10b => ExperimentOutput::Figure(fig10b()),
-            ExperimentId::Fig11a => {
-                ExperimentOutput::Figure(fig11(Metric::Inconsistency, options))
-            }
+            ExperimentId::Fig11a => ExperimentOutput::Figure(fig11(Metric::Inconsistency, options)),
             ExperimentId::Fig11b => ExperimentOutput::Figure(fig11(Metric::MessageRate, options)),
-            ExperimentId::Fig12a => {
-                ExperimentOutput::Figure(fig12(Metric::Inconsistency, options))
-            }
+            ExperimentId::Fig12a => ExperimentOutput::Figure(fig12(Metric::Inconsistency, options)),
             ExperimentId::Fig12b => ExperimentOutput::Figure(fig12(Metric::MessageRate, options)),
             ExperimentId::Fig17 => ExperimentOutput::Figure(fig17()),
             ExperimentId::Fig18a => ExperimentOutput::Figure(fig18(Metric::Inconsistency)),
@@ -444,11 +458,7 @@ fn fig8b() -> SeriesSet {
 
 /// Tradeoff figures: x = inconsistency, y = normalized message overhead, one
 /// point per swept parameter value.
-fn tradeoff(
-    title: &str,
-    sweep: &Sweep,
-    make_params: impl Fn(f64) -> SingleHopParams,
-) -> SeriesSet {
+fn tradeoff(title: &str, sweep: &Sweep, make_params: impl Fn(f64) -> SingleHopParams) -> SeriesSet {
     let mut set = SeriesSet::new(title, "inconsistency ratio", "message overhead");
     for protocol in Protocol::ALL {
         let mut series = Series::new(protocol.label());
@@ -491,6 +501,12 @@ fn fig10b() -> SeriesSet {
 
 /// Builds a figure containing the analytic curves plus simulated points with
 /// deterministic timers and 95% confidence error bars.
+///
+/// The simulation grid is the expensive part, so the whole sweep — one
+/// campaign per (protocol × sweep point) — is fanned out through the
+/// [`ReplicationEngine`] under `options.execution`; each campaign then runs
+/// its replications serially on its worker.  Outputs come back in sweep
+/// order, so the figure is identical under every policy.
 fn analytic_vs_sim(
     title: &str,
     x_label: &str,
@@ -498,7 +514,7 @@ fn analytic_vs_sim(
     xs_analytic: &[f64],
     xs_sim: &[f64],
     options: &ExperimentOptions,
-    make_params: impl Fn(f64) -> SingleHopParams,
+    make_params: impl Fn(f64) -> SingleHopParams + Sync,
 ) -> SeriesSet {
     let mut set = SeriesSet::new(title, x_label, metric.label());
     for protocol in Protocol::ALL {
@@ -509,16 +525,28 @@ fn analytic_vs_sim(
         }
         set.push(series);
     }
-    for protocol in Protocol::ALL {
+
+    // The sweep-point × replication fan-out: flatten (protocol, x) pairs
+    // into one job list for the engine.
+    let jobs: Vec<(Protocol, f64)> = Protocol::ALL
+        .iter()
+        .flat_map(|&p| xs_sim.iter().map(move |&x| (p, x)))
+        .collect();
+    let rows = ReplicationEngine::new(options.execution).run(jobs.len(), &|i: u64| {
+        let (protocol, x) = jobs[i as usize];
+        compare_single_hop_with(
+            protocol,
+            make_params(x),
+            TimerMode::Deterministic,
+            options.sim_replications,
+            options.seed,
+            ExecutionPolicy::Serial,
+        )
+    });
+
+    for (protocol_rows, protocol) in rows.chunks(xs_sim.len().max(1)).zip(Protocol::ALL) {
         let mut series = Series::new(format!("{} sim", protocol.label()));
-        for &x in xs_sim {
-            let row = compare_single_hop(
-                protocol,
-                make_params(x),
-                TimerMode::Deterministic,
-                options.sim_replications,
-                options.seed,
-            );
+        for (row, &x) in protocol_rows.iter().zip(xs_sim) {
             let point = match metric {
                 Metric::Inconsistency => Point::with_error(
                     x,
@@ -702,7 +730,11 @@ mod tests {
         assert!(ss_er.dominates_below(ss, 1e-9));
         assert!(ss_rtr.dominates_below(ss_er, 1e-9));
         for (a, b) in ss_rtr.points.iter().zip(hs.points.iter()) {
-            assert!(a.y < 5.0 * b.y && b.y < 5.0 * a.y, "SS+RTR vs HS at {}", a.x);
+            assert!(
+                a.y < 5.0 * b.y && b.y < 5.0 * a.y,
+                "SS+RTR vs HS at {}",
+                a.x
+            );
         }
     }
 
@@ -792,6 +824,17 @@ mod tests {
         let ss20 = b.get("SS").unwrap().points.last().unwrap().y;
         let hs20 = b.get("HS").unwrap().points.last().unwrap().y;
         assert!(hs20 < 0.5 * ss20);
+    }
+
+    #[test]
+    fn sweep_fanout_is_policy_independent() {
+        // The whole sweep (protocol × point × replication) must be a pure
+        // function of the options, no matter how it is scheduled.
+        let quick = ExperimentOptions::quick();
+        let serial = ExperimentId::Fig11a.run_with(&quick.with_execution(ExecutionPolicy::Serial));
+        let threaded =
+            ExperimentId::Fig11a.run_with(&quick.with_execution(ExecutionPolicy::threads(4)));
+        assert_eq!(serial, threaded);
     }
 
     #[test]

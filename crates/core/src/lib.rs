@@ -40,7 +40,7 @@ pub mod compare;
 pub mod experiment;
 pub mod report;
 
-pub use compare::{compare_single_hop, ComparisonRow};
+pub use compare::{compare_all, compare_single_hop, compare_single_hop_with, ComparisonRow};
 pub use experiment::{ExperimentId, ExperimentOptions, ExperimentOutput};
 pub use report::{render_csv, render_json, render_table};
 
@@ -56,7 +56,7 @@ pub use sigproto::{
 };
 pub use sigstats::{ConfidenceInterval, OnlineStats, Point, Series, SeriesSet, Summary};
 pub use sigworkload::{MultiHopScenario, SingleHopScenario, Sweep};
-pub use simcore::{SimRng, TimerMode};
+pub use simcore::{ExecutionPolicy, Replicate, ReplicationEngine, SimRng, TimerMode};
 
 #[cfg(test)]
 mod tests {
@@ -79,8 +79,14 @@ mod tests {
     #[test]
     fn doc_example_holds() {
         let params = SingleHopParams::kazaa_defaults();
-        let ss = SingleHopModel::new(Protocol::Ss, params).unwrap().solve().unwrap();
-        let er = SingleHopModel::new(Protocol::SsEr, params).unwrap().solve().unwrap();
+        let ss = SingleHopModel::new(Protocol::Ss, params)
+            .unwrap()
+            .solve()
+            .unwrap();
+        let er = SingleHopModel::new(Protocol::SsEr, params)
+            .unwrap()
+            .solve()
+            .unwrap();
         assert!(er.inconsistency < ss.inconsistency);
     }
 }

@@ -5,7 +5,6 @@
 //! JSON for programmatic consumption.
 
 use crate::experiment::{ExperimentId, ExperimentOptions, ExperimentOutput};
-use serde_json::json;
 use sigstats::SeriesSet;
 
 /// Renders a figure as an aligned plain-text table.
@@ -20,28 +19,75 @@ pub fn render_csv(set: &SeriesSet) -> String {
 
 /// Renders a figure as a JSON document
 /// (`{"title", "x_label", "y_label", "series": [{label, points: [[x, y, err]]}]}`).
+///
+/// The emitter is hand-rolled (the build is dependency-free); it produces
+/// strictly valid JSON: strings are escaped, non-finite numbers and absent
+/// error bars become `null`.
 pub fn render_json(set: &SeriesSet) -> String {
-    let series: Vec<_> = set
-        .series
-        .iter()
-        .map(|s| {
-            json!({
-                "label": s.label,
-                "points": s
-                    .points
-                    .iter()
-                    .map(|p| json!([p.x, p.y, p.err]))
-                    .collect::<Vec<_>>(),
-            })
-        })
-        .collect();
-    serde_json::to_string_pretty(&json!({
-        "title": set.title,
-        "x_label": set.x_label,
-        "y_label": set.y_label,
-        "series": series,
-    }))
-    .expect("serializable")
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"title\": {},\n", json_string(&set.title)));
+    out.push_str(&format!("  \"x_label\": {},\n", json_string(&set.x_label)));
+    out.push_str(&format!("  \"y_label\": {},\n", json_string(&set.y_label)));
+    out.push_str("  \"series\": [\n");
+    for (i, s) in set.series.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"label\": {},\n", json_string(&s.label)));
+        out.push_str("      \"points\": [");
+        for (j, p) in s.points.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "[{}, {}, {}]",
+                json_number(p.x),
+                json_number(p.y),
+                p.err.map_or_else(|| "null".to_string(), json_number)
+            ));
+        }
+        out.push_str("]\n");
+        out.push_str(if i + 1 < set.series.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}");
+    out
+}
+
+/// Escapes a string as a JSON string literal (including the quotes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number (`null` for NaN/infinities, which JSON
+/// cannot represent).
+fn json_number(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_string();
+    }
+    let mut s = format!("{x}");
+    // `{}` on an integral float prints no decimal point; keep it a JSON
+    // number either way (both forms are valid), but normalize -0.
+    if s == "-0" {
+        s = "0".to_string();
+    }
+    s
 }
 
 /// Runs an experiment and renders it as text, prefixed with its description.
@@ -77,14 +123,28 @@ mod tests {
     }
 
     #[test]
-    fn json_is_valid_and_contains_series() {
+    fn json_contains_series_and_escapes() {
         let s = sample();
         let text = render_json(&s);
-        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
-        assert_eq!(parsed["title"], "Fig X");
-        assert_eq!(parsed["series"].as_array().unwrap().len(), 2);
-        assert_eq!(parsed["series"][0]["label"], "SS");
-        assert_eq!(parsed["series"][0]["points"][0][0], 1.0);
+        assert!(text.contains("\"title\": \"Fig X\""));
+        assert!(text.contains("\"label\": \"SS\""));
+        assert!(text.contains("\"label\": \"HS\""));
+        assert!(text.contains("[1, 0.5, null]"));
+        assert_eq!(text.matches("\"points\"").count(), 2);
+
+        let mut tricky = SeriesSet::new("quote \" and \\ back\nslash", "x", "y");
+        tricky.push(Series::from_xy("s", [(f64::NAN, f64::INFINITY)]));
+        let text = render_json(&tricky);
+        assert!(text.contains("\"quote \\\" and \\\\ back\\nslash\""));
+        assert!(text.contains("[null, null, null]"));
+    }
+
+    #[test]
+    fn json_number_formats() {
+        assert_eq!(json_number(1.5), "1.5");
+        assert_eq!(json_number(-0.0), "0");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::NEG_INFINITY), "null");
     }
 
     #[test]

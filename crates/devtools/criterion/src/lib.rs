@@ -1,0 +1,193 @@
+//! An offline, in-workspace stand-in for the `criterion` benchmark harness.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! real `criterion` cannot be fetched.  This crate implements the (small)
+//! API surface the `sigbench` benches use — [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`black_box`] — with a simple but honest wall-clock
+//! measurement loop: warm-up, then timed batches until a minimum measuring
+//! time is reached, reporting mean / min / max ns per iteration.
+//!
+//! When a registry is available again, swapping the workspace dependency
+//! back to the real `criterion` requires no source changes in the benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function (re-export of
+/// [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-iteration timing statistics of one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Total iterations measured (after warm-up).
+    pub iterations: u64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest batch, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest batch, nanoseconds per iteration.
+    pub max_ns: f64,
+}
+
+/// The timing loop handed to a benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    measurement_time: Duration,
+    sample: Option<Sample>,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly — a short warm-up, then timed batches until the
+    /// configured measurement time has elapsed — and records the statistics.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up and batch sizing: grow the batch until one batch takes at
+        // least ~1 ms so timer overhead is negligible.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = f64::NEG_INFINITY;
+        while total < self.measurement_time {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            let per_iter = elapsed.as_nanos() as f64 / batch as f64;
+            min_ns = min_ns.min(per_iter);
+            max_ns = max_ns.max(per_iter);
+            total += elapsed;
+            iterations += batch;
+        }
+        self.sample = Some(Sample {
+            iterations,
+            mean_ns: total.as_nanos() as f64 / iterations as f64,
+            min_ns,
+            max_ns,
+        });
+    }
+}
+
+/// The benchmark driver: times named closures and prints a summary line per
+/// benchmark, mirroring how the real criterion is used with `harness = false`.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+    results: Vec<(String, Sample)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_millis(300),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) the CLI arguments `cargo bench` forwards; kept
+    /// for drop-in compatibility with the real criterion builder chain.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Overrides how long each benchmark is measured for.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Measures one named benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            measurement_time: self.measurement_time,
+            sample: None,
+        };
+        f(&mut b);
+        let sample = b.sample.unwrap_or(Sample {
+            iterations: 0,
+            mean_ns: f64::NAN,
+            min_ns: f64::NAN,
+            max_ns: f64::NAN,
+        });
+        println!(
+            "bench: {name:<50} {:>12} /iter (min {}, max {}, {} iters)",
+            fmt_ns(sample.mean_ns),
+            fmt_ns(sample.min_ns),
+            fmt_ns(sample.max_ns),
+            sample.iterations,
+        );
+        self.results.push((name.to_string(), sample));
+        self
+    }
+
+    /// Prints the closing summary (a count; per-bench lines were printed as
+    /// they completed).
+    pub fn final_summary(&self) {
+        println!("bench: {} benchmark(s) measured", self.results.len());
+    }
+
+    /// The recorded samples, in execution order.
+    pub fn results(&self) -> &[(String, Sample)] {
+        &self.results
+    }
+}
+
+/// Human formatting for a nanosecond quantity.
+fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "n/a".to_string()
+    } else if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.results().len(), 1);
+        let (name, sample) = &c.results()[0];
+        assert_eq!(name, "noop");
+        assert!(sample.iterations > 0);
+        assert!(sample.mean_ns >= 0.0);
+        assert!(sample.min_ns <= sample.max_ns);
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert!(fmt_ns(12.3).contains("ns"));
+        assert!(fmt_ns(12_300.0).contains("µs"));
+        assert!(fmt_ns(12_300_000.0).contains("ms"));
+        assert!(fmt_ns(2e9).contains(" s"));
+        assert_eq!(fmt_ns(f64::NAN), "n/a");
+    }
+}

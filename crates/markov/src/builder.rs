@@ -129,8 +129,7 @@ impl<S: Clone + Eq + Hash + Debug> CtmcBuilder<S> {
         out.sort_by(|a, b| {
             let ia = self.index[&a.from];
             let ib = self.index[&b.from];
-            ia.cmp(&ib)
-                .then(self.index[&a.to].cmp(&self.index[&b.to]))
+            ia.cmp(&ib).then(self.index[&a.to].cmp(&self.index[&b.to]))
         });
         out
     }
@@ -217,8 +216,10 @@ mod tests {
     #[test]
     fn string_labels_work() {
         let mut b: CtmcBuilder<String> = CtmcBuilder::new();
-        b.transition("up".to_string(), "down".to_string(), 0.1).unwrap();
-        b.transition("down".to_string(), "up".to_string(), 0.9).unwrap();
+        b.transition("up".to_string(), "down".to_string(), 0.1)
+            .unwrap();
+        b.transition("down".to_string(), "up".to_string(), 0.9)
+            .unwrap();
         let c = b.build().unwrap();
         let pi = c.stationary_distribution().unwrap();
         assert!((pi[b.index_of(&"up".to_string()).unwrap()] - 0.9).abs() < 1e-12);

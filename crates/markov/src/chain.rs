@@ -177,9 +177,13 @@ impl Ctmc {
             });
         }
         let transient = self.transient_indices(absorbing)?;
-        let start_pos = transient.iter().position(|&i| i == start).ok_or(
-            CtmcError::BadStructure("start state must be transient for occupancy analysis"),
-        )?;
+        let start_pos =
+            transient
+                .iter()
+                .position(|&i| i == start)
+                .ok_or(CtmcError::BadStructure(
+                    "start state must be transient for occupancy analysis",
+                ))?;
         let q = self.generator();
         let qtt = q.submatrix(&transient)?;
         let qtt_t = qtt.transpose();
@@ -211,9 +215,9 @@ impl Ctmc {
             }
             // Flow into absorbing state a = Σ_transient occ[i]·rate(i → a).
             let mut flow = 0.0;
-            for i in 0..self.n {
-                if occ[i] > 0.0 {
-                    flow += occ[i] * self.rate(i, a);
+            for (i, &o) in occ.iter().enumerate() {
+                if o > 0.0 {
+                    flow += o * self.rate(i, a);
                 }
             }
             probs[k] = flow;

@@ -44,7 +44,10 @@ impl fmt::Display for CtmcError {
                 write!(f, "invalid rate {rate} on transition {from} -> {to}")
             }
             CtmcError::StateOutOfRange { index, states } => {
-                write!(f, "state index {index} out of range (chain has {states} states)")
+                write!(
+                    f,
+                    "state index {index} out of range (chain has {states} states)"
+                )
             }
             CtmcError::SingularSystem => write!(f, "singular linear system"),
             CtmcError::DimensionMismatch { expected, found } => {
@@ -70,7 +73,10 @@ mod tests {
         };
         assert!(e.to_string().contains("invalid rate"));
         assert!(CtmcError::SingularSystem.to_string().contains("singular"));
-        let e = CtmcError::StateOutOfRange { index: 9, states: 3 };
+        let e = CtmcError::StateOutOfRange {
+            index: 9,
+            states: 3,
+        };
         assert!(e.to_string().contains("out of range"));
         let e = CtmcError::DimensionMismatch {
             expected: 3,

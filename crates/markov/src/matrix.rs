@@ -46,7 +46,11 @@ impl DMatrix {
         for row in rows {
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -111,9 +115,9 @@ impl DMatrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, out_r) in out.iter_mut().enumerate() {
             let row = self.row(r);
-            out[r] = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+            *out_r = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
         }
         Ok(out)
     }
@@ -127,8 +131,7 @@ impl DMatrix {
             });
         }
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let xr = x[r];
+        for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }

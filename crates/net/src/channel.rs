@@ -3,7 +3,6 @@
 use crate::delay::DelayModel;
 use crate::loss::{LossModel, LossState};
 use crate::message::MsgKind;
-use serde::{Deserialize, Serialize};
 use simcore::SimRng;
 
 /// Outcome of handing a message to a channel.
@@ -34,7 +33,7 @@ impl TransmitOutcome {
 }
 
 /// Per-channel transmission statistics, broken down by message kind.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ChannelStats {
     sent: [u64; MsgKind::ALL.len()],
     delivered: [u64; MsgKind::ALL.len()],
@@ -219,7 +218,9 @@ mod tests {
         let mut last = 0.0;
         for i in 0..1000 {
             let now = i as f64 * 0.001;
-            if let TransmitOutcome::Delivered { arrival } = ch.transmit(&mut rng, now, MsgKind::Trigger) {
+            if let TransmitOutcome::Delivered { arrival } =
+                ch.transmit(&mut rng, now, MsgKind::Trigger)
+            {
                 assert!(arrival >= last, "reordered: {arrival} < {last}");
                 assert!(arrival >= now);
                 last = arrival;

@@ -5,11 +5,10 @@
 //! plus jitter.  Both are available here.  The channel additionally enforces
 //! FIFO delivery (no reordering), matching the paper's channel assumptions.
 
-use serde::{Deserialize, Serialize};
 use simcore::{Dist, SimRng, TimerMode};
 
 /// A per-hop one-way delay process.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DelayModel {
     /// Base delay distribution.
     pub base: Dist,

@@ -5,11 +5,10 @@
 //! Gilbert–Elliott variant is an extension used by the ablation benches to
 //! probe how bursty loss changes the protocol comparison.
 
-use serde::{Deserialize, Serialize};
 use simcore::SimRng;
 
 /// A per-hop packet loss process.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LossModel {
     /// Independent loss with probability `p` per transmission (the paper's
     /// model).
@@ -36,7 +35,9 @@ pub enum LossModel {
 impl LossModel {
     /// Convenience constructor for the paper's independent-loss model.
     pub fn bernoulli(p: f64) -> Self {
-        LossModel::Bernoulli { p: p.clamp(0.0, 1.0) }
+        LossModel::Bernoulli {
+            p: p.clamp(0.0, 1.0),
+        }
     }
 
     /// Long-run average loss probability of the process.
@@ -63,15 +64,9 @@ impl LossModel {
 
 /// The mutable runtime state of a loss process (only Gilbert–Elliott needs
 /// any).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LossState {
     in_bad: bool,
-}
-
-impl Default for LossState {
-    fn default() -> Self {
-        Self { in_bad: false }
-    }
 }
 
 impl LossState {
@@ -118,9 +113,7 @@ mod tests {
         let mut state = LossState::default();
         let mut rng = SimRng::new(123);
         let n = 100_000;
-        let lost = (0..n)
-            .filter(|_| state.is_lost(&model, &mut rng))
-            .count();
+        let lost = (0..n).filter(|_| state.is_lost(&model, &mut rng)).count();
         let rate = lost as f64 / n as f64;
         assert!((rate - 0.2).abs() < 0.01, "rate = {rate}");
     }
@@ -139,9 +132,7 @@ mod tests {
         let mut state = LossState::default();
         let mut rng = SimRng::new(7);
         let n = 200_000;
-        let lost = (0..n)
-            .filter(|_| state.is_lost(&model, &mut rng))
-            .count();
+        let lost = (0..n).filter(|_| state.is_lost(&model, &mut rng)).count();
         let rate = lost as f64 / n as f64;
         assert!((rate - 0.125).abs() < 0.01, "rate = {rate}");
     }

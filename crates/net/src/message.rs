@@ -9,7 +9,6 @@
 //! additionally relies on an *external signal* (e.g. a heartbeat protocol)
 //! that is modelled but not counted as signaling overhead.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The value of the piece of signaling state being installed.
@@ -21,7 +20,7 @@ use std::fmt;
 pub type StateValue = u64;
 
 /// Kinds of signaling messages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MsgKind {
     /// Explicit state setup/update carrying the newest state value.
     Trigger,
@@ -83,7 +82,7 @@ impl fmt::Display for MsgKind {
 }
 
 /// A signaling message in flight.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SignalMessage {
     /// What kind of message this is.
     pub kind: MsgKind,

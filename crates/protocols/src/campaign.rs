@@ -2,16 +2,19 @@
 //!
 //! A single simulated session is one random sample; the paper's simulation
 //! curves (Figures 11–12) are means over many independent replications with
-//! 95% confidence intervals.  [`Campaign`] and [`MultiHopCampaign`] run the
-//! replications — in parallel across OS threads when asked to — and summarize
-//! the results with the `sigstats` machinery.
+//! 95% confidence intervals.  [`Campaign`] and [`MultiHopCampaign`] describe
+//! *what* to replicate; the scheduling itself — serial or fanned out across
+//! OS threads — is delegated to `simcore`'s [`ReplicationEngine`], the one
+//! implementation of replication fan-out in the workspace.  Results are
+//! bit-identical under every [`ExecutionPolicy`] because each replication
+//! derives its RNG stream from the campaign seed and its index.
 
 use crate::config::{MultiHopSimConfig, SessionConfig};
 use crate::metrics::{MessageCounts, MultiHopRunMetrics, SessionMetrics};
 use crate::multi_hop::MultiHopSession;
 use crate::single_hop::SingleHopSession;
 use sigstats::{OnlineStats, RatioEstimator, Summary};
-use simcore::SimRng;
+use simcore::{ExecutionPolicy, Replicate, ReplicationEngine, SimRng};
 
 /// Aggregated results of a single-hop campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,7 +48,22 @@ pub struct Campaign {
     config: SessionConfig,
     replications: usize,
     seed: u64,
-    parallel: bool,
+    policy: ExecutionPolicy,
+}
+
+/// One single-hop replication, as seen by the [`ReplicationEngine`].
+struct SingleHopReplicate<'a> {
+    config: &'a SessionConfig,
+    seed: u64,
+}
+
+impl Replicate for SingleHopReplicate<'_> {
+    type Output = SessionMetrics;
+
+    fn replicate(&self, index: u64) -> SessionMetrics {
+        let mut rng = SimRng::for_replication(self.seed, index);
+        SingleHopSession::run(self.config, &mut rng)
+    }
 }
 
 impl Campaign {
@@ -55,15 +73,25 @@ impl Campaign {
             config,
             replications: replications.max(1),
             seed,
-            parallel: false,
+            policy: ExecutionPolicy::Serial,
         }
     }
 
-    /// Enables multi-threaded execution (one chunk of replications per
-    /// available CPU).
-    pub fn parallel(mut self, enabled: bool) -> Self {
-        self.parallel = enabled;
+    /// Sets the execution policy for the replication fan-out.
+    pub fn execution(mut self, policy: ExecutionPolicy) -> Self {
+        self.policy = policy;
         self
+    }
+
+    /// Enables multi-threaded execution (one thread per available CPU);
+    /// shorthand for [`Campaign::execution`] with
+    /// [`ExecutionPolicy::auto`] / [`ExecutionPolicy::Serial`].
+    pub fn parallel(self, enabled: bool) -> Self {
+        self.execution(if enabled {
+            ExecutionPolicy::auto()
+        } else {
+            ExecutionPolicy::Serial
+        })
     }
 
     /// The configuration being replicated.
@@ -73,45 +101,12 @@ impl Campaign {
 
     /// Runs every replication and aggregates the results.
     pub fn run(&self) -> CampaignResult {
-        let metrics = if self.parallel {
-            self.run_parallel()
-        } else {
-            self.run_serial()
+        let task = SingleHopReplicate {
+            config: &self.config,
+            seed: self.seed,
         };
+        let metrics = ReplicationEngine::new(self.policy).run(self.replications, &task);
         self.aggregate(&metrics)
-    }
-
-    fn run_serial(&self) -> Vec<SessionMetrics> {
-        (0..self.replications)
-            .map(|i| {
-                let mut rng = SimRng::for_replication(self.seed, i as u64);
-                SingleHopSession::run(&self.config, &mut rng)
-            })
-            .collect()
-    }
-
-    fn run_parallel(&self) -> Vec<SessionMetrics> {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(self.replications.max(1));
-        let mut results: Vec<Option<SessionMetrics>> = vec![None; self.replications];
-        let config = self.config;
-        let seed = self.seed;
-        crossbeam::thread::scope(|scope| {
-            for (chunk_idx, chunk) in results.chunks_mut(self.replications.div_ceil(threads)).enumerate() {
-                let chunk_size = self.replications.div_ceil(threads);
-                scope.spawn(move |_| {
-                    for (offset, slot) in chunk.iter_mut().enumerate() {
-                        let index = chunk_idx * chunk_size + offset;
-                        let mut rng = SimRng::for_replication(seed, index as u64);
-                        *slot = Some(SingleHopSession::run(&config, &mut rng));
-                    }
-                });
-            }
-        })
-        .expect("simulation worker panicked");
-        results.into_iter().map(|m| m.expect("slot filled")).collect()
     }
 
     fn aggregate(&self, metrics: &[SessionMetrics]) -> CampaignResult {
@@ -165,6 +160,22 @@ pub struct MultiHopCampaign {
     config: MultiHopSimConfig,
     replications: usize,
     seed: u64,
+    policy: ExecutionPolicy,
+}
+
+/// One multi-hop replication, as seen by the [`ReplicationEngine`].
+struct MultiHopReplicate<'a> {
+    config: &'a MultiHopSimConfig,
+    seed: u64,
+}
+
+impl Replicate for MultiHopReplicate<'_> {
+    type Output = MultiHopRunMetrics;
+
+    fn replicate(&self, index: u64) -> MultiHopRunMetrics {
+        let mut rng = SimRng::for_replication(self.seed, index);
+        MultiHopSession::run(self.config, &mut rng)
+    }
 }
 
 impl MultiHopCampaign {
@@ -174,17 +185,32 @@ impl MultiHopCampaign {
             config,
             replications: replications.max(1),
             seed,
+            policy: ExecutionPolicy::Serial,
         }
+    }
+
+    /// Sets the execution policy for the replication fan-out.
+    pub fn execution(mut self, policy: ExecutionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables multi-threaded execution (one thread per available CPU).
+    pub fn parallel(self, enabled: bool) -> Self {
+        self.execution(if enabled {
+            ExecutionPolicy::auto()
+        } else {
+            ExecutionPolicy::Serial
+        })
     }
 
     /// Runs every replication and aggregates the results.
     pub fn run(&self) -> MultiHopCampaignResult {
-        let runs: Vec<MultiHopRunMetrics> = (0..self.replications)
-            .map(|i| {
-                let mut rng = SimRng::for_replication(self.seed, i as u64);
-                MultiHopSession::run(&self.config, &mut rng)
-            })
-            .collect();
+        let task = MultiHopReplicate {
+            config: &self.config,
+            seed: self.seed,
+        };
+        let runs = ReplicationEngine::new(self.policy).run(self.replications, &task);
         let k = self.config.params.hops;
         let mut end_to_end = OnlineStats::new();
         let mut rate = OnlineStats::new();
@@ -250,6 +276,35 @@ mod tests {
             .parallel(true)
             .run();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn every_execution_policy_is_bit_identical() {
+        // The engine contract: same seed ⇒ the same `CampaignResult`, bit
+        // for bit, no matter how replications are scheduled.
+        let serial = Campaign::new(quick_config(Protocol::SsEr), 30, 17)
+            .execution(ExecutionPolicy::Serial)
+            .run();
+        for n in [2, 3, 7, 16] {
+            let threaded = Campaign::new(quick_config(Protocol::SsEr), 30, 17)
+                .execution(ExecutionPolicy::threads(n))
+                .run();
+            assert_eq!(serial, threaded, "Threads({n}) diverged from Serial");
+        }
+    }
+
+    #[test]
+    fn multi_hop_execution_policies_agree() {
+        let cfg = MultiHopSimConfig::deterministic(
+            Protocol::SsRt,
+            MultiHopParams::reservation_defaults().with_hops(3),
+        )
+        .with_horizon(300.0);
+        let serial = MultiHopCampaign::new(cfg, 8, 5).run();
+        let threaded = MultiHopCampaign::new(cfg, 8, 5)
+            .execution(ExecutionPolicy::threads(4))
+            .run();
+        assert_eq!(serial, threaded);
     }
 
     #[test]

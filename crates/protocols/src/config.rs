@@ -60,8 +60,9 @@ impl SessionConfig {
 
     /// The loss process the simulator will use.
     pub fn effective_loss_model(&self) -> LossModel {
-        self.loss_model
-            .unwrap_or(LossModel::Bernoulli { p: self.params.loss })
+        self.loss_model.unwrap_or(LossModel::Bernoulli {
+            p: self.params.loss,
+        })
     }
 
     /// Validates the embedded parameters.
@@ -158,8 +159,10 @@ mod tests {
 
     #[test]
     fn invalid_params_fail_validation() {
-        let mut p = SingleHopParams::default();
-        p.loss = 7.0;
+        let p = SingleHopParams {
+            loss: 7.0,
+            ..Default::default()
+        };
         let c = SessionConfig::deterministic(Protocol::Ss, p);
         assert!(c.validate().is_err());
     }
@@ -169,7 +172,9 @@ mod tests {
         let base = SessionConfig::deterministic(Protocol::Ss, SingleHopParams::default());
         assert_eq!(
             base.effective_loss_model(),
-            LossModel::Bernoulli { p: base.params.loss }
+            LossModel::Bernoulli {
+                p: base.params.loss
+            }
         );
         let bursty = base.with_loss_model(LossModel::GilbertElliott {
             p_good: 0.0,

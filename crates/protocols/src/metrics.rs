@@ -1,6 +1,5 @@
 //! Metric records produced by simulated sessions and runs.
 
-use serde::{Deserialize, Serialize};
 use signet::MsgKind;
 
 /// Count of signaling messages sent (transmission attempts, including lost
@@ -9,7 +8,7 @@ use signet::MsgKind;
 /// The external failure-detection signal used by HS is tracked separately and
 /// excluded from [`MessageCounts::signaling_total`], matching the paper's
 /// accounting.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MessageCounts {
     /// Trigger (setup / update) messages, including retransmissions.
     pub trigger: u64,
@@ -65,7 +64,7 @@ impl MessageCounts {
 
 /// Result of one simulated single-hop session (from state installation at the
 /// sender until the state is gone from both ends).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SessionMetrics {
     /// Fraction of the receiver-side lifetime during which the sender and
     /// receiver state values differed — the sampled inconsistency ratio.
@@ -110,7 +109,7 @@ impl SessionMetrics {
 }
 
 /// Result of one multi-hop simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiHopRunMetrics {
     /// Fraction of time at least one hop was inconsistent with the sender.
     pub end_to_end_inconsistency: f64,

@@ -18,8 +18,8 @@ use crate::metrics::{MessageCounts, MultiHopRunMetrics};
 use crate::single_hop::RETRANS_SLACK;
 use siganalytic::Protocol;
 use signet::{DelayModel, MsgKind, Path, SignalMessage, StateValue, TransmitOutcome};
-use simcore::{Dist, EventId, EventQueue, SimRng, SimTime, Timer};
 use sigstats::TimeWeighted;
+use simcore::{Dist, EventId, EventQueue, SimRng, SimTime, Timer};
 
 /// Safety cap on processed events per run.
 const MAX_EVENTS: u64 = 50_000_000;
@@ -133,7 +133,8 @@ impl<'a> MultiHopSession<'a> {
         // The chain starts fully consistent (value 1 installed everywhere).
         if self.protocol().uses_refresh() {
             let d = self.refresh_dist.sample(self.rng);
-            self.refresh_timer.arm(&mut self.queue, d, Event::RefreshTimer);
+            self.refresh_timer
+                .arm(&mut self.queue, d, Event::RefreshTimer);
         }
         if self.protocol().uses_state_timeout() {
             for node in 1..=self.k() {
@@ -199,10 +200,7 @@ impl<'a> MultiHopSession<'a> {
         {
             self.queue.schedule_at(
                 SimTime::from_secs(arrival),
-                Event::ForwardArrive {
-                    msg,
-                    node: hop + 1,
-                },
+                Event::ForwardArrive { msg, node: hop + 1 },
             );
         }
     }
@@ -279,7 +277,8 @@ impl<'a> MultiHopSession<'a> {
         if self.protocol().uses_refresh() {
             // Explicit triggers reset the refresh cycle.
             let d = self.refresh_dist.sample(self.rng);
-            self.refresh_timer.arm(&mut self.queue, d, Event::RefreshTimer);
+            self.refresh_timer
+                .arm(&mut self.queue, d, Event::RefreshTimer);
         }
         self.refresh_consistency();
         self.schedule_next_update();
@@ -292,7 +291,8 @@ impl<'a> MultiHopSession<'a> {
         if self.protocol().uses_refresh() {
             self.send_forward(0, MsgKind::Refresh, self.sender_value, 0);
             let d = self.refresh_dist.sample(self.rng);
-            self.refresh_timer.arm(&mut self.queue, d, Event::RefreshTimer);
+            self.refresh_timer
+                .arm(&mut self.queue, d, Event::RefreshTimer);
         }
     }
 
@@ -365,7 +365,7 @@ impl<'a> MultiHopSession<'a> {
         match msg.kind {
             MsgKind::Trigger | MsgKind::Refresh => {
                 let previous = self.node_values[idx];
-                let is_news = previous.map_or(true, |v| msg.value > v);
+                let is_news = previous.is_none_or(|v| msg.value > v);
                 if is_news {
                     self.node_values[idx] = Some(msg.value);
                 }
@@ -540,8 +540,7 @@ mod tests {
 
     #[test]
     fn exponential_timer_mode_runs() {
-        let cfg = MultiHopSimConfig::exponential(Protocol::Ss, quick_params(4))
-            .with_horizon(500.0);
+        let cfg = MultiHopSimConfig::exponential(Protocol::Ss, quick_params(4)).with_horizon(500.0);
         let mut rng = SimRng::new(21);
         let m = MultiHopSession::run(&cfg, &mut rng);
         assert!((0.0..=1.0).contains(&m.end_to_end_inconsistency));

@@ -16,8 +16,8 @@ use crate::metrics::{MessageCounts, SessionMetrics};
 use siganalytic::Protocol;
 use signet::{Channel, DelayModel, MsgKind, SignalMessage, StateValue};
 
-use simcore::{Dist, EventId, EventQueue, SimRng, SimTime, Timer, Trace};
 use sigstats::TimeWeighted;
+use simcore::{Dist, EventId, EventQueue, SimRng, SimTime, Timer, Trace};
 
 /// Safety cap on processed events per session; generously above anything a
 /// sane parameter set produces, it only guards against pathological
@@ -147,7 +147,8 @@ impl<'a> SingleHopSession<'a> {
         self.send_trigger();
         if self.protocol().uses_refresh() {
             let d = self.refresh_dist.sample(self.rng);
-            self.refresh_timer.arm(&mut self.queue, d, Event::RefreshTimer);
+            self.refresh_timer
+                .arm(&mut self.queue, d, Event::RefreshTimer);
         }
         // Sender-side workload: lifetime and updates are exponential by
         // definition (they model the application, not the protocol timers).
@@ -205,7 +206,8 @@ impl<'a> SingleHopSession<'a> {
         self.counts.record(kind);
         let now = self.now();
         let msg = SignalMessage::new(kind, value, seq);
-        self.trace.record(SimTime::from_secs(now), "send", format!("{msg}"));
+        self.trace
+            .record(SimTime::from_secs(now), "send", format!("{msg}"));
         match self.forward.transmit(self.rng, now, kind) {
             signet::TransmitOutcome::Delivered { arrival } => {
                 self.queue
@@ -222,7 +224,8 @@ impl<'a> SingleHopSession<'a> {
         self.counts.record(kind);
         let now = self.now();
         let msg = SignalMessage::new(kind, value, seq);
-        self.trace.record(SimTime::from_secs(now), "send", format!("{msg}"));
+        self.trace
+            .record(SimTime::from_secs(now), "send", format!("{msg}"));
         match self.backward.transmit(self.rng, now, kind) {
             signet::TransmitOutcome::Delivered { arrival } => {
                 self.queue
@@ -251,7 +254,8 @@ impl<'a> SingleHopSession<'a> {
         if self.protocol().uses_refresh() && self.refresh_timer.is_armed() {
             // Sending an explicit trigger resets the refresh cycle.
             let d = self.refresh_dist.sample(self.rng);
-            self.refresh_timer.arm(&mut self.queue, d, Event::RefreshTimer);
+            self.refresh_timer
+                .arm(&mut self.queue, d, Event::RefreshTimer);
         }
     }
 
@@ -335,7 +339,8 @@ impl<'a> SingleHopSession<'a> {
                 self.next_seq += 1;
                 self.send_to_receiver(MsgKind::Refresh, value, seq);
                 let d = self.refresh_dist.sample(self.rng);
-                self.refresh_timer.arm(&mut self.queue, d, Event::RefreshTimer);
+                self.refresh_timer
+                    .arm(&mut self.queue, d, Event::RefreshTimer);
             }
         }
     }
@@ -378,7 +383,8 @@ impl<'a> SingleHopSession<'a> {
             return;
         }
         self.receiver_value = None;
-        self.trace.record(time, "timeout", "receiver state timed out");
+        self.trace
+            .record(time, "timeout", "receiver state timed out");
         if self.sender_value.is_some() {
             self.false_removals += 1;
             if self.protocol().notifies_on_removal() {
@@ -395,8 +401,11 @@ impl<'a> SingleHopSession<'a> {
         self.counts.record(MsgKind::ExternalSignal);
         if self.receiver_value.is_some() {
             self.receiver_value = None;
-            self.trace
-                .record(time, "external", "false failure signal removed receiver state");
+            self.trace.record(
+                time,
+                "external",
+                "false failure signal removed receiver state",
+            );
             if self.sender_value.is_some() {
                 self.false_removals += 1;
                 if self.protocol().notifies_on_removal() {
@@ -456,10 +465,7 @@ impl<'a> SingleHopSession<'a> {
                     self.send_trigger();
                 }
             }
-            MsgKind::Trigger
-            | MsgKind::Refresh
-            | MsgKind::Removal
-            | MsgKind::ExternalSignal => {}
+            MsgKind::Trigger | MsgKind::Refresh | MsgKind::Removal | MsgKind::ExternalSignal => {}
         }
     }
 }
@@ -508,7 +514,10 @@ mod tests {
         let b = run_one(Protocol::SsEr, quick_params(), 99);
         assert_eq!(a, b);
         let c = run_one(Protocol::SsEr, quick_params(), 100);
-        assert_ne!(a, c, "different seeds should explore different sample paths");
+        assert_ne!(
+            a, c,
+            "different seeds should explore different sample paths"
+        );
     }
 
     #[test]
@@ -536,10 +545,21 @@ mod tests {
         let mut ss = OnlineStats::new();
         let mut sser = OnlineStats::new();
         for seed in 0..40u64 {
-            ss.push(run_one(Protocol::Ss, lossless_params().with_mean_lifetime(120.0), seed).inconsistency);
+            ss.push(
+                run_one(
+                    Protocol::Ss,
+                    lossless_params().with_mean_lifetime(120.0),
+                    seed,
+                )
+                .inconsistency,
+            );
             sser.push(
-                run_one(Protocol::SsEr, lossless_params().with_mean_lifetime(120.0), seed)
-                    .inconsistency,
+                run_one(
+                    Protocol::SsEr,
+                    lossless_params().with_mean_lifetime(120.0),
+                    seed,
+                )
+                .inconsistency,
             );
         }
         assert!(
@@ -549,7 +569,11 @@ mod tests {
             sser.mean()
         );
         // And the orphan lives about one timeout: I ≈ 15/135 ≈ 0.11.
-        assert!(ss.mean() > 0.05 && ss.mean() < 0.25, "SS mean = {}", ss.mean());
+        assert!(
+            ss.mean() > 0.05 && ss.mean() < 0.25,
+            "SS mean = {}",
+            ss.mean()
+        );
     }
 
     #[test]
@@ -558,7 +582,9 @@ mod tests {
         for proto in Protocol::ALL {
             let mut total = 0u64;
             for seed in 0..10u64 {
-                total += run_one(proto, quick_params(), seed).messages.signaling_total();
+                total += run_one(proto, quick_params(), seed)
+                    .messages
+                    .signaling_total();
             }
             per_proto.push((proto, total as f64 / 10.0));
         }
@@ -614,7 +640,10 @@ mod tests {
         }
         assert!(acks > 0, "ACKs must flow for SS+RT");
         // Retransmissions mean strictly more triggers than setup+updates.
-        assert!(triggers > updates + 20, "triggers {triggers} vs updates {updates}");
+        assert!(
+            triggers > updates + 20,
+            "triggers {triggers} vs updates {updates}"
+        );
         // Best-effort SS never sends ACKs.
         let m = run_one(Protocol::Ss, p, 7);
         assert_eq!(m.messages.trigger_ack, 0);
@@ -661,7 +690,11 @@ mod tests {
         }
         assert!(total_false > 0, "false signals must cause removals");
         // Recovery via notification + retrigger keeps inconsistency small.
-        assert!(inconsistency.mean() < 0.02, "mean = {}", inconsistency.mean());
+        assert!(
+            inconsistency.mean() < 0.02,
+            "mean = {}",
+            inconsistency.mean()
+        );
     }
 
     #[test]

@@ -7,10 +7,9 @@
 //! [`TimerMode`] selects which flavour a whole simulation uses.
 
 use crate::rng::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// How timers are drawn in a simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TimerMode {
     /// Deterministic timers — what deployed protocols (RSVP, IGMP, ...) use.
     Deterministic,
@@ -29,7 +28,7 @@ impl TimerMode {
 }
 
 /// A non-negative duration distribution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Dist {
     /// Always exactly this many seconds.
     Deterministic(f64),
@@ -61,7 +60,9 @@ impl Dist {
     pub fn scaled(&self, factor: f64) -> Dist {
         match self {
             Dist::Deterministic(v) => Dist::Deterministic(v * factor),
-            Dist::Exponential { mean } => Dist::Exponential { mean: mean * factor },
+            Dist::Exponential { mean } => Dist::Exponential {
+                mean: mean * factor,
+            },
         }
     }
 }
@@ -92,10 +93,7 @@ mod tests {
 
     #[test]
     fn timer_mode_builds_matching_dist() {
-        assert_eq!(
-            TimerMode::Deterministic.dist(5.0),
-            Dist::Deterministic(5.0)
-        );
+        assert_eq!(TimerMode::Deterministic.dist(5.0), Dist::Deterministic(5.0));
         assert_eq!(
             TimerMode::Exponential.dist(5.0),
             Dist::Exponential { mean: 5.0 }

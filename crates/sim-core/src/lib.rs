@@ -22,7 +22,9 @@
 //!   example binaries.
 //!
 //! The engine is single-threaded; campaigns of independent replications are
-//! parallelized one level up (each replication owns its own `EventQueue`).
+//! parallelized one level up through [`runner::ReplicationEngine`] — the
+//! single implementation of replication fan-out shared by the campaign and
+//! sweep layers (each replication owns its own `EventQueue`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +32,7 @@
 pub mod dist;
 pub mod queue;
 pub mod rng;
+pub mod runner;
 pub mod time;
 pub mod timer;
 pub mod trace;
@@ -37,6 +40,7 @@ pub mod trace;
 pub use dist::{Dist, TimerMode};
 pub use queue::{EventId, EventQueue, ScheduledEvent};
 pub use rng::SimRng;
+pub use runner::{ExecutionPolicy, Replicate, ReplicationEngine};
 pub use time::SimTime;
 pub use timer::Timer;
 pub use trace::{Trace, TraceEntry};

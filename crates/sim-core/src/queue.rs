@@ -56,10 +56,18 @@ impl<E> Ord for Entry<E> {
 /// scheduling order (FIFO), which keeps simulations deterministic.
 ///
 /// Cancellation is lazy: [`EventQueue::cancel`] records the id and the entry
-/// is discarded when it reaches the head of the heap.
+/// is discarded when it reaches the head of the heap.  Tombstones are
+/// bounded: only ids that are actually pending can enter the cancelled set,
+/// and discarding an entry removes its tombstone, so memory stays
+/// proportional to the number of *scheduled* events even over sessions that
+/// pop tens of millions of events.
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Ids scheduled but not yet popped or discarded-as-cancelled.
+    pending: HashSet<EventId>,
+    /// Pending ids whose entries should be discarded instead of delivered.
+    /// Invariant: `cancelled ⊆ pending`'s historical ids still in the heap.
     cancelled: HashSet<EventId>,
     now: SimTime,
     next_id: u64,
@@ -78,6 +86,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         Self {
             heap: BinaryHeap::new(),
+            pending: HashSet::new(),
             cancelled: HashSet::new(),
             now: SimTime::ZERO,
             next_id: 0,
@@ -99,12 +108,19 @@ impl<E> EventQueue<E> {
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.len() <= self.cancelled.len()
+        self.pending.is_empty()
     }
 
     /// Total number of events popped so far.
     pub fn popped_count(&self) -> u64 {
         self.popped
+    }
+
+    /// Number of not-yet-collected cancellation tombstones (diagnostics;
+    /// bounded by the number of entries still in the heap — tombstones are
+    /// freed as their entries are discarded by `pop`/`peek_time`/`clear`).
+    pub fn cancelled_backlog(&self) -> usize {
+        self.cancelled.len()
     }
 
     /// Schedules `event` at the absolute time `time`.
@@ -123,6 +139,7 @@ impl<E> EventQueue<E> {
             id,
             event,
         }));
+        self.pending.insert(id);
         id
     }
 
@@ -133,8 +150,12 @@ impl<E> EventQueue<E> {
 
     /// Cancels a previously scheduled event.  Returns `true` if the event was
     /// still pending (not yet popped and not already cancelled).
+    ///
+    /// Cancelling an id that already fired (or was already cancelled) is a
+    /// no-op: no tombstone is recorded, so repeatedly cancelling stale timer
+    /// ids cannot grow the queue's memory.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_id {
+        if !self.pending.remove(&id) {
             return false;
         }
         self.cancelled.insert(id)
@@ -146,6 +167,7 @@ impl<E> EventQueue<E> {
             if self.cancelled.remove(&entry.id) {
                 continue;
             }
+            self.pending.remove(&entry.id);
             self.now = entry.time;
             self.popped += 1;
             return Some(ScheduledEvent {
@@ -175,6 +197,7 @@ impl<E> EventQueue<E> {
     /// Discards all pending events (the clock is left unchanged).
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.pending.clear();
         self.cancelled.clear();
     }
 }
@@ -222,6 +245,49 @@ mod tests {
     fn cancel_unknown_id_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
         assert!(!q.cancel(EventId(99)));
+        assert_eq!(q.cancelled_backlog(), 0);
+    }
+
+    #[test]
+    fn cancelling_fired_events_leaves_no_tombstones() {
+        // Regression test for unbounded cancelled-set growth: protocols
+        // routinely call `cancel` on timer ids that have already fired.  The
+        // old implementation tombstoned every such id forever; over a
+        // 20M-event session that is an unbounded `HashSet`.  Cancelling a
+        // fired id must be a `false` no-op that records nothing.
+        let mut q = EventQueue::new();
+        let mut stale = Vec::new();
+        for round in 0..1000 {
+            let id = q.schedule_in(1.0, round);
+            let fired = q.pop().unwrap();
+            assert_eq!(fired.id, id);
+            stale.push(id);
+            // A timer restart cancels its previous (already fired) id.
+            for &old in &stale {
+                assert!(!q.cancel(old), "fired id must not be cancellable");
+            }
+            assert_eq!(q.cancelled_backlog(), 0, "tombstone leaked at {round}");
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn tombstones_are_collected_when_entries_are_discarded() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..100).map(|i| q.schedule_in(1.0 + i as f64, i)).collect();
+        for id in &ids[..50] {
+            assert!(q.cancel(*id));
+        }
+        assert_eq!(q.cancelled_backlog(), 50);
+        // Draining the queue discards the cancelled entries and their
+        // tombstones together.
+        let mut delivered = 0;
+        while q.pop().is_some() {
+            delivered += 1;
+        }
+        assert_eq!(delivered, 50);
+        assert_eq!(q.cancelled_backlog(), 0);
+        assert_eq!(q.len(), 0);
     }
 
     #[test]

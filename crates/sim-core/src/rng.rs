@@ -1,7 +1,9 @@
 //! Deterministic random number generation for simulations.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman–Vigna, public
+//! domain) seeded through SplitMix64, so the workspace needs no external RNG
+//! crate and every stream is bit-reproducible across platforms and Rust
+//! versions — a property `StdRng` explicitly does not guarantee.
 
 /// A seedable random number generator with the samplers used by the
 /// signaling simulator.
@@ -9,17 +11,34 @@ use rand::{Rng, RngCore, SeedableRng};
 /// Every simulation replication receives its own `SimRng` derived from a
 /// campaign seed and the replication index, making campaigns reproducible and
 /// embarrassingly parallel.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// One step of the SplitMix64 sequence; used for seeding and stream
+/// derivation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        Self {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        // Expand the seed into four non-degenerate words with SplitMix64, as
+        // the xoshiro authors recommend.
+        let mut s = seed;
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
+        Self { state }
     }
 
     /// Derives a generator for replication `index` of a campaign seeded with
@@ -34,9 +53,30 @@ impl SimRng {
         Self::new(z)
     }
 
+    /// The next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
+    /// The next raw 32-bit output (upper half of [`SimRng::next_u64`]).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
     /// Uniform sample in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high-quality bits → the standard [0, 1) double construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -82,22 +122,19 @@ impl SimRng {
         if n == 0 {
             return 0;
         }
-        self.inner.gen_range(0..n)
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+        // Lemire's multiply-shift bounded sampler with rejection for an
+        // unbiased draw.
+        let n = n as u64;
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let m = (x as u128) * (n as u128);
+                ((m >> 64) as u64, m as u64)
+            };
+            if lo >= n || lo >= n.wrapping_neg() % n {
+                return hi as usize;
+            }
+        }
     }
 }
 
@@ -177,6 +214,32 @@ mod tests {
             assert!(i < 7);
         }
         assert_eq!(rng.index(0), 0);
+    }
+
+    #[test]
+    fn index_covers_all_residues() {
+        let mut rng = SimRng::new(13);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.index(5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn stream_is_stable_across_construction() {
+        // Guards against silent drift of the generator: every recorded
+        // campaign result depends on this exact stream, so cloning or
+        // re-seeding must reproduce it bit for bit.
+        let mut rng = SimRng::new(0);
+        let first: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        let mut again = SimRng::new(0);
+        let repeat: Vec<u64> = (0..8).map(|_| again.next_u64()).collect();
+        assert_eq!(first, repeat);
+        assert!(first.windows(2).any(|w| w[0] != w[1]));
+        let mut cloned = SimRng::new(1);
+        let mut snapshot = cloned.clone();
+        assert_eq!(cloned.next_u64(), snapshot.next_u64());
     }
 
     proptest! {

@@ -6,7 +6,6 @@
 //! counts the quantile converges to the normal value 1.96.
 
 use crate::online::OnlineStats;
-use serde::{Deserialize, Serialize};
 
 /// Two-sided 95% Student-t critical values indexed by degrees of freedom
 /// (1-based; index 0 unused).  Values beyond the table fall back to
@@ -81,7 +80,7 @@ const T99: [f64; 31] = [
 ];
 
 /// Confidence level supported by [`ConfidenceInterval`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Confidence {
     /// 95% two-sided interval (paper default).
     P95,
@@ -129,7 +128,7 @@ impl Confidence {
 }
 
 /// A symmetric confidence interval around a sample mean.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConfidenceInterval {
     /// Sample mean.
     pub mean: f64,
@@ -218,7 +217,11 @@ mod tests {
             assert!(cur <= prev + 1e-9, "df={df}: {cur} > {prev}");
             prev = cur;
         }
-        assert!(approx_eq(Confidence::P95.critical_value(10_000), 1.96, 1e-9));
+        assert!(approx_eq(
+            Confidence::P95.critical_value(10_000),
+            1.96,
+            1e-9
+        ));
     }
 
     #[test]

@@ -14,8 +14,8 @@
 //!   series, the exchange format between experiments, reports and benches;
 //! * [`summary::Summary`] — a compact five-number + moment summary.
 //!
-//! Everything is plain `std` Rust; the only dependency is `serde` so the
-//! experiment results can be serialized to JSON by the facade crate.
+//! Everything is plain `std` Rust with zero external dependencies; the
+//! facade crate renders experiment results to JSON with its own emitter.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

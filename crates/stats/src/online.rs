@@ -5,10 +5,8 @@
 //! when accumulating per-session message counts over thousands of simulated
 //! signaling sessions.
 
-use serde::{Deserialize, Serialize};
-
 /// Streaming accumulator of count, mean, variance, min and max.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -56,13 +54,6 @@ impl OnlineStats {
         for x in iter {
             self.push(x);
         }
-    }
-
-    /// Builds an accumulator from an iterator of samples.
-    pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
-        let mut s = Self::new();
-        s.extend(iter);
-        s
     }
 
     /// Number of samples pushed so far.
@@ -158,6 +149,15 @@ impl OnlineStats {
         self.count += other.count;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    /// Builds an accumulator from an iterator of samples.
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
     }
 }
 

@@ -15,11 +15,10 @@
 
 use crate::ci::Confidence;
 use crate::online::OnlineStats;
-use serde::{Deserialize, Serialize};
 
 /// Accumulates `(length, reward)` pairs from regeneration cycles and
 /// estimates the long-run ratio `E[reward] / E[length]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RatioEstimator {
     n: u64,
     sum_x: f64,
@@ -132,12 +131,7 @@ impl RatioEstimator {
     /// Plain per-cycle-ratio statistics (mean of `Y/X`), exposed so callers
     /// can contrast the biased and unbiased estimators.
     pub fn cycle_ratio_stats(cycles: &[(f64, f64)]) -> OnlineStats {
-        OnlineStats::from_iter(
-            cycles
-                .iter()
-                .filter(|(x, _)| *x > 0.0)
-                .map(|(x, y)| y / x),
-        )
+        OnlineStats::from_iter(cycles.iter().filter(|(x, _)| *x > 0.0).map(|(x, y)| y / x))
     }
 }
 
@@ -224,5 +218,59 @@ mod tests {
             large.push(x, y);
         }
         assert!(large.ci_half_width(Confidence::P95) < small.ci_half_width(Confidence::P95));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn delta_method_ci_contains_the_plain_ratio(
+                cycles in proptest::collection::vec((0.1f64..1e4, 0.0f64..1.0), 2..200),
+            ) {
+                // Random positive cycles with rewards a random fraction of
+                // each length.  The delta-method interval must be centred on
+                // the plain aggregate ratio ΣY/ΣX (computed independently
+                // here), have a finite nonnegative half-width, and the
+                // estimate must sit inside the per-cycle min/max envelope.
+                let mut est = RatioEstimator::new();
+                let mut sum_x = 0.0;
+                let mut sum_y = 0.0;
+                for &(x, frac) in &cycles {
+                    let y = frac * x;
+                    est.push(x, y);
+                    sum_x += x;
+                    sum_y += y;
+                }
+                let plain = sum_y / sum_x;
+                let hw = est.ci_half_width(Confidence::P95);
+                prop_assert!(hw.is_finite() && hw >= 0.0);
+                prop_assert!(est.ratio() - hw <= plain + 1e-12);
+                prop_assert!(plain - 1e-12 <= est.ratio() + hw);
+                prop_assert!((est.ratio() - plain).abs() <= 1e-9 * plain.max(1.0));
+                let lo = est.min_cycle_ratio().unwrap();
+                let hi = est.max_cycle_ratio().unwrap();
+                prop_assert!(lo - 1e-12 <= est.ratio() && est.ratio() <= hi + 1e-12);
+            }
+
+            #[test]
+            fn std_error_is_scale_invariant_in_time_units(
+                cycles in proptest::collection::vec((0.1f64..1e3, 0.0f64..1.0), 2..100),
+                scale in 0.1f64..100.0,
+            ) {
+                // Measuring the same sessions in different time units must
+                // not change the (dimensionless) ratio or its CI.
+                let mut a = RatioEstimator::new();
+                let mut b = RatioEstimator::new();
+                for &(x, frac) in &cycles {
+                    a.push(x, frac * x);
+                    b.push(scale * x, scale * frac * x);
+                }
+                prop_assert!((a.ratio() - b.ratio()).abs() <= 1e-9);
+                let (ha, hb) = (a.ci_half_width(Confidence::P95), b.ci_half_width(Confidence::P95));
+                prop_assert!((ha - hb).abs() <= 1e-9 * ha.max(1.0));
+            }
+        }
     }
 }

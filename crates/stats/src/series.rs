@@ -7,11 +7,10 @@
 //! of the paper's figures (orderings, crossovers, monotonicity).
 
 use crate::ci::ConfidenceInterval;
-use serde::{Deserialize, Serialize};
 
 /// A single data point: x value, y value, and an optional error half-width
 /// (simulation points carry 95% confidence half-widths).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point {
     /// Independent variable (timer value, loss rate, session length, ...).
     pub x: f64,
@@ -47,7 +46,7 @@ impl Point {
 }
 
 /// A named sequence of points, e.g. the SS curve of Figure 4(a).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Label of the series (typically the protocol name).
     pub label: String,
@@ -166,7 +165,7 @@ fn x_close(a: f64, b: f64) -> bool {
 }
 
 /// A collection of series sharing the same x axis, i.e. one paper sub-figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SeriesSet {
     /// Title of the figure (e.g. `"Fig 4(a): inconsistency vs lifetime"`).
     pub title: String,
@@ -221,10 +220,7 @@ impl SeriesSet {
         xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x values"));
         let mut grid: Vec<f64> = Vec::with_capacity(xs.len());
         for x in xs {
-            if grid
-                .last()
-                .map_or(true, |last| !x_close(*last, x))
-            {
+            if grid.last().is_none_or(|last| !x_close(*last, x)) {
                 grid.push(x);
             }
         }
@@ -347,7 +343,10 @@ mod tests {
     fn series_set_table_and_csv() {
         let mut set = SeriesSet::new("Fig X", "timer (s)", "inconsistency");
         set.push(sample_series());
-        set.push(Series::from_xy("HS", [(1.0, 0.05), (2.0, 0.04), (3.0, 0.03)]));
+        set.push(Series::from_xy(
+            "HS",
+            [(1.0, 0.05), (2.0, 0.04), (3.0, 0.03)],
+        ));
         let table = set.to_table();
         assert!(table.contains("Fig X"));
         assert!(table.contains("SS"));

@@ -2,14 +2,13 @@
 
 use crate::ci::{Confidence, ConfidenceInterval};
 use crate::online::OnlineStats;
-use serde::{Deserialize, Serialize};
 
 /// A compact description of a set of samples: count, moments, extrema and a
 /// 95% confidence interval on the mean.
 ///
 /// Used by simulation campaigns to report per-metric results (inconsistency
 /// ratio, message rate, receiver-side lifetime, ...).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub count: u64,

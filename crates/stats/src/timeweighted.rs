@@ -7,14 +7,12 @@
 //! message is delivered, a timer fires, or the sender updates its state.
 //! [`TimeWeighted`] integrates such a signal over simulated time.
 
-use serde::{Deserialize, Serialize};
-
 /// Integrates a piecewise-constant real-valued signal over time.
 ///
 /// The accumulator is fed `(time, new_value)` change points; between change
 /// points the signal is assumed to hold its previous value.  Querying the
 /// time-average at time `t` integrates up to `t`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimeWeighted {
     start: f64,
     last_time: f64,
@@ -141,7 +139,7 @@ mod tests {
         tw.set_bool(2.0, false); // inconsistent for [0,2)
         tw.set_bool(5.0, true); // consistent for [2,5)
         tw.set_bool(6.0, false); // inconsistent for [5,6)
-        // until t=10: positive on [0,2) and [5,6) => 3 out of 10
+                                 // until t=10: positive on [0,2) and [5,6) => 3 out of 10
         assert!(approx_eq(tw.average_until(10.0), 0.3, 1e-12));
         assert!(approx_eq(tw.positive_fraction_until(10.0), 0.3, 1e-12));
         assert_eq!(tw.change_count(), 3);

@@ -14,4 +14,4 @@ pub mod scenario;
 pub mod sweep;
 
 pub use scenario::{MultiHopScenario, SingleHopScenario};
-pub use sweep::{log_space, linear_space, Sweep};
+pub use sweep::{linear_space, log_space, Sweep};

@@ -1,10 +1,9 @@
 //! Named application scenarios.
 
 use siganalytic::{MultiHopParams, SingleHopParams};
-use serde::{Deserialize, Serialize};
 
 /// A named single-hop application scenario with its parameter set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SingleHopScenario {
     /// A Kazaa peer registers its shared-file list at a supernode; the
     /// state value is the file list, updates are new downloads, removal is
@@ -80,7 +79,7 @@ impl SingleHopScenario {
 }
 
 /// A named multi-hop application scenario.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MultiHopScenario {
     /// RSVP-style bandwidth reservation along a 20-hop path — the paper's
     /// multi-hop evaluation setting.
@@ -138,7 +137,9 @@ mod tests {
     #[test]
     fn all_single_hop_scenarios_are_valid() {
         for s in SingleHopScenario::ALL {
-            s.params().validate().unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+            s.params()
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
             assert!(s.inconsistency_weight() > 0.0);
             assert!(!s.name().is_empty());
         }
@@ -147,7 +148,9 @@ mod tests {
     #[test]
     fn all_multi_hop_scenarios_are_valid() {
         for s in MultiHopScenario::ALL {
-            s.params().validate().unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+            s.params()
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
             assert!(!s.name().is_empty());
         }
     }

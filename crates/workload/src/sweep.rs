@@ -6,8 +6,6 @@
 //! [`Sweep`] captures that pattern once, so the experiment code and the
 //! benches sweep exactly the same grids.
 
-use serde::{Deserialize, Serialize};
-
 /// `n` logarithmically spaced values between `lo` and `hi` (inclusive).
 ///
 /// # Panics
@@ -33,7 +31,7 @@ pub fn linear_space(lo: f64, hi: f64, n: usize) -> Vec<f64> {
 }
 
 /// A named sweep over one independent variable.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sweep {
     /// Name of the swept parameter, used as the x-axis label.
     pub parameter: String,

@@ -12,9 +12,7 @@
 //! ```
 
 use hs_ss_signaling_repro::percent;
-use signaling::{
-    MultiHopCampaign, MultiHopModel, MultiHopScenario, MultiHopSimConfig, Protocol,
-};
+use signaling::{MultiHopCampaign, MultiHopModel, MultiHopScenario, MultiHopSimConfig, Protocol};
 
 fn main() {
     let scenario = MultiHopScenario::BandwidthReservation;

@@ -8,7 +8,7 @@
 //! ```
 
 use signaling::{
-    Campaign, Protocol, SessionConfig, SingleHopModel, SingleHopParams, SingleHopSession, SimRng,
+    Campaign, Protocol, SessionConfig, SimRng, SingleHopModel, SingleHopParams, SingleHopSession,
 };
 
 fn main() {
@@ -74,7 +74,9 @@ fn main() {
     println!("\nFirst 12 events of one simulated SS+ER session:");
     let cfg = SessionConfig::deterministic(
         Protocol::SsEr,
-        params.with_mean_lifetime(60.0).with_mean_update_interval(20.0),
+        params
+            .with_mean_lifetime(60.0)
+            .with_mean_update_interval(20.0),
     );
     let mut rng = SimRng::new(3);
     let (metrics, trace) = SingleHopSession::run_traced(&cfg, &mut rng, 10_000);

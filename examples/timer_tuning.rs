@@ -41,8 +41,10 @@ fn main() {
     let weights = CostWeights::default();
     let sweep = Sweep::refresh_timer();
 
-    println!("Cost-optimal refresh timer (tau = 3T) for the Kazaa workload, w = {}:",
-        weights.inconsistency_weight);
+    println!(
+        "Cost-optimal refresh timer (tau = 3T) for the Kazaa workload, w = {}:",
+        weights.inconsistency_weight
+    );
     println!(
         "{:<8} {:>18} {:>14}",
         "protocol", "best T (seconds)", "cost at best T"
@@ -68,7 +70,12 @@ fn main() {
         "{:<8} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "tau/T", "1.0", "2.0", "3.0", "5.0", "10.0"
     );
-    for protocol in [Protocol::Ss, Protocol::SsEr, Protocol::SsRt, Protocol::SsRtr] {
+    for protocol in [
+        Protocol::Ss,
+        Protocol::SsEr,
+        Protocol::SsRt,
+        Protocol::SsRtr,
+    ] {
         print!("{:<8}", protocol.label());
         for ratio in [1.0f64, 2.0, 3.0, 5.0, 10.0] {
             let mut params = base;

@@ -86,8 +86,16 @@ fn protocol_ranking_is_preserved_by_the_simulator() {
             .simulated_message_rate
             .mean
     };
-    for p in [Protocol::Ss, Protocol::SsEr, Protocol::SsRt, Protocol::SsRtr] {
-        assert!(sim_m(Protocol::Hs) < sim_m(p), "HS should be cheaper than {p}");
+    for p in [
+        Protocol::Ss,
+        Protocol::SsEr,
+        Protocol::SsRt,
+        Protocol::SsRtr,
+    ] {
+        assert!(
+            sim_m(Protocol::Hs) < sim_m(p),
+            "HS should be cheaper than {p}"
+        );
     }
 }
 
@@ -115,7 +123,10 @@ fn loss_sensitivity_matches_between_model_and_simulation() {
     for eval in [model as fn(Protocol, SingleHopParams) -> f64, sim] {
         let ss_increase = eval(Protocol::Ss, lossy) - eval(Protocol::Ss, clean);
         let rtr_increase = eval(Protocol::SsRtr, lossy) - eval(Protocol::SsRtr, clean);
-        assert!(ss_increase > 0.0, "loss must hurt SS (increase {ss_increase})");
+        assert!(
+            ss_increase > 0.0,
+            "loss must hurt SS (increase {ss_increase})"
+        );
         assert!(rtr_increase >= 0.0, "loss must not help SS+RTR");
         assert!(
             ss_increase > rtr_increase,

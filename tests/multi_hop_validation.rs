@@ -5,9 +5,7 @@
 //! for the single-hop agreement tests (the analytic chain treats consistency
 //! as a prefix property and approximates timeout cascades).
 
-use signaling::{
-    MultiHopCampaign, MultiHopModel, MultiHopParams, MultiHopSimConfig, Protocol,
-};
+use signaling::{MultiHopCampaign, MultiHopModel, MultiHopParams, MultiHopSimConfig, Protocol};
 
 fn params(hops: usize) -> MultiHopParams {
     MultiHopParams::reservation_defaults().with_hops(hops)
@@ -70,7 +68,12 @@ fn protocol_ordering_agrees_between_model_and_simulation() {
                 .expect("solvable")
                 .inconsistency,
         ));
-        sim_i.push((protocol, simulate(protocol, params(12), 29).end_to_end_inconsistency.mean));
+        sim_i.push((
+            protocol,
+            simulate(protocol, params(12), 29)
+                .end_to_end_inconsistency
+                .mean,
+        ));
     }
     let rank = |rows: &[(Protocol, f64)], p: Protocol| {
         rows.iter().find(|(q, _)| *q == p).expect("present").1

@@ -27,7 +27,12 @@ fn every_experiment_produces_output() {
             for s in &fig.series {
                 assert!(!s.is_empty(), "{}/{}", id.name(), s.label);
                 for p in &s.points {
-                    assert!(p.x.is_finite() && p.y.is_finite(), "{}/{}", id.name(), s.label);
+                    assert!(
+                        p.x.is_finite() && p.y.is_finite(),
+                        "{}/{}",
+                        id.name(),
+                        s.label
+                    );
                 }
             }
         }
@@ -47,7 +52,13 @@ fn claim_explicit_removal_improves_consistency_cheaply() {
     let er_m = overhead.get("SS+ER").unwrap();
     // Substantial consistency improvement at every session length…
     for (ss, er) in ss_i.points.iter().zip(er_i.points.iter()) {
-        assert!(er.y < 0.75 * ss.y, "at lifetime {}: {} vs {}", ss.x, er.y, ss.y);
+        assert!(
+            er.y < 0.75 * ss.y,
+            "at lifetime {}: {} vs {}",
+            ss.x,
+            er.y,
+            ss.y
+        );
     }
     // …at ≤5% extra overhead for sessions of 100 s and longer.
     for (ss, er) in ss_m.points.iter().zip(er_m.points.iter()) {
@@ -100,9 +111,12 @@ fn claim_reliable_triggers_matter_mainly_for_long_sessions() {
     let ss_er = fig.get("SS+ER").unwrap();
     let first = 0; // shortest session
     let last = ss.points.len() - 1; // longest session
-    // Short sessions: SS ≈ SS+RT (removal dominates), both far above SS+ER.
+                                    // Short sessions: SS ≈ SS+RT (removal dominates), both far above SS+ER.
     let rel_short = (ss.points[first].y - ss_rt.points[first].y).abs() / ss.points[first].y;
-    assert!(rel_short < 0.25, "short sessions: SS vs SS+RT differ by {rel_short}");
+    assert!(
+        rel_short < 0.25,
+        "short sessions: SS vs SS+RT differ by {rel_short}"
+    );
     assert!(ss.points[first].y > 3.0 * ss_er.points[first].y);
     // Long sessions: reliable triggers separate SS+RT from SS clearly.
     assert!(ss_rt.points[last].y < 0.8 * ss.points[last].y);

@@ -4,21 +4,21 @@
 
 use proptest::prelude::*;
 use signaling::{
-    MultiHopModel, MultiHopParams, Protocol, SessionConfig, SingleHopModel, SingleHopParams,
-    SingleHopSession, SimRng, TimerMode,
+    MultiHopModel, MultiHopParams, Protocol, SessionConfig, SimRng, SingleHopModel,
+    SingleHopParams, SingleHopSession, TimerMode,
 };
 
 /// Strategy over reasonable single-hop parameter sets.
 fn single_hop_params() -> impl Strategy<Value = SingleHopParams> {
     (
-        0.0f64..0.5,        // loss
-        0.005f64..0.5,      // delay
-        5.0f64..500.0,      // mean update interval
-        20.0f64..5000.0,    // mean lifetime
-        0.5f64..60.0,       // refresh timer
-        1.1f64..5.0,        // timeout / refresh ratio
-        1.0f64..4.0,        // retrans / delay ratio
-        0.0f64..1e-3,       // false signal rate
+        0.0f64..0.5,     // loss
+        0.005f64..0.5,   // delay
+        5.0f64..500.0,   // mean update interval
+        20.0f64..5000.0, // mean lifetime
+        0.5f64..60.0,    // refresh timer
+        1.1f64..5.0,     // timeout / refresh ratio
+        1.0f64..4.0,     // retrans / delay ratio
+        0.0f64..1e-3,    // false signal rate
     )
         .prop_map(
             |(loss, delay, update, lifetime, refresh, tau_ratio, r_ratio, false_rate)| {
@@ -160,7 +160,11 @@ fn timer_mode_changes_little_at_the_paper_defaults() {
                 delay_mode: TimerMode::Deterministic,
                 loss_model: None,
             };
-            signaling::Campaign::new(cfg, 200, 9).parallel(true).run().inconsistency.mean
+            signaling::Campaign::new(cfg, 200, 9)
+                .parallel(true)
+                .run()
+                .inconsistency
+                .mean
         };
         let det = run(TimerMode::Deterministic);
         let exp = run(TimerMode::Exponential);
