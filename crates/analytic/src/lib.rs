@@ -38,5 +38,5 @@ pub mod single_hop;
 
 pub use cost::{integrated_cost, CostWeights};
 pub use multi_hop::{solve_all_multi_hop, MultiHopModel, MultiHopSolution};
-pub use params::{MultiHopParams, Protocol, SingleHopParams};
+pub use params::{ConfigError, MultiHopParams, Protocol, SingleHopParams};
 pub use single_hop::{solve_all, MessageRates, ModelError, SingleHopModel, SingleHopSolution};

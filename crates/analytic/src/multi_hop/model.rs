@@ -120,10 +120,14 @@ impl MultiHopModel {
         let fully = MultiHopState::fast(k);
         let inconsistency = 1.0 - stationary.get(&fully).copied().unwrap_or(0.0);
 
+        // Summed in state-index order (not HashMap order), so repeated
+        // solves produce bit-identical floating-point results.
         let per_hop_inconsistency = (1..=k)
             .map(|hop| {
-                let consistent_mass: f64 = stationary
+                let consistent_mass: f64 = builder
+                    .labels()
                     .iter()
+                    .zip(pi.iter())
                     .filter(|(s, _)| s.hop_is_consistent(hop))
                     .map(|(_, p)| *p)
                     .sum();

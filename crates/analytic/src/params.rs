@@ -2,6 +2,85 @@
 
 use std::fmt;
 
+/// A typed description of why a parameter set (or a simulation configuration
+/// built from one) is invalid.
+///
+/// Every `validate` method in the workspace returns this enum instead of a
+/// formatted string, so callers can match on the failure instead of parsing
+/// prose.  The [`fmt::Display`] rendering keeps the exact wording the old
+/// stringly-typed errors used.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// The loss probability `p_l` is outside `[0, 1]`.
+    LossOutOfRange(f64),
+    /// The (per-hop) channel delay is not positive.
+    NonPositiveDelay {
+        /// Whether the delay is the multi-hop model's per-hop delay.
+        per_hop: bool,
+    },
+    /// The single-hop update rate is negative (zero is allowed: a session
+    /// with no updates).
+    NegativeUpdateRate,
+    /// The multi-hop update rate is not positive (the stationary update
+    /// process needs updates).
+    NonPositiveUpdateRate,
+    /// The removal rate is not positive (sessions must be finite).
+    NonPositiveRemovalRate,
+    /// One of the refresh / state-timeout / retransmission timers is not
+    /// positive.
+    NonPositiveTimers,
+    /// The external false-signal rate is negative.
+    NegativeFalseSignalRate,
+    /// The multi-hop model was given zero hops.
+    ZeroHops,
+    /// A loss-model override has a mean loss outside `[0, 1]`.
+    LossModelMeanOutOfRange(f64),
+    /// A simulation horizon is not positive.
+    NonPositiveHorizon,
+    /// A scenario's inconsistency weight is not positive.
+    NonPositiveWeight(f64),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::LossOutOfRange(p) => {
+                write!(f, "loss probability {p} outside [0, 1]")
+            }
+            ConfigError::NonPositiveDelay { per_hop: false } => {
+                write!(f, "channel delay must be positive")
+            }
+            ConfigError::NonPositiveDelay { per_hop: true } => {
+                write!(f, "per-hop delay must be positive")
+            }
+            ConfigError::NegativeUpdateRate => write!(f, "update rate must be non-negative"),
+            ConfigError::NonPositiveUpdateRate => {
+                write!(
+                    f,
+                    "update rate must be positive (stationary update process)"
+                )
+            }
+            ConfigError::NonPositiveRemovalRate => {
+                write!(f, "removal rate must be positive (finite sessions)")
+            }
+            ConfigError::NonPositiveTimers => write!(f, "timers must be positive"),
+            ConfigError::NegativeFalseSignalRate => {
+                write!(f, "false signal rate must be non-negative")
+            }
+            ConfigError::ZeroHops => write!(f, "multi-hop model needs at least one hop"),
+            ConfigError::LossModelMeanOutOfRange(p) => {
+                write!(f, "loss model mean {p} outside [0, 1]")
+            }
+            ConfigError::NonPositiveHorizon => write!(f, "simulation horizon must be positive"),
+            ConfigError::NonPositiveWeight(w) => {
+                write!(f, "inconsistency weight {w} must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// The five signaling protocols studied by the paper (Section II).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Protocol {
@@ -185,26 +264,25 @@ impl SingleHopParams {
         self.loss.max(0.0).powf(exponent) / self.timeout_timer
     }
 
-    /// Validates the parameter set, returning a description of the first
-    /// problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates the parameter set, returning the first problem found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !(0.0..=1.0).contains(&self.loss) {
-            return Err(format!("loss probability {} outside [0, 1]", self.loss));
+            return Err(ConfigError::LossOutOfRange(self.loss));
         }
         if self.delay <= 0.0 {
-            return Err("channel delay must be positive".into());
+            return Err(ConfigError::NonPositiveDelay { per_hop: false });
         }
         if self.update_rate < 0.0 {
-            return Err("update rate must be non-negative".into());
+            return Err(ConfigError::NegativeUpdateRate);
         }
         if self.removal_rate <= 0.0 {
-            return Err("removal rate must be positive (finite sessions)".into());
+            return Err(ConfigError::NonPositiveRemovalRate);
         }
         if self.refresh_timer <= 0.0 || self.timeout_timer <= 0.0 || self.retrans_timer <= 0.0 {
-            return Err("timers must be positive".into());
+            return Err(ConfigError::NonPositiveTimers);
         }
         if self.false_signal_rate < 0.0 {
-            return Err("false signal rate must be non-negative".into());
+            return Err(ConfigError::NegativeFalseSignalRate);
         }
         Ok(())
     }
@@ -280,24 +358,24 @@ impl MultiHopParams {
     }
 
     /// Validates the parameter set.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.hops == 0 {
-            return Err("multi-hop model needs at least one hop".into());
+            return Err(ConfigError::ZeroHops);
         }
         if !(0.0..=1.0).contains(&self.loss) {
-            return Err(format!("loss probability {} outside [0, 1]", self.loss));
+            return Err(ConfigError::LossOutOfRange(self.loss));
         }
         if self.delay <= 0.0 {
-            return Err("per-hop delay must be positive".into());
+            return Err(ConfigError::NonPositiveDelay { per_hop: true });
         }
         if self.update_rate <= 0.0 {
-            return Err("update rate must be positive (stationary update process)".into());
+            return Err(ConfigError::NonPositiveUpdateRate);
         }
         if self.refresh_timer <= 0.0 || self.timeout_timer <= 0.0 || self.retrans_timer <= 0.0 {
-            return Err("timers must be positive".into());
+            return Err(ConfigError::NonPositiveTimers);
         }
         if self.false_signal_rate < 0.0 {
-            return Err("false signal rate must be non-negative".into());
+            return Err(ConfigError::NegativeFalseSignalRate);
         }
         Ok(())
     }
@@ -391,22 +469,47 @@ mod tests {
             loss: 1.5,
             ..Default::default()
         };
-        assert!(p.validate().is_err());
+        assert_eq!(p.validate(), Err(ConfigError::LossOutOfRange(1.5)));
         let p = SingleHopParams {
             delay: 0.0,
             ..Default::default()
         };
-        assert!(p.validate().is_err());
+        assert_eq!(
+            p.validate(),
+            Err(ConfigError::NonPositiveDelay { per_hop: false })
+        );
         let p = SingleHopParams {
             removal_rate: 0.0,
             ..Default::default()
         };
-        assert!(p.validate().is_err());
+        assert_eq!(p.validate(), Err(ConfigError::NonPositiveRemovalRate));
         let p = SingleHopParams {
             refresh_timer: -1.0,
             ..Default::default()
         };
-        assert!(p.validate().is_err());
+        assert_eq!(p.validate(), Err(ConfigError::NonPositiveTimers));
+    }
+
+    #[test]
+    fn config_errors_render_and_implement_error() {
+        let e: Box<dyn std::error::Error> = Box::new(ConfigError::LossOutOfRange(1.5));
+        assert_eq!(e.to_string(), "loss probability 1.5 outside [0, 1]");
+        assert_eq!(
+            ConfigError::NonPositiveDelay { per_hop: true }.to_string(),
+            "per-hop delay must be positive"
+        );
+        assert_eq!(
+            ConfigError::NonPositiveDelay { per_hop: false }.to_string(),
+            "channel delay must be positive"
+        );
+        assert_eq!(
+            ConfigError::ZeroHops.to_string(),
+            "multi-hop model needs at least one hop"
+        );
+        assert_eq!(
+            ConfigError::NonPositiveHorizon.to_string(),
+            "simulation horizon must be positive"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use super::metrics::MessageRates;
 use super::states::SingleHopState;
 use super::transitions::{protocol_transitions, RateTable};
-use crate::params::{Protocol, SingleHopParams};
+use crate::params::{ConfigError, Protocol, SingleHopParams};
 use ctmc::{CtmcBuilder, CtmcError};
 use std::collections::HashMap;
 use std::fmt;
@@ -12,7 +12,7 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum ModelError {
     /// The parameter set failed validation.
-    InvalidParams(String),
+    InvalidParams(ConfigError),
     /// The underlying Markov-chain machinery failed (singular system, ...).
     Chain(CtmcError),
 }

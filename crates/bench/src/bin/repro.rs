@@ -1,23 +1,32 @@
-//! `repro` — regenerate every table and figure of the paper's evaluation.
+//! `repro` — regenerate every table and figure of the paper's evaluation,
+//! plus any extra experiments registered with the open registry.
 //!
 //! Usage:
 //!
 //! ```text
-//! repro                 # regenerate everything with default options
+//! repro                 # regenerate everything in the registry
 //! repro --quick         # smaller simulation campaigns
-//! repro --fig fig4a     # one experiment only (repeat --fig for several)
+//! repro --fig fig4a     # one experiment by name (repeat --fig for several)
+//! repro --tag paper     # every experiment carrying a tag (repeatable)
 //! repro --csv DIR       # additionally write one CSV file per figure to DIR
-//! repro --list          # list the available experiment ids
+//! repro --list          # list the registered experiments (name, tags, description)
+//! repro --list-md       # the same listing as a markdown table (EXPERIMENTS.md)
 //! repro --serial        # disable the multi-core sweep fan-out
 //! repro --jobs N        # fan simulation sweeps out across N threads
 //! ```
+//!
+//! Experiments are resolved by name through [`sigbench::extended_registry`]:
+//! the paper's 22 tables/figures (tag `paper`) plus the scenario experiments
+//! the bench crate registers at startup (tag `extra`) — the latter are
+//! user-level compositions, proof that new experiments need no core changes.
 //!
 //! Simulation experiments (Figures 11–12) fan their sweeps out across all
 //! CPUs by default; `--serial` / `--jobs` control the `ExecutionPolicy` and
 //! the closing line reports the wall-clock, so a serial-vs-parallel speedup
 //! is one `time`-free A/B away.
 
-use signaling::experiment::{ExperimentId, ExperimentOptions, ExperimentOutput};
+use signaling::experiment::{ExperimentOptions, ExperimentOutput};
+use signaling::registry::{Experiment, Registry};
 use signaling::report::render_csv;
 use signaling::ExecutionPolicy;
 use std::path::PathBuf;
@@ -25,18 +34,22 @@ use std::time::Instant;
 
 struct Args {
     quick: bool,
-    figs: Vec<ExperimentId>,
+    names: Vec<String>,
+    tags: Vec<String>,
     csv_dir: Option<PathBuf>,
     list: bool,
+    list_md: bool,
     execution: ExecutionPolicy,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
-        figs: Vec::new(),
+        names: Vec::new(),
+        tags: Vec::new(),
         csv_dir: None,
         list: false,
+        list_md: false,
         execution: ExecutionPolicy::auto(),
     };
     let mut it = std::env::args().skip(1);
@@ -44,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--quick" => args.quick = true,
             "--list" => args.list = true,
+            "--list-md" => args.list_md = true,
             "--serial" => args.execution = ExecutionPolicy::Serial,
             "--jobs" => {
                 let n = it.next().ok_or("--jobs needs a thread count")?;
@@ -52,11 +66,13 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| format!("--jobs needs an integer, got '{n}'"))?;
                 args.execution = ExecutionPolicy::threads(n);
             }
-            "--fig" => {
-                let name = it.next().ok_or("--fig needs an experiment id")?;
-                let id = ExperimentId::parse(&name)
-                    .ok_or_else(|| format!("unknown experiment id '{name}' (try --list)"))?;
-                args.figs.push(id);
+            "--fig" | "--exp" => {
+                let name = it.next().ok_or("--fig needs an experiment name")?;
+                args.names.push(name);
+            }
+            "--tag" => {
+                let tag = it.next().ok_or("--tag needs a tag")?;
+                args.tags.push(tag);
             }
             "--csv" => {
                 let dir = it.next().ok_or("--csv needs a directory")?;
@@ -64,8 +80,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "repro [--quick] [--fig ID]... [--csv DIR] [--list] [--serial | --jobs N]\n\
-                     Regenerates the paper's tables and figures."
+                    "repro [--quick] [--fig NAME]... [--tag TAG]... [--csv DIR] \
+                     [--list | --list-md] [--serial | --jobs N]\n\
+                     Regenerates the paper's tables and figures and any registered extras."
                 );
                 std::process::exit(0);
             }
@@ -73,6 +90,33 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Resolves the CLI selection to experiments, in registry order for tag/all
+/// selections and in argument order for `--fig`.
+fn select<'r>(registry: &'r Registry, args: &Args) -> Result<Vec<&'r dyn Experiment>, String> {
+    let mut selected: Vec<&dyn Experiment> = Vec::new();
+    for name in &args.names {
+        let exp = registry
+            .get(name)
+            .ok_or_else(|| format!("unknown experiment '{name}' (try --list)"))?;
+        selected.push(exp);
+    }
+    for tag in &args.tags {
+        let matched = registry.with_tag(tag);
+        if matched.is_empty() {
+            return Err(format!("no experiment carries tag '{tag}' (try --list)"));
+        }
+        for exp in matched {
+            if !selected.iter().any(|e| e.name() == exp.name()) {
+                selected.push(exp);
+            }
+        }
+    }
+    if args.names.is_empty() && args.tags.is_empty() {
+        selected = registry.iter().collect();
+    }
+    Ok(selected)
 }
 
 fn main() {
@@ -84,9 +128,20 @@ fn main() {
         }
     };
 
-    if args.list {
-        for id in ExperimentId::ALL {
-            println!("{:<8} {}", id.name(), id.description());
+    let registry = sigbench::extended_registry();
+
+    if args.list || args.list_md {
+        if args.list_md {
+            println!("| name | tags | description |");
+            println!("| --- | --- | --- |");
+        }
+        for exp in registry.iter() {
+            let tags = exp.tags().join(", ");
+            if args.list_md {
+                println!("| `{}` | {} | {} |", exp.name(), tags, exp.description());
+            } else {
+                println!("{:<20} [{}] {}", exp.name(), tags, exp.description());
+            }
         }
         return;
     }
@@ -97,10 +152,13 @@ fn main() {
         ExperimentOptions::default()
     }
     .with_execution(args.execution);
-    let ids: Vec<ExperimentId> = if args.figs.is_empty() {
-        ExperimentId::ALL.to_vec()
-    } else {
-        args.figs.clone()
+
+    let selected = match select(&registry, &args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
     };
 
     if let Some(dir) = &args.csv_dir {
@@ -111,19 +169,19 @@ fn main() {
     }
 
     let start = Instant::now();
-    for id in &ids {
+    for exp in &selected {
         // Run each experiment once and derive both renderings from it (the
         // simulation experiments are far too expensive to run twice).
-        let output = id.run_with(&options);
+        let output = exp.run(&options);
         print!(
             "== {} — {} ==\n{}\n",
-            id.name(),
-            id.description(),
+            exp.name(),
+            exp.description(),
             output.to_text()
         );
         if let Some(dir) = &args.csv_dir {
             if let ExperimentOutput::Figure(fig) = &output {
-                let path = dir.join(format!("{}.csv", id.name()));
+                let path = dir.join(format!("{}.csv", exp.name()));
                 if let Err(e) = std::fs::write(&path, render_csv(fig)) {
                     eprintln!("error: cannot write {}: {e}", path.display());
                     std::process::exit(1);
@@ -137,7 +195,7 @@ fn main() {
     };
     eprintln!(
         "repro: {} experiment(s) in {:.2} s ({policy})",
-        ids.len(),
+        selected.len(),
         start.elapsed().as_secs_f64()
     );
 }

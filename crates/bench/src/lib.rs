@@ -5,9 +5,22 @@
 //! reproduction log) and then times the computation that produces it.  The
 //! `repro` binary in `src/bin/` regenerates everything at once and is what
 //! `EXPERIMENTS.md` is derived from.
+//!
+//! This crate is also the proof that the experiment registry is open: the
+//! extra experiments in [`register_extras`] — two declarative
+//! [`ExperimentSpec`] figures over the new DNS/BGP scenarios and one
+//! hand-written [`Experiment`] implementation sweeping *across* scenarios —
+//! are composed entirely out of `signaling`'s public API, without touching
+//! any core source.
 
 use signaling::experiment::{ExperimentId, ExperimentOptions};
+use signaling::registry::{
+    Experiment, ExperimentSpec, Registry, RegistryError, SpecKind, SweepTarget,
+};
 use signaling::report::run_and_render;
+use signaling::{
+    ExperimentOutput, Metric, Point, Protocol, Scenario, Series, SeriesSet, SingleHopModel, Sweep,
+};
 
 /// Options used by the benches: small simulation campaigns so `cargo bench`
 /// stays fast; the `repro` binary uses the full defaults instead.
@@ -17,13 +30,101 @@ pub fn bench_options() -> ExperimentOptions {
 
 /// Prints one experiment's regenerated data to stdout (the bench log).
 pub fn print_experiment(id: ExperimentId) {
-    print!("{}", run_and_render(id, &bench_options()));
+    print!("{}", run_and_render(&id, &bench_options()));
 }
 
 /// Prints several experiments.
 pub fn print_experiments(ids: &[ExperimentId]) {
     for id in ids {
         print_experiment(*id);
+    }
+}
+
+/// The registry the `repro` binary runs against: the paper's 22 built-ins
+/// plus the extra scenario experiments from [`register_extras`].
+pub fn extended_registry() -> Registry {
+    let mut registry = Registry::with_builtins();
+    register_extras(&mut registry).expect("extra experiment names are unique");
+    registry
+}
+
+/// Registers the non-paper experiments.  Every entry here is user-level
+/// composition: declarative [`ExperimentSpec`]s and a hand-written
+/// [`Experiment`] type, all built on public API only.
+pub fn register_extras(registry: &mut Registry) -> Result<(), RegistryError> {
+    registry.register(
+        ExperimentSpec::new(
+            "dns-lease-cost",
+            "DNS cache lease: integrated cost vs re-resolution (refresh) timer",
+        )
+        .scenario(Scenario::dns_cache_lease())
+        .sweep(Sweep::refresh_timer(), SweepTarget::RefreshTimer)
+        .kind(SpecKind::IntegratedCost)
+        .tag("extra")
+        .tag("scenario")
+        .tag("analytic"),
+    )?;
+    registry.register(
+        ExperimentSpec::new(
+            "bgp-keepalive-loss",
+            "BGP session keepalive: inconsistency vs channel loss rate",
+        )
+        .scenario(Scenario::bgp_session_keepalive())
+        .protocols(&[Protocol::Ss, Protocol::SsRt, Protocol::Hs])
+        .sweep(Sweep::loss_rate(), SweepTarget::LossRate)
+        .metric(Metric::Inconsistency)
+        .tag("extra")
+        .tag("scenario")
+        .tag("analytic"),
+    )?;
+    registry.register(ScenarioCostSweep)?;
+    Ok(())
+}
+
+/// A scenario-sweep experiment: the integrated cost of pure soft state as a
+/// function of the refresh timer, one series per *built-in scenario* — the
+/// cross-scenario view no single paper figure provides.
+///
+/// Implemented by hand (not via [`ExperimentSpec`]) to exercise the open
+/// [`Experiment`] trait end to end.
+pub struct ScenarioCostSweep;
+
+impl Experiment for ScenarioCostSweep {
+    fn name(&self) -> &str {
+        "scenario-cost-sweep"
+    }
+
+    fn description(&self) -> &str {
+        "integrated cost of SS vs refresh timer, one series per built-in scenario"
+    }
+
+    fn tags(&self) -> Vec<String> {
+        vec!["extra".into(), "scenario".into(), "analytic".into()]
+    }
+
+    fn run(&self, _options: &ExperimentOptions) -> ExperimentOutput {
+        let sweep = Sweep::refresh_timer();
+        let mut set = SeriesSet::new(
+            "Integrated cost C = w·I + M of SS vs refresh timer, per scenario",
+            sweep.parameter.clone(),
+            "integrated cost",
+        );
+        for scenario in Scenario::builtins() {
+            let mut series = Series::new(scenario.name.clone());
+            for &t in &sweep.values {
+                let params = scenario.params.with_refresh_timer_scaled_timeout(t);
+                let s = SingleHopModel::new(Protocol::Ss, params)
+                    .expect("scenario parameters are valid")
+                    .solve()
+                    .expect("single-hop chain solves");
+                series.push(Point::new(
+                    t,
+                    s.integrated_cost(scenario.inconsistency_weight),
+                ));
+            }
+            set.push(series);
+        }
+        ExperimentOutput::Figure(set)
     }
 }
 
@@ -42,5 +143,48 @@ mod tests {
     fn printing_an_experiment_does_not_panic() {
         // Smoke-test the cheap analytic path used by most benches.
         print_experiment(ExperimentId::Fig5a);
+    }
+
+    #[test]
+    fn extended_registry_adds_user_level_experiments() {
+        let registry = extended_registry();
+        assert_eq!(registry.len(), 25);
+        // Paper experiments still resolve...
+        assert!(registry.get("fig11a").is_some());
+        // ...and the extras are addressable by name and tag.
+        for name in [
+            "dns-lease-cost",
+            "bgp-keepalive-loss",
+            "scenario-cost-sweep",
+        ] {
+            assert!(registry.get(name).is_some(), "{name} missing");
+        }
+        assert_eq!(registry.with_tag("extra").len(), 3);
+        assert_eq!(registry.with_tag("paper").len(), 22);
+    }
+
+    #[test]
+    fn scenario_cost_sweep_covers_every_builtin_scenario() {
+        let out = ScenarioCostSweep.run(&bench_options());
+        let fig = out.as_figure().expect("figure");
+        assert_eq!(fig.series.len(), Scenario::builtins().len());
+        for s in &fig.series {
+            assert_eq!(s.len(), Sweep::refresh_timer().len());
+            assert!(s.points.iter().all(|p| p.y.is_finite() && p.y >= 0.0));
+        }
+        // Heavily weighted scenarios pay more for the same inconsistency.
+        let bgp = fig.get("BGP session keepalive").unwrap();
+        assert!(!bgp.is_empty());
+    }
+
+    #[test]
+    fn extra_experiments_run_through_the_registry() {
+        let registry = extended_registry();
+        let out = registry
+            .run("dns-lease-cost", &bench_options())
+            .expect("registered");
+        let fig = out.as_figure().expect("figure");
+        assert_eq!(fig.y_label, "integrated cost");
+        assert_eq!(fig.series.len(), 5);
     }
 }

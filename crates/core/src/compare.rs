@@ -109,10 +109,6 @@ pub fn compare_single_hop_with(
     seed: u64,
     policy: ExecutionPolicy,
 ) -> ComparisonRow {
-    let analytic = SingleHopModel::new(protocol, params)
-        .expect("valid parameters")
-        .solve()
-        .expect("solvable chain");
     let config = SessionConfig {
         protocol,
         params,
@@ -120,13 +116,34 @@ pub fn compare_single_hop_with(
         delay_mode: timer_mode,
         loss_model: None,
     };
+    compare_session(config, replications, seed, policy)
+}
+
+/// The most general comparison entry point: the analytic model against a
+/// replicated simulation of an arbitrary [`SessionConfig`] — any timer and
+/// delay discipline, and any loss-model override.
+///
+/// The analytic side always assumes independent Bernoulli loss at
+/// `config.params.loss`; giving the simulation a bursty
+/// [`LossModel`](sigproto::LossModel) override is exactly how the gap between
+/// the model's assumptions and a harsher channel is measured.
+pub fn compare_session(
+    config: SessionConfig,
+    replications: usize,
+    seed: u64,
+    policy: ExecutionPolicy,
+) -> ComparisonRow {
+    let analytic = SingleHopModel::new(config.protocol, config.params)
+        .expect("valid parameters")
+        .solve()
+        .expect("solvable chain");
     let result = Campaign::new(config, replications, seed)
         .execution(policy)
         .run();
     ComparisonRow {
-        protocol,
-        params,
-        timer_mode,
+        protocol: config.protocol,
+        params: config.params,
+        timer_mode: config.timer_mode,
         replications: result.replications,
         analytic,
         simulated_inconsistency: result.inconsistency,

@@ -8,12 +8,13 @@
 //! discrete-event campaigns whose size is controlled by
 //! [`ExperimentOptions`].
 
-use crate::compare::compare_single_hop_with;
+use crate::compare::compare_session;
 use siganalytic::single_hop::protocol_transitions;
 use siganalytic::{
     MultiHopModel, MultiHopParams, MultiHopSolution, Protocol, SingleHopModel, SingleHopParams,
     SingleHopSolution,
 };
+use sigproto::{LossModel, SessionConfig};
 use sigstats::{Point, Series, SeriesSet};
 use sigworkload::Sweep;
 use simcore::{ExecutionPolicy, ReplicationEngine, TimerMode};
@@ -260,27 +261,32 @@ impl ExperimentId {
 
 /// Which y-axis metric a figure plots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Metric {
+pub enum Metric {
+    /// Inconsistency ratio `I`.
     Inconsistency,
+    /// Normalized signaling message rate `M`.
     MessageRate,
 }
 
 impl Metric {
-    fn label(self) -> &'static str {
+    /// The y-axis label the paper's figures use for this metric.
+    pub fn label(self) -> &'static str {
         match self {
             Metric::Inconsistency => "inconsistency ratio",
             Metric::MessageRate => "normalized signaling message rate",
         }
     }
 
-    fn of_single_hop(self, s: &SingleHopSolution) -> f64 {
+    /// Extracts the metric from a single-hop solution.
+    pub fn of_single_hop(self, s: &SingleHopSolution) -> f64 {
         match self {
             Metric::Inconsistency => s.inconsistency,
             Metric::MessageRate => s.normalized_message_rate,
         }
     }
 
-    fn of_multi_hop(self, s: &MultiHopSolution) -> f64 {
+    /// Extracts the metric from a multi-hop solution.
+    pub fn of_multi_hop(self, s: &MultiHopSolution) -> f64 {
         match self {
             Metric::Inconsistency => s.inconsistency,
             Metric::MessageRate => s.message_rate,
@@ -288,29 +294,30 @@ impl Metric {
     }
 }
 
-fn solve_single(protocol: Protocol, params: SingleHopParams) -> SingleHopSolution {
+pub(crate) fn solve_single(protocol: Protocol, params: SingleHopParams) -> SingleHopSolution {
     SingleHopModel::new(protocol, params)
-        .expect("default-derived parameters are valid")
+        .expect("experiment parameters are validated before solving")
         .solve()
         .expect("single-hop chain solves")
 }
 
-fn solve_multi(protocol: Protocol, params: MultiHopParams) -> MultiHopSolution {
+pub(crate) fn solve_multi(protocol: Protocol, params: MultiHopParams) -> MultiHopSolution {
     MultiHopModel::new(protocol, params)
-        .expect("default-derived parameters are valid")
+        .expect("experiment parameters are validated before solving")
         .solve()
         .expect("multi-hop chain solves")
 }
 
 /// Generic single-hop sweep: one series per protocol, analytic solutions.
-fn single_hop_sweep(
+pub(crate) fn single_hop_sweep_over(
     title: &str,
+    protocols: &[Protocol],
     sweep: &Sweep,
     metric: Metric,
     make_params: impl Fn(f64) -> SingleHopParams,
 ) -> SeriesSet {
     let mut set = SeriesSet::new(title, sweep.parameter.clone(), metric.label());
-    for protocol in Protocol::ALL {
+    for &protocol in protocols {
         let mut series = Series::new(protocol.label());
         for &x in &sweep.values {
             let solution = solve_single(protocol, make_params(x));
@@ -321,15 +328,26 @@ fn single_hop_sweep(
     set
 }
 
-/// Generic multi-hop sweep: one series per multi-hop protocol.
-fn multi_hop_sweep(
+/// [`single_hop_sweep_over`] with the paper's full protocol set.
+fn single_hop_sweep(
     title: &str,
+    sweep: &Sweep,
+    metric: Metric,
+    make_params: impl Fn(f64) -> SingleHopParams,
+) -> SeriesSet {
+    single_hop_sweep_over(title, &Protocol::ALL, sweep, metric, make_params)
+}
+
+/// Generic multi-hop sweep: one series per protocol, analytic solutions.
+pub(crate) fn multi_hop_sweep_over(
+    title: &str,
+    protocols: &[Protocol],
     sweep: &Sweep,
     metric: Metric,
     make_params: impl Fn(f64) -> MultiHopParams,
 ) -> SeriesSet {
     let mut set = SeriesSet::new(title, sweep.parameter.clone(), metric.label());
-    for protocol in Protocol::MULTI_HOP {
+    for &protocol in protocols {
         let mut series = Series::new(protocol.label());
         for &x in &sweep.values {
             let solution = solve_multi(protocol, make_params(x));
@@ -338,6 +356,16 @@ fn multi_hop_sweep(
         set.push(series);
     }
     set
+}
+
+/// [`multi_hop_sweep_over`] with the paper's multi-hop protocol set.
+fn multi_hop_sweep(
+    title: &str,
+    sweep: &Sweep,
+    metric: Metric,
+    make_params: impl Fn(f64) -> MultiHopParams,
+) -> SeriesSet {
+    multi_hop_sweep_over(title, &Protocol::MULTI_HOP, sweep, metric, make_params)
 }
 
 // ----------------------------------------------------------------------
@@ -458,9 +486,14 @@ fn fig8b() -> SeriesSet {
 
 /// Tradeoff figures: x = inconsistency, y = normalized message overhead, one
 /// point per swept parameter value.
-fn tradeoff(title: &str, sweep: &Sweep, make_params: impl Fn(f64) -> SingleHopParams) -> SeriesSet {
+pub(crate) fn tradeoff_over(
+    title: &str,
+    protocols: &[Protocol],
+    sweep: &Sweep,
+    make_params: impl Fn(f64) -> SingleHopParams,
+) -> SeriesSet {
     let mut set = SeriesSet::new(title, "inconsistency ratio", "message overhead");
-    for protocol in Protocol::ALL {
+    for &protocol in protocols {
         let mut series = Series::new(protocol.label());
         for &v in &sweep.values {
             let s = solve_single(protocol, make_params(v));
@@ -469,6 +502,11 @@ fn tradeoff(title: &str, sweep: &Sweep, make_params: impl Fn(f64) -> SingleHopPa
         set.push(series);
     }
     set
+}
+
+/// [`tradeoff_over`] with the paper's full protocol set.
+fn tradeoff(title: &str, sweep: &Sweep, make_params: impl Fn(f64) -> SingleHopParams) -> SeriesSet {
+    tradeoff_over(title, &Protocol::ALL, sweep, make_params)
 }
 
 fn fig9() -> SeriesSet {
@@ -507,17 +545,21 @@ fn fig10b() -> SeriesSet {
 /// [`ReplicationEngine`] under `options.execution`; each campaign then runs
 /// its replications serially on its worker.  Outputs come back in sweep
 /// order, so the figure is identical under every policy.
-fn analytic_vs_sim(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn analytic_vs_sim_over(
     title: &str,
     x_label: &str,
     metric: Metric,
+    protocols: &[Protocol],
     xs_analytic: &[f64],
     xs_sim: &[f64],
+    timer_mode: TimerMode,
+    loss_model: Option<LossModel>,
     options: &ExperimentOptions,
     make_params: impl Fn(f64) -> SingleHopParams + Sync,
 ) -> SeriesSet {
     let mut set = SeriesSet::new(title, x_label, metric.label());
-    for protocol in Protocol::ALL {
+    for &protocol in protocols {
         let mut series = Series::new(protocol.label());
         for &x in xs_analytic {
             let s = solve_single(protocol, make_params(x));
@@ -528,23 +570,27 @@ fn analytic_vs_sim(
 
     // The sweep-point × replication fan-out: flatten (protocol, x) pairs
     // into one job list for the engine.
-    let jobs: Vec<(Protocol, f64)> = Protocol::ALL
+    let jobs: Vec<(Protocol, f64)> = protocols
         .iter()
         .flat_map(|&p| xs_sim.iter().map(move |&x| (p, x)))
         .collect();
     let rows = ReplicationEngine::new(options.execution).run(jobs.len(), &|i: u64| {
         let (protocol, x) = jobs[i as usize];
-        compare_single_hop_with(
-            protocol,
-            make_params(x),
-            TimerMode::Deterministic,
+        compare_session(
+            SessionConfig {
+                protocol,
+                params: make_params(x),
+                timer_mode,
+                delay_mode: timer_mode,
+                loss_model,
+            },
             options.sim_replications,
             options.seed,
             ExecutionPolicy::Serial,
         )
     });
 
-    for (protocol_rows, protocol) in rows.chunks(xs_sim.len().max(1)).zip(Protocol::ALL) {
+    for (protocol_rows, &protocol) in rows.chunks(xs_sim.len().max(1)).zip(protocols) {
         let mut series = Series::new(format!("{} sim", protocol.label()));
         for (row, &x) in protocol_rows.iter().zip(xs_sim) {
             let point = match metric {
@@ -566,9 +612,35 @@ fn analytic_vs_sim(
     set
 }
 
+/// [`analytic_vs_sim_over`] as the paper's Figures 11–12 use it: every
+/// protocol, deterministic simulation timers, Bernoulli loss.
+#[allow(clippy::too_many_arguments)]
+fn analytic_vs_sim(
+    title: &str,
+    x_label: &str,
+    metric: Metric,
+    xs_analytic: &[f64],
+    xs_sim: &[f64],
+    options: &ExperimentOptions,
+    make_params: impl Fn(f64) -> SingleHopParams + Sync,
+) -> SeriesSet {
+    analytic_vs_sim_over(
+        title,
+        x_label,
+        metric,
+        &Protocol::ALL,
+        xs_analytic,
+        xs_sim,
+        TimerMode::Deterministic,
+        None,
+        options,
+        make_params,
+    )
+}
+
 /// Picks up to `count` simulation x-values from the analytic grid restricted
 /// to `[lo, hi]`, so simulated points line up with analytic rows exactly.
-fn sim_grid(analytic: &[f64], lo: f64, hi: f64, count: usize) -> Vec<f64> {
+pub(crate) fn sim_grid(analytic: &[f64], lo: f64, hi: f64, count: usize) -> Vec<f64> {
     let candidates: Vec<f64> = analytic
         .iter()
         .copied()

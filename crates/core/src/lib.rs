@@ -12,8 +12,12 @@
 //!   [`MultiHopSimConfig`], [`MultiHopCampaign`]) — from `sigproto`;
 //! * the application scenarios and parameter sweeps — from `sigworkload`;
 //! * and, on top of those, this crate's own contribution:
-//!   - [`experiment`] — a registry that regenerates every table and figure of
-//!     the paper's evaluation section,
+//!   - [`registry`] — the open experiment registry: the [`Experiment`] trait,
+//!     a [`Registry`] pre-loaded with every table and figure of the paper's
+//!     evaluation section, and the declarative [`ExperimentSpec`] builder for
+//!     composing new experiments out of scenarios and sweeps,
+//!   - [`experiment`] — the built-in paper experiments ([`ExperimentId`]) and
+//!     their sizing options,
 //!   - [`compare`] — side-by-side analytic-vs-simulation comparisons
 //!     (the paper's Figures 11–12 methodology),
 //!   - [`report`] — plain-text / CSV / JSON rendering of experiment results.
@@ -38,25 +42,31 @@
 
 pub mod compare;
 pub mod experiment;
+pub mod registry;
 pub mod report;
 
-pub use compare::{compare_all, compare_single_hop, compare_single_hop_with, ComparisonRow};
-pub use experiment::{ExperimentId, ExperimentOptions, ExperimentOutput};
+pub use compare::{
+    compare_all, compare_session, compare_single_hop, compare_single_hop_with, ComparisonRow,
+};
+pub use experiment::{ExperimentId, ExperimentOptions, ExperimentOutput, Metric};
+pub use registry::{
+    Experiment, ExperimentSpec, Registry, RegistryError, SpecError, SpecKind, SweepTarget,
+};
 pub use report::{render_csv, render_json, render_table};
 
 // Re-exports of the building blocks.
 pub use siganalytic::{
-    integrated_cost, solve_all, solve_all_multi_hop, CostWeights, MessageRates, ModelError,
-    MultiHopModel, MultiHopParams, MultiHopSolution, Protocol, SingleHopModel, SingleHopParams,
-    SingleHopSolution,
+    integrated_cost, solve_all, solve_all_multi_hop, ConfigError, CostWeights, MessageRates,
+    ModelError, MultiHopModel, MultiHopParams, MultiHopSolution, Protocol, SingleHopModel,
+    SingleHopParams, SingleHopSolution,
 };
 pub use sigproto::{
-    Campaign, CampaignResult, MultiHopCampaign, MultiHopCampaignResult, MultiHopSession,
+    Campaign, CampaignResult, LossModel, MultiHopCampaign, MultiHopCampaignResult, MultiHopSession,
     MultiHopSimConfig, SessionConfig, SessionMetrics, SingleHopSession,
 };
 pub use sigstats::{ConfidenceInterval, OnlineStats, Point, Series, SeriesSet, Summary};
-pub use sigworkload::{MultiHopScenario, SingleHopScenario, Sweep};
-pub use simcore::{ExecutionPolicy, Replicate, ReplicationEngine, SimRng, TimerMode};
+pub use sigworkload::{MultiHopScenario, Scenario, Sweep};
+pub use simcore::{Assignment, ExecutionPolicy, Replicate, ReplicationEngine, SimRng, TimerMode};
 
 #[cfg(test)]
 mod tests {
@@ -64,12 +74,12 @@ mod tests {
 
     #[test]
     fn facade_reexports_work_together() {
-        let params = SingleHopScenario::KazaaPeer.params();
-        let analytic = SingleHopModel::new(Protocol::SsEr, params)
+        let scenario = Scenario::kazaa_peer();
+        let analytic = SingleHopModel::new(Protocol::SsEr, scenario.params)
             .unwrap()
             .solve()
             .unwrap();
-        let cfg = SessionConfig::exponential(Protocol::SsEr, params);
+        let cfg = SessionConfig::for_scenario(Protocol::SsEr, &scenario, TimerMode::Exponential);
         let mut rng = SimRng::new(1);
         let sim = SingleHopSession::run(&cfg, &mut rng);
         assert!(analytic.inconsistency >= 0.0);

@@ -4,7 +4,8 @@
 //! aligned plain-text tables for reading in a terminal, CSV for plotting, and
 //! JSON for programmatic consumption.
 
-use crate::experiment::{ExperimentId, ExperimentOptions, ExperimentOutput};
+use crate::experiment::{ExperimentOptions, ExperimentOutput};
+use crate::registry::Experiment;
 use sigstats::SeriesSet;
 
 /// Renders a figure as an aligned plain-text table.
@@ -90,11 +91,16 @@ fn json_number(x: f64) -> String {
     s
 }
 
-/// Runs an experiment and renders it as text, prefixed with its description.
-pub fn run_and_render(id: ExperimentId, options: &ExperimentOptions) -> String {
+/// Runs any registered experiment and renders it as text, prefixed with its
+/// description.
+pub fn run_and_render(experiment: &dyn Experiment, options: &ExperimentOptions) -> String {
     let mut out = String::new();
-    out.push_str(&format!("== {} — {} ==\n", id.name(), id.description()));
-    let output = id.run_with(options);
+    out.push_str(&format!(
+        "== {} — {} ==\n",
+        experiment.name(),
+        experiment.description()
+    ));
+    let output = experiment.run(options);
     match output {
         ExperimentOutput::Figure(fig) => out.push_str(&render_table(&fig)),
         ExperimentOutput::Text(text) => out.push_str(&text),
@@ -106,7 +112,11 @@ pub fn run_and_render(id: ExperimentId, options: &ExperimentOptions) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sigstats::Series;
+    use crate::experiment::ExperimentId;
+    use crate::registry::Registry;
+    use proptest::prelude::*;
+    use sigstats::{Point, Series};
+    use simcore::ExecutionPolicy;
 
     fn sample() -> SeriesSet {
         let mut set = SeriesSet::new("Fig X", "x", "y");
@@ -149,9 +159,116 @@ mod tests {
 
     #[test]
     fn run_and_render_produces_header_and_data() {
-        let text = run_and_render(ExperimentId::Fig5a, &ExperimentOptions::quick());
+        let text = run_and_render(&ExperimentId::Fig5a, &ExperimentOptions::quick());
         assert!(text.contains("fig5a"));
         assert!(text.contains("SS+ER"));
         assert!(text.lines().count() > 10);
+    }
+
+    #[test]
+    fn registry_fig11a_json_is_byte_identical_to_enum_path() {
+        // The backward-compatibility guarantee of the registry redesign: a
+        // paper experiment resolved by name produces byte-for-byte the JSON
+        // the closed-enum path produced.
+        let options = ExperimentOptions::quick().with_execution(ExecutionPolicy::Serial);
+        let registry = Registry::with_builtins();
+        let via_registry = registry.run("fig11a", &options).unwrap();
+        let via_enum = ExperimentId::Fig11a.run_with(&options);
+        let a = via_registry.as_figure().expect("figure");
+        let b = via_enum.as_figure().expect("figure");
+        assert_eq!(render_json(a), render_json(b));
+        assert_eq!(render_csv(a), render_csv(b));
+    }
+
+    /// Decodes a JSON string literal produced by `json_string`, so the
+    /// escaping property below is a full round trip.
+    fn json_unescape(literal: &str) -> String {
+        let inner: Vec<char> = literal
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .expect("quoted literal")
+            .chars()
+            .collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < inner.len() {
+            if inner[i] != '\\' {
+                out.push(inner[i]);
+                i += 1;
+                continue;
+            }
+            match inner[i + 1] {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = inner[i + 2..i + 6].iter().collect();
+                    let code = u32::from_str_radix(&hex, 16).expect("4 hex digits");
+                    out.push(char::from_u32(code).expect("valid escape"));
+                    i += 6;
+                    continue;
+                }
+                other => panic!("invalid escape \\{other}"),
+            }
+            i += 2;
+        }
+        out
+    }
+
+    proptest! {
+        #[test]
+        fn prop_json_string_escaping_round_trips(codes in proptest::collection::vec(0u32..0x2000, 0..40)) {
+            // Bias heavily toward the characters that need escaping, then
+            // check the emitted literal is well-formed and decodes back to
+            // the original string.
+            let original: String = codes
+                .iter()
+                .map(|&c| match c % 8 {
+                    0 => '"',
+                    1 => '\\',
+                    2 => '\n',
+                    3 => '\t',
+                    4 => '\r',
+                    5 => char::from_u32(c % 0x20).unwrap(),
+                    _ => char::from_u32(0x20 + c % 0xD7E0).unwrap(),
+                })
+                .collect();
+            let literal = json_string(&original);
+            prop_assert!(literal.starts_with('"') && literal.ends_with('"'));
+            // No raw control characters may survive escaping.
+            for ch in literal[1..literal.len() - 1].chars() {
+                prop_assert!(ch as u32 >= 0x20, "raw control char {:?} in {literal}", ch);
+            }
+            prop_assert_eq!(json_unescape(&literal), original);
+        }
+
+        #[test]
+        fn prop_json_number_finite_round_trips_and_nonfinite_is_null(x in any::<f64>()) {
+            // Finite values parse back exactly (Rust's shortest-roundtrip
+            // formatting); non-finite values must become null.
+            let s = json_number(x);
+            prop_assert!(s != "null");
+            let parsed: f64 = s.parse().unwrap();
+            prop_assert_eq!(parsed, x);
+            for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, x * f64::NAN] {
+                prop_assert_eq!(json_number(bad), "null".to_string());
+            }
+        }
+
+        #[test]
+        fn prop_render_json_never_emits_nonfinite_tokens(y in any::<f64>(), n in 1usize..6) {
+            let mut set = SeriesSet::new("t", "x", "y");
+            let mut s = Series::new("s");
+            for i in 0..n {
+                let value = if i % 2 == 0 { y } else { f64::NAN };
+                s.push(Point::new(i as f64, value));
+            }
+            set.push(s);
+            let text = render_json(&set);
+            prop_assert!(!text.contains("NaN"));
+            prop_assert!(!text.contains("inf"));
+        }
     }
 }

@@ -141,13 +141,102 @@ impl Criterion {
 
     /// Prints the closing summary (a count; per-bench lines were printed as
     /// they completed).
+    ///
+    /// When the `BENCH_BASELINE_DIR` environment variable is set, also
+    /// writes the recorded samples as a `BENCH_<name>.json` baseline into
+    /// that directory (`<name>` is the bench binary's name), so CI can
+    /// archive and diff per-bench timings across commits.
     pub fn final_summary(&self) {
         println!("bench: {} benchmark(s) measured", self.results.len());
+        if let Ok(dir) = std::env::var("BENCH_BASELINE_DIR") {
+            let name = bench_binary_name().unwrap_or_else(|| "bench".to_string());
+            match self.write_baseline(std::path::Path::new(&dir), &name) {
+                Ok(path) => println!("bench: baseline written to {}", path.display()),
+                Err(e) => eprintln!("bench: cannot write baseline to {dir}: {e}"),
+            }
+        }
+    }
+
+    /// The recorded samples rendered as a `BENCH_<name>.json` document:
+    /// `{"bench": <name>, "results": [{"name", "iterations", "mean_ns",
+    /// "min_ns", "max_ns"}, ...]}`.  Non-finite timings become `null`.
+    pub fn baseline_json(&self, bench: &str) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": {},\n", escape_json_string(bench)));
+        out.push_str("  \"results\": [\n");
+        for (i, (name, sample)) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"iterations\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}{}\n",
+                escape_json_string(name),
+                sample.iterations,
+                json_number(sample.mean_ns),
+                json_number(sample.min_ns),
+                json_number(sample.max_ns),
+                if i + 1 < self.results.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
     }
 
     /// The recorded samples, in execution order.
     pub fn results(&self) -> &[(String, Sample)] {
         &self.results
+    }
+
+    /// Writes [`Criterion::baseline_json`] to `dir/BENCH_<bench>.json`,
+    /// creating `dir` if needed, and returns the path written.
+    pub fn write_baseline(
+        &self,
+        dir: &std::path::Path,
+        bench: &str,
+    ) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{bench}.json"));
+        std::fs::write(&path, self.baseline_json(bench))?;
+        Ok(path)
+    }
+}
+
+/// The bench binary's name, derived from `argv[0]` (cargo names bench
+/// executables `<name>-<16 hex digits>`; the hash suffix is stripped).
+fn bench_binary_name() -> Option<String> {
+    let argv0 = std::env::args().next()?;
+    let stem = std::path::Path::new(&argv0).file_stem()?.to_str()?;
+    match stem.rsplit_once('-') {
+        Some((name, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            Some(name.to_string())
+        }
+        _ => Some(stem.to_string()),
+    }
+}
+
+/// Escapes a string as a JSON string literal (including the quotes).
+fn escape_json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number (`null` for NaN/infinities).
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -180,6 +269,34 @@ mod tests {
         assert!(sample.iterations > 0);
         assert!(sample.mean_ns >= 0.0);
         assert!(sample.min_ns <= sample.max_ns);
+    }
+
+    #[test]
+    fn baseline_json_renders_and_writes() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(2));
+        c.bench_function("group/quoted\"name", |b| b.iter(|| black_box(2 * 2)));
+        c.bench_function("group/other", |b| b.iter(|| black_box(3 * 3)));
+        let json = c.baseline_json("my_bench");
+        assert!(json.contains("\"bench\": \"my_bench\""));
+        assert!(json.contains("\"name\": \"group/quoted\\\"name\""));
+        assert!(json.contains("\"iterations\": "));
+        assert_eq!(json.matches("\"mean_ns\"").count(), 2);
+        assert!(!json.contains("NaN"));
+
+        let dir = std::env::temp_dir().join("criterion_shim_baseline_test");
+        let path = c.write_baseline(&dir, "my_bench").unwrap();
+        assert_eq!(path.file_name().unwrap(), "BENCH_my_bench.json");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), json);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_results_emit_nulls_not_nan() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(1));
+        c.bench_function("never_iterated", |_b| {});
+        let json = c.baseline_json("b");
+        assert!(json.contains("\"mean_ns\": null"));
+        assert!(!json.contains("NaN"));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Simulation configuration.
 
-use siganalytic::{MultiHopParams, Protocol, SingleHopParams};
+use siganalytic::{ConfigError, MultiHopParams, Protocol, SingleHopParams};
 use signet::LossModel;
+use sigworkload::Scenario;
 use simcore::TimerMode;
 
 /// Configuration of a single-hop signaling session simulation.
@@ -52,6 +53,23 @@ impl SessionConfig {
         }
     }
 
+    /// Configuration derived from a named workload [`Scenario`]: the
+    /// scenario's parameters and (if it carries one) its loss-model override,
+    /// with the given timer discipline for both timers and delays.
+    ///
+    /// This is the composition point the open experiment registry uses: a
+    /// user-defined scenario plugs into the simulator without touching any
+    /// protocol code.
+    pub fn for_scenario(protocol: Protocol, scenario: &Scenario, timer_mode: TimerMode) -> Self {
+        Self {
+            protocol,
+            params: scenario.params,
+            timer_mode,
+            delay_mode: timer_mode,
+            loss_model: scenario.loss_model,
+        }
+    }
+
     /// Overrides the channel loss process (see [`SessionConfig::loss_model`]).
     pub fn with_loss_model(mut self, model: LossModel) -> Self {
         self.loss_model = Some(model);
@@ -66,12 +84,12 @@ impl SessionConfig {
     }
 
     /// Validates the embedded parameters.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         self.params.validate()?;
         if let Some(model) = self.loss_model {
             let p = model.mean_loss();
             if !(0.0..=1.0).contains(&p) {
-                return Err(format!("loss model mean {p} outside [0, 1]"));
+                return Err(ConfigError::LossModelMeanOutOfRange(p));
             }
         }
         Ok(())
@@ -122,10 +140,10 @@ impl MultiHopSimConfig {
     }
 
     /// Validates the embedded parameters and the horizon.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         self.params.validate()?;
         if self.horizon <= 0.0 {
-            return Err("simulation horizon must be positive".into());
+            return Err(ConfigError::NonPositiveHorizon);
         }
         Ok(())
     }
@@ -158,13 +176,41 @@ mod tests {
     }
 
     #[test]
-    fn invalid_params_fail_validation() {
+    fn invalid_params_fail_validation_with_typed_errors() {
         let p = SingleHopParams {
             loss: 7.0,
             ..Default::default()
         };
         let c = SessionConfig::deterministic(Protocol::Ss, p);
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::LossOutOfRange(7.0)));
+        let m = MultiHopSimConfig::deterministic(Protocol::Ss, MultiHopParams::default());
+        assert_eq!(
+            m.with_horizon(-1.0).validate(),
+            Err(ConfigError::NonPositiveHorizon)
+        );
+    }
+
+    #[test]
+    fn scenario_derived_config_carries_params_and_loss_model() {
+        let scenario = Scenario::kazaa_peer();
+        let cfg = SessionConfig::for_scenario(Protocol::SsEr, &scenario, TimerMode::Deterministic);
+        assert_eq!(cfg.params, scenario.params);
+        assert_eq!(cfg.timer_mode, TimerMode::Deterministic);
+        assert_eq!(cfg.loss_model, None);
+        cfg.validate().unwrap();
+
+        let bursty = Scenario::kazaa_peer().with_loss_model(LossModel::GilbertElliott {
+            p_good: 0.0,
+            p_bad: 0.5,
+            p_g2b: 0.02,
+            p_b2g: 0.48,
+        });
+        let cfg = SessionConfig::for_scenario(Protocol::Ss, &bursty, TimerMode::Exponential);
+        assert!(matches!(
+            cfg.effective_loss_model(),
+            LossModel::GilbertElliott { .. }
+        ));
+        cfg.validate().unwrap();
     }
 
     #[test]

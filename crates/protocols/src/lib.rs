@@ -38,4 +38,5 @@ pub use campaign::{Campaign, CampaignResult, MultiHopCampaign, MultiHopCampaignR
 pub use config::{MultiHopSimConfig, SessionConfig};
 pub use metrics::{MessageCounts, MultiHopRunMetrics, SessionMetrics};
 pub use multi_hop::MultiHopSession;
+pub use signet::LossModel;
 pub use single_hop::SingleHopSession;

@@ -4,7 +4,9 @@
 //! Kazaa peer registering shared files at its supernode (single hop), an IGMP
 //! host joining a multicast group at its first-hop router (single hop), and a
 //! bandwidth reservation along a path of routers (multi hop).  This crate
-//! packages those scenarios as named presets and provides the parameter
+//! packages those scenarios as named, *open* presets — [`Scenario`] and
+//! [`MultiHopScenario`] are plain structs, so user-defined applications are
+//! struct literals, not new enum variants — and provides the parameter
 //! sweeps every figure of the evaluation is built from.
 
 #![forbid(unsafe_code)]
@@ -13,5 +15,5 @@
 pub mod scenario;
 pub mod sweep;
 
-pub use scenario::{MultiHopScenario, SingleHopScenario};
+pub use scenario::{MultiHopScenario, Scenario};
 pub use sweep::{linear_space, log_space, Sweep};

@@ -15,9 +15,9 @@ use hs_ss_signaling_repro::percent;
 use signaling::{MultiHopCampaign, MultiHopModel, MultiHopScenario, MultiHopSimConfig, Protocol};
 
 fn main() {
-    let scenario = MultiHopScenario::BandwidthReservation;
-    let params = scenario.params();
-    println!("Scenario: {} ({} hops)\n", scenario.name(), params.hops);
+    let scenario = MultiHopScenario::bandwidth_reservation();
+    let params = scenario.params;
+    println!("Scenario: {} ({} hops)\n", scenario.name, params.hops);
 
     // ------------------------------------------------------------------
     // 1. Per-hop inconsistency (paper Figure 17).

@@ -15,14 +15,14 @@
 //! ```
 
 use hs_ss_signaling_repro::percent;
-use signaling::{integrated_cost, Protocol, SingleHopModel, SingleHopScenario, Sweep};
+use signaling::{integrated_cost, Protocol, Scenario, SingleHopModel, Sweep};
 
 fn main() {
-    let scenario = SingleHopScenario::KazaaPeer;
-    let base = scenario.params();
-    let weight = scenario.inconsistency_weight();
+    let scenario = Scenario::kazaa_peer();
+    let base = scenario.params;
+    let weight = scenario.inconsistency_weight;
 
-    println!("Scenario: {}", scenario.name());
+    println!("Scenario: {}", scenario.name);
     println!(
         "A stale registration costs about {weight} wasted messages per second of inconsistency.\n"
     );
