@@ -17,7 +17,7 @@ use siganalytic::{
 use sigproto::{LossModel, SessionConfig};
 use sigstats::{Point, Series, SeriesSet};
 use sigworkload::Sweep;
-use simcore::{ExecutionPolicy, ReplicationEngine, TimerMode};
+use simcore::{Assignment, ExecutionPolicy, ReplicationEngine, TimerMode};
 
 /// Options controlling the simulation-backed experiments.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -574,21 +574,26 @@ pub(crate) fn analytic_vs_sim_over(
         .iter()
         .flat_map(|&p| xs_sim.iter().map(move |&x| (p, x)))
         .collect();
-    let rows = ReplicationEngine::new(options.execution).run(jobs.len(), &|i: u64| {
-        let (protocol, x) = jobs[i as usize];
-        compare_session(
-            SessionConfig {
-                protocol,
-                params: make_params(x),
-                timer_mode,
-                delay_mode: timer_mode,
-                loss_model,
-            },
-            options.sim_replications,
-            options.seed,
-            ExecutionPolicy::Serial,
-        )
-    });
+    // Work stealing by default: campaign costs are skewed across the sweep
+    // (session length grows with the sweep point), and the dynamic
+    // assignment is bit-identical to serial execution anyway.
+    let rows = ReplicationEngine::new(options.execution)
+        .with_assignment(Assignment::WorkStealing)
+        .run(jobs.len(), &|i: u64| {
+            let (protocol, x) = jobs[i as usize];
+            compare_session(
+                SessionConfig {
+                    protocol,
+                    params: make_params(x),
+                    timer_mode,
+                    delay_mode: timer_mode,
+                    loss_model,
+                },
+                options.sim_replications,
+                options.seed,
+                ExecutionPolicy::Serial,
+            )
+        });
 
     for (protocol_rows, &protocol) in rows.chunks(xs_sim.len().max(1)).zip(protocols) {
         let mut series = Series::new(format!("{} sim", protocol.label()));

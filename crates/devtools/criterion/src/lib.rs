@@ -146,6 +146,17 @@ impl Criterion {
     /// writes the recorded samples as a `BENCH_<name>.json` baseline into
     /// that directory (`<name>` is the bench binary's name), so CI can
     /// archive and diff per-bench timings across commits.
+    ///
+    /// When `BENCH_COMPARE_DIR` is set, loads `BENCH_<name>.json` from that
+    /// directory and compares every fresh mean against the baseline mean:
+    /// a benchmark regresses when `fresh > tolerance × baseline`, where the
+    /// tolerance is `BENCH_COMPARE_TOLERANCE` (default
+    /// [`DEFAULT_COMPARE_TOLERANCE`]).  Any regression terminates the
+    /// process with exit code 1, and a missing baseline file (or invalid
+    /// tolerance) with exit code 2, so CI can gate on both.  Individual
+    /// benchmarks missing from a present baseline (or with unmeasurable
+    /// means) are reported and skipped — new benchmarks must not fail the
+    /// gate before their baseline is recorded.
     pub fn final_summary(&self) {
         println!("bench: {} benchmark(s) measured", self.results.len());
         if let Ok(dir) = std::env::var("BENCH_BASELINE_DIR") {
@@ -155,6 +166,91 @@ impl Criterion {
                 Err(e) => eprintln!("bench: cannot write baseline to {dir}: {e}"),
             }
         }
+        if let Ok(dir) = std::env::var("BENCH_COMPARE_DIR") {
+            let tolerance = match std::env::var("BENCH_COMPARE_TOLERANCE") {
+                Ok(t) => match t.parse::<f64>() {
+                    Ok(t) if t.is_finite() && t > 0.0 => t,
+                    _ => {
+                        eprintln!("bench: invalid BENCH_COMPARE_TOLERANCE '{t}'");
+                        std::process::exit(2);
+                    }
+                },
+                Err(_) => DEFAULT_COMPARE_TOLERANCE,
+            };
+            let name = bench_binary_name().unwrap_or_else(|| "bench".to_string());
+            let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+            let baseline = match std::fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(e) => {
+                    // A compare was explicitly requested; a missing baseline
+                    // (path typo, renamed bench, deleted snapshot) must not
+                    // silently disable the gate.
+                    eprintln!(
+                        "bench: BENCH_COMPARE_DIR set but no baseline at {} ({e})",
+                        path.display()
+                    );
+                    std::process::exit(2);
+                }
+            };
+            let comparison = self.compare_to_baseline(&baseline, tolerance);
+            print!("{}", comparison.render());
+            if !comparison.regressions.is_empty() {
+                eprintln!(
+                    "bench: {} benchmark(s) regressed beyond {tolerance}x of {}",
+                    comparison.regressions.len(),
+                    path.display()
+                );
+                std::process::exit(1);
+            }
+            if comparison.compared.is_empty() && !self.results.is_empty() {
+                // A gate that compared nothing is not a passing gate: every
+                // fresh name missed the baseline (e.g. the benchmarks were
+                // renamed without refreshing the snapshot).
+                eprintln!(
+                    "bench: BENCH_COMPARE_DIR set but no benchmark matched {} — refresh the baseline",
+                    path.display()
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Compares the recorded samples against a baseline JSON document (as
+    /// produced by [`Criterion::baseline_json`]): each benchmark present in
+    /// both is a regression when `fresh_mean > tolerance × baseline_mean`.
+    pub fn compare_to_baseline(&self, baseline_json: &str, tolerance: f64) -> Comparison {
+        let baseline = parse_baseline_means(baseline_json);
+        let mut comparison = Comparison {
+            tolerance,
+            compared: Vec::new(),
+            missing: Vec::new(),
+            stale: Vec::new(),
+            regressions: Vec::new(),
+        };
+        for (name, _) in &baseline {
+            if !self.results.iter().any(|(n, _)| n == name) {
+                comparison.stale.push(name.clone());
+            }
+        }
+        for (name, sample) in &self.results {
+            let Some(&baseline_mean) = baseline.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+            else {
+                comparison.missing.push(name.clone());
+                continue;
+            };
+            if !sample.mean_ns.is_finite() || !baseline_mean.is_finite() || baseline_mean <= 0.0 {
+                comparison.missing.push(name.clone());
+                continue;
+            }
+            let ratio = sample.mean_ns / baseline_mean;
+            comparison
+                .compared
+                .push((name.clone(), baseline_mean, sample.mean_ns, ratio));
+            if ratio > tolerance {
+                comparison.regressions.push(name.clone());
+            }
+        }
+        comparison
     }
 
     /// The recorded samples rendered as a `BENCH_<name>.json` document:
@@ -197,6 +293,111 @@ impl Criterion {
         std::fs::write(&path, self.baseline_json(bench))?;
         Ok(path)
     }
+}
+
+/// Default regression tolerance for `BENCH_COMPARE_DIR`: a fresh mean may be
+/// at most this multiple of the baseline mean.  Override with
+/// `BENCH_COMPARE_TOLERANCE` (CI boxes differ from the box that recorded the
+/// baseline, so gating runs typically use a loose value like `5`).
+pub const DEFAULT_COMPARE_TOLERANCE: f64 = 2.0;
+
+/// Outcome of comparing fresh samples against a baseline document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// The tolerance the comparison ran with.
+    pub tolerance: f64,
+    /// `(name, baseline_mean_ns, fresh_mean_ns, ratio)` for every benchmark
+    /// present and measurable on both sides.
+    pub compared: Vec<(String, f64, f64, f64)>,
+    /// Benchmarks absent from the baseline or without a finite mean.
+    pub missing: Vec<String>,
+    /// Baseline entries with no fresh counterpart (renamed or deleted
+    /// benchmarks): reported so the gate's coverage cannot shrink silently.
+    pub stale: Vec<String>,
+    /// Names of benchmarks whose ratio exceeded the tolerance.
+    pub regressions: Vec<String>,
+}
+
+impl Comparison {
+    /// Renders the comparison as one line per benchmark.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, baseline, fresh, ratio) in &self.compared {
+            let verdict = if *ratio > self.tolerance {
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "bench: compare {name:<50} {} -> {} ({ratio:.2}x, tolerance {}x) {verdict}\n",
+                fmt_ns(*baseline),
+                fmt_ns(*fresh),
+                self.tolerance,
+            ));
+        }
+        for name in &self.missing {
+            out.push_str(&format!("bench: compare {name:<50} no baseline, skipped\n"));
+        }
+        for name in &self.stale {
+            out.push_str(&format!(
+                "bench: compare {name:<50} in baseline but not measured (renamed or deleted?)\n"
+            ));
+        }
+        out
+    }
+}
+
+/// Extracts `(name, mean_ns)` pairs from a baseline document produced by
+/// [`Criterion::baseline_json`].  The parser is deliberately matched to that
+/// emitter (one result object per line, `"name"` then `"mean_ns"` keys);
+/// entries whose mean is `null` or malformed are skipped.
+fn parse_baseline_means(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name) = extract_json_string_value(line, "\"name\": ") else {
+            continue;
+        };
+        let Some(mean) = extract_json_number_value(line, "\"mean_ns\": ") else {
+            continue;
+        };
+        out.push((name, mean));
+    }
+    out
+}
+
+/// Reads the JSON string literal following `key` in `line`, undoing the
+/// escapes [`escape_json_string`] produces.
+fn extract_json_string_value(line: &str, key: &str) -> Option<String> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Reads the JSON number following `key` in `line` (`None` for `null`).
+fn extract_json_number_value(line: &str, key: &str) -> Option<f64> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
 }
 
 /// The bench binary's name, derived from `argv[0]` (cargo names bench
@@ -297,6 +498,116 @@ mod tests {
         let json = c.baseline_json("b");
         assert!(json.contains("\"mean_ns\": null"));
         assert!(!json.contains("NaN"));
+    }
+
+    /// A `Criterion` with two hand-planted samples (no timing loop), for
+    /// deterministic comparison tests.
+    fn planted(fast_ns: f64, slow_ns: f64) -> Criterion {
+        let mut c = Criterion::default();
+        for (name, mean_ns) in [("mix/fast", fast_ns), ("mix/slow", slow_ns)] {
+            c.results.push((
+                name.to_string(),
+                Sample {
+                    iterations: 100,
+                    mean_ns,
+                    min_ns: mean_ns,
+                    max_ns: mean_ns,
+                },
+            ));
+        }
+        c
+    }
+
+    #[test]
+    fn baseline_round_trips_through_the_parser() {
+        let c = planted(100.0, 2500.5);
+        let json = c.baseline_json("b");
+        let parsed = parse_baseline_means(&json);
+        assert_eq!(
+            parsed,
+            vec![
+                ("mix/fast".to_string(), 100.0),
+                ("mix/slow".to_string(), 2500.5)
+            ]
+        );
+    }
+
+    #[test]
+    fn parser_skips_null_means_and_unescapes_names() {
+        let mut c = Criterion::default();
+        c.bench_function("quoted\"name", |_b| {});
+        let json = c.baseline_json("b");
+        assert!(parse_baseline_means(&json).is_empty(), "null mean skipped");
+        assert_eq!(
+            extract_json_string_value("  {\"name\": \"a\\\"b\\\\c\", ...", "\"name\": "),
+            Some("a\"b\\c".to_string())
+        );
+        assert_eq!(
+            extract_json_number_value("\"mean_ns\": 12.5, ...", "\"mean_ns\": "),
+            Some(12.5)
+        );
+        assert_eq!(
+            extract_json_number_value("\"mean_ns\": null}", "\"mean_ns\": "),
+            None
+        );
+    }
+
+    #[test]
+    fn comparison_flags_only_regressions_beyond_tolerance() {
+        // Baseline: fast 100 ns, slow 2000 ns.
+        let baseline = planted(100.0, 2000.0).baseline_json("b");
+        // Fresh: fast barely slower (within 1.5x), slow 4x slower.
+        let fresh = planted(120.0, 8000.0);
+        let cmp = fresh.compare_to_baseline(&baseline, 1.5);
+        assert_eq!(cmp.compared.len(), 2);
+        assert_eq!(cmp.regressions, vec!["mix/slow".to_string()]);
+        assert!(cmp.missing.is_empty());
+        let rendered = cmp.render();
+        assert!(rendered.contains("mix/slow"));
+        assert!(rendered.contains("REGRESSED"));
+        assert!(rendered.lines().filter(|l| l.ends_with(" ok")).count() == 1);
+
+        // A looser tolerance passes everything.
+        let cmp = fresh.compare_to_baseline(&baseline, 5.0);
+        assert!(cmp.regressions.is_empty());
+        // Improvements never regress.
+        let improved = planted(10.0, 200.0);
+        assert!(improved
+            .compare_to_baseline(&baseline, 1.0)
+            .regressions
+            .is_empty());
+    }
+
+    #[test]
+    fn comparison_skips_benches_missing_from_the_baseline() {
+        let baseline = planted(100.0, 2000.0).baseline_json("b");
+        let mut fresh = planted(100.0, 2000.0);
+        fresh.results.push((
+            "mix/new".to_string(),
+            Sample {
+                iterations: 1,
+                mean_ns: 1.0,
+                min_ns: 1.0,
+                max_ns: 1.0,
+            },
+        ));
+        let cmp = fresh.compare_to_baseline(&baseline, 2.0);
+        assert_eq!(cmp.missing, vec!["mix/new".to_string()]);
+        assert!(cmp.regressions.is_empty());
+        assert!(cmp.render().contains("no baseline, skipped"));
+    }
+
+    #[test]
+    fn comparison_reports_baseline_entries_no_longer_measured() {
+        // A renamed or deleted benchmark must not shrink the gate silently:
+        // its orphaned baseline entry is called out.
+        let baseline = planted(100.0, 2000.0).baseline_json("b");
+        let mut fresh = planted(100.0, 2000.0);
+        fresh.results.retain(|(name, _)| name != "mix/slow");
+        let cmp = fresh.compare_to_baseline(&baseline, 2.0);
+        assert_eq!(cmp.stale, vec!["mix/slow".to_string()]);
+        assert!(cmp.regressions.is_empty());
+        assert!(cmp.render().contains("in baseline but not measured"));
     }
 
     #[test]

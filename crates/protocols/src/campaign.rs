@@ -14,7 +14,7 @@ use crate::metrics::{MessageCounts, MultiHopRunMetrics, SessionMetrics};
 use crate::multi_hop::MultiHopSession;
 use crate::single_hop::SingleHopSession;
 use sigstats::{OnlineStats, RatioEstimator, Summary};
-use simcore::{ExecutionPolicy, Replicate, ReplicationEngine, SimRng};
+use simcore::{Assignment, ExecutionPolicy, Replicate, ReplicationEngine, SimRng};
 
 /// Aggregated results of a single-hop campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,7 +105,12 @@ impl Campaign {
             config: &self.config,
             seed: self.seed,
         };
-        let metrics = ReplicationEngine::new(self.policy).run(self.replications, &task);
+        // Work stealing by default: session lengths vary wildly between
+        // replications, and the dynamic assignment keeps every worker busy
+        // while remaining bit-identical to serial execution.
+        let metrics = ReplicationEngine::new(self.policy)
+            .with_assignment(Assignment::WorkStealing)
+            .run(self.replications, &task);
         self.aggregate(&metrics)
     }
 
@@ -210,7 +215,9 @@ impl MultiHopCampaign {
             config: &self.config,
             seed: self.seed,
         };
-        let runs = ReplicationEngine::new(self.policy).run(self.replications, &task);
+        let runs = ReplicationEngine::new(self.policy)
+            .with_assignment(Assignment::WorkStealing)
+            .run(self.replications, &task);
         let k = self.config.params.hops;
         let mut end_to_end = OnlineStats::new();
         let mut rate = OnlineStats::new();

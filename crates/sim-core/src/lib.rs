@@ -6,9 +6,10 @@
 //!
 //! * [`time::SimTime`] — virtual time as seconds in an `f64` newtype with a
 //!   total order;
-//! * [`queue::EventQueue`] — the future event list: a binary heap of
-//!   `(time, sequence, event)` entries with O(log n) insertion, stable
-//!   FIFO ordering for simultaneous events, and lazy cancellation;
+//! * [`queue::EventQueue`] — the future event list: a slab arena of event
+//!   slots ordered by an implicit 4-ary min-heap of `(time, sequence)` keys,
+//!   with O(log n) insertion, stable FIFO ordering for simultaneous events,
+//!   and O(1) generation-tagged cancellation;
 //! * [`rng::SimRng`] — a seedable deterministic random number generator with
 //!   the handful of samplers the protocols need (exponential, Bernoulli,
 //!   uniform);

@@ -1,17 +1,50 @@
 //! The future event list.
+//!
+//! This is the hottest data structure in the workspace — every simulated
+//! session schedules, cancels and pops its events through it, and the
+//! fig11/fig12 sweeps pop millions of timer events per campaign — so it is
+//! built for the hot path:
+//!
+//! * **Slab arena of event slots.**  Payloads live in a flat `Vec` of slots
+//!   reused through a free list, so steady-state timer churn allocates
+//!   nothing and payloads never move once stored.
+//! * **Generation-tagged ids.**  An [`EventId`] is `{slot, generation}`; a
+//!   slot's generation is bumped every time it is vacated (delivered or
+//!   cancelled), so a stale id can never reach a reused slot.  `cancel` is a
+//!   single bounds-check + generation compare — O(1), no hashing, and no
+//!   tombstone sets to collect.
+//! * **Implicit 4-ary min-heap of keys.**  Ordering lives in a flat `Vec` of
+//!   small `(time, seq, slot, generation)` keys.  A 4-ary layout halves the
+//!   tree depth of a binary heap and keeps sift traffic inside fewer cache
+//!   lines; cancelled slots leave a stale key behind that is discarded for
+//!   free when it surfaces at the root.
 
 use crate::time::SimTime;
-use std::cmp::{Ordering, Reverse};
-use std::collections::{BinaryHeap, HashSet};
 
 /// Identifier of a scheduled event, used for cancellation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventId(u64);
+///
+/// Ids are generation-tagged slot references: the queue reuses payload slots
+/// through a free list, and every reuse bumps the slot's generation, so an id
+/// held after its event fired (or was cancelled) compares unequal to every
+/// later id and all operations on it are no-ops.  The generation wraps at
+/// `u32::MAX`, i.e. a stale id could collide only after its slot has been
+/// vacated 2³² times while the id is still being held.
+///
+/// Ids are opaque: they can be compared for equality and hashed, but —
+/// unlike the pre-slab monotonic ids — they carry no ordering (slot reuse
+/// makes any derived order meaningless), so `Ord` is deliberately not
+/// implemented and [`EventId::raw`] is not monotonic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId {
+    slot: u32,
+    generation: u32,
+}
 
 impl EventId {
-    /// The raw identifier value (for logging / tracing).
+    /// The raw identifier value (for logging / tracing): the generation in
+    /// the high 32 bits, the slot index in the low 32.
     pub fn raw(self) -> u64 {
-        self.0
+        (self.generation as u64) << 32 | self.slot as u64
     }
 }
 
@@ -26,51 +59,59 @@ pub struct ScheduledEvent<E> {
     pub event: E,
 }
 
+/// One payload slot of the arena.  `event` is `Some` exactly while the slot
+/// holds a scheduled, not-yet-delivered, not-cancelled event with the
+/// current `generation`.
 #[derive(Debug)]
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    id: EventId,
-    event: E,
+struct Slot<E> {
+    generation: u32,
+    event: Option<E>,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+/// One ordering key of the heap.  `(time, seq)` orders the heap (`seq` is
+/// unique, so the order is total and FIFO for simultaneous events);
+/// `(slot, generation)` locates the payload and detects staleness.
+#[derive(Debug, Clone, Copy)]
+struct HeapKey {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+    generation: u32,
+}
+
+impl HeapKey {
+    #[inline]
+    fn precedes(&self, other: &HeapKey) -> bool {
+        (self.time, self.seq) < (other.time, other.seq)
     }
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
-    }
-}
+
+/// Arity of the implicit heap.
+const D: usize = 4;
 
 /// A future event list: events are scheduled at absolute virtual times and
 /// popped in non-decreasing time order.  Simultaneous events preserve their
 /// scheduling order (FIFO), which keeps simulations deterministic.
 ///
-/// Cancellation is lazy: [`EventQueue::cancel`] records the id and the entry
-/// is discarded when it reaches the head of the heap.  Tombstones are
-/// bounded: only ids that are actually pending can enter the cancelled set,
-/// and discarding an entry removes its tombstone, so memory stays
-/// proportional to the number of *scheduled* events even over sessions that
-/// pop tens of millions of events.
+/// Cancellation ([`EventQueue::cancel`]) is O(1): the event's slot is
+/// vacated and recycled immediately; the slot's stale 24-byte heap key is
+/// discarded when it surfaces at the heap root during a later
+/// `pop`/`peek_time` — i.e. once the clock reaches the cancelled event's
+/// time.  Stale keys are therefore bounded by the cancellations still ahead
+/// of the clock (not by the session's total event count), and payload
+/// memory stays proportional to the number of *live* events even over
+/// sessions that pop tens of millions of events.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    /// Ids scheduled but not yet popped or discarded-as-cancelled.
-    pending: HashSet<EventId>,
-    /// Pending ids whose entries should be discarded instead of delivered.
-    /// Invariant: `cancelled ⊆ pending`'s historical ids still in the heap.
-    cancelled: HashSet<EventId>,
+    /// Implicit 4-ary min-heap of ordering keys.
+    heap: Vec<HeapKey>,
+    /// Slab arena of payload slots, indexed by `HeapKey::slot`.
+    slots: Vec<Slot<E>>,
+    /// Vacated slot indices available for reuse.
+    free: Vec<u32>,
+    /// Number of live (scheduled, not cancelled, not delivered) events.
+    live: usize,
     now: SimTime,
-    next_id: u64,
     next_seq: u64,
     popped: u64,
 }
@@ -85,11 +126,25 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
         Self {
-            heap: BinaryHeap::new(),
-            pending: HashSet::new(),
-            cancelled: HashSet::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
             now: SimTime::ZERO,
-            next_id: 0,
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `capacity` pending events before
+    /// any reallocation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            heap: Vec::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            live: 0,
+            now: SimTime::ZERO,
             next_seq: 0,
             popped: 0,
         }
@@ -100,15 +155,15 @@ impl<E> EventQueue<E> {
         self.now
     }
 
-    /// Number of events currently scheduled (including not-yet-collected
-    /// cancelled entries).
+    /// Number of live events currently scheduled (cancelled events are
+    /// excluded, so `len() == 0` exactly when [`EventQueue::is_empty`]).
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.live
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live == 0
     }
 
     /// Total number of events popped so far.
@@ -116,11 +171,20 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
-    /// Number of not-yet-collected cancellation tombstones (diagnostics;
-    /// bounded by the number of entries still in the heap — tombstones are
-    /// freed as their entries are discarded by `pop`/`peek_time`/`clear`).
+    /// Number of stale heap keys left behind by cancellations and not yet
+    /// discarded (diagnostics; each is 24 bytes, holds no payload, and is
+    /// freed when it surfaces at the heap root in `pop`/`peek_time`).
     pub fn cancelled_backlog(&self) -> usize {
-        self.cancelled.len()
+        self.heap.len() - self.live
+    }
+
+    /// Whether `id` refers to a live (scheduled, not cancelled, not yet
+    /// delivered) event.  O(1).
+    pub fn is_pending(&self, id: EventId) -> bool {
+        match self.slots.get(id.slot as usize) {
+            Some(slot) => slot.generation == id.generation,
+            None => false,
+        }
     }
 
     /// Schedules `event` at the absolute time `time`.
@@ -129,18 +193,35 @@ impl<E> EventQueue<E> {
     /// floating-point rounding of zero-length delays).
     pub fn schedule_at(&mut self, time: SimTime, event: E) -> EventId {
         let time = if time < self.now { self.now } else { time };
-        let id = EventId(self.next_id);
-        self.next_id += 1;
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize].event = Some(event);
+                slot
+            }
+            None => {
+                // Hard assert: past u32::MAX slots the `as u32` cast below
+                // would alias two live events onto one slot.  The check is on
+                // the cold slab-growth path, so it costs nothing.
+                assert!(self.slots.len() < u32::MAX as usize, "event slab full");
+                self.slots.push(Slot {
+                    generation: 0,
+                    event: Some(event),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let generation = self.slots[slot as usize].generation;
+        self.heap.push(HeapKey {
             time,
             seq,
-            id,
-            event,
-        }));
-        self.pending.insert(id);
-        id
+            slot,
+            generation,
+        });
+        self.sift_up(self.heap.len() - 1);
+        self.live += 1;
+        EventId { slot, generation }
     }
 
     /// Schedules `event` after a delay of `delay` seconds from now.
@@ -151,54 +232,126 @@ impl<E> EventQueue<E> {
     /// Cancels a previously scheduled event.  Returns `true` if the event was
     /// still pending (not yet popped and not already cancelled).
     ///
-    /// Cancelling an id that already fired (or was already cancelled) is a
-    /// no-op: no tombstone is recorded, so repeatedly cancelling stale timer
-    /// ids cannot grow the queue's memory.
+    /// O(1): the payload slot is vacated and recycled immediately; only the
+    /// 24-byte heap key lingers until it surfaces at the root.  Cancelling an
+    /// id that already fired (or was already cancelled) is a no-op, so
+    /// repeatedly cancelling stale timer ids cannot grow the queue's memory.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if !self.pending.remove(&id) {
-            return false;
+        match self.slots.get_mut(id.slot as usize) {
+            Some(slot) if slot.generation == id.generation => {
+                debug_assert!(slot.event.is_some(), "current generation implies live");
+                slot.event = None;
+                slot.generation = slot.generation.wrapping_add(1);
+                self.free.push(id.slot);
+                self.live -= 1;
+                true
+            }
+            _ => false,
         }
-        self.cancelled.insert(id)
     }
 
     /// Pops the next non-cancelled event, advancing the clock to its time.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.cancelled.remove(&entry.id) {
+        loop {
+            let key = *self.heap.first()?;
+            self.remove_root();
+            let slot = &mut self.slots[key.slot as usize];
+            if slot.generation != key.generation {
+                // Stale key of a cancelled event: discard and keep looking.
                 continue;
             }
-            self.pending.remove(&entry.id);
-            self.now = entry.time;
+            let event = slot.event.take().expect("current generation implies live");
+            slot.generation = slot.generation.wrapping_add(1);
+            self.free.push(key.slot);
+            self.live -= 1;
+            self.now = key.time;
             self.popped += 1;
             return Some(ScheduledEvent {
-                time: entry.time,
-                id: entry.id,
-                event: entry.event,
+                time: key.time,
+                id: EventId {
+                    slot: key.slot,
+                    generation: key.generation,
+                },
+                event,
             });
         }
-        None
     }
 
     /// Peeks at the time of the next non-cancelled event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drop cancelled entries from the head so the peek is accurate.
-        while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.cancelled.contains(&entry.id) {
-                let id = entry.id;
-                self.heap.pop();
-                self.cancelled.remove(&id);
-            } else {
-                return Some(entry.time);
+        // Drop stale keys from the root so the peek is accurate.
+        while let Some(key) = self.heap.first() {
+            if self.slots[key.slot as usize].generation == key.generation {
+                return Some(key.time);
             }
+            self.remove_root();
         }
         None
     }
 
     /// Discards all pending events (the clock is left unchanged).
+    ///
+    /// Occupied slots are vacated with a generation bump, so ids issued
+    /// before the `clear` remain inert against slots reused after it.
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.pending.clear();
-        self.cancelled.clear();
+        for (index, slot) in self.slots.iter_mut().enumerate() {
+            if slot.event.take().is_some() {
+                slot.generation = slot.generation.wrapping_add(1);
+                self.free.push(index as u32);
+            }
+        }
+        self.live = 0;
+    }
+
+    /// Moves `heap[index]` toward the root until its parent precedes it.
+    fn sift_up(&mut self, mut index: usize) {
+        let key = self.heap[index];
+        while index > 0 {
+            let parent = (index - 1) / D;
+            if key.precedes(&self.heap[parent]) {
+                self.heap[index] = self.heap[parent];
+                index = parent;
+            } else {
+                break;
+            }
+        }
+        self.heap[index] = key;
+    }
+
+    /// Removes the root key, refilling the hole from the back of the heap.
+    fn remove_root(&mut self) {
+        let last = self.heap.pop().expect("remove_root on empty heap");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.sift_down();
+        }
+    }
+
+    /// Moves `heap[0]` away from the root until it precedes all children.
+    fn sift_down(&mut self) {
+        let len = self.heap.len();
+        let key = self.heap[0];
+        let mut index = 0;
+        loop {
+            let first_child = index * D + 1;
+            if first_child >= len {
+                break;
+            }
+            let mut best = first_child;
+            for child in first_child + 1..(first_child + D).min(len) {
+                if self.heap[child].precedes(&self.heap[best]) {
+                    best = child;
+                }
+            }
+            if self.heap[best].precedes(&key) {
+                self.heap[index] = self.heap[best];
+                index = best;
+            } else {
+                break;
+            }
+        }
+        self.heap[index] = key;
     }
 }
 
@@ -242,19 +395,30 @@ mod tests {
     }
 
     #[test]
-    fn cancel_unknown_id_is_false() {
-        let mut q: EventQueue<()> = EventQueue::new();
-        assert!(!q.cancel(EventId(99)));
+    fn cancel_foreign_or_fired_id_is_false() {
+        let mut q: EventQueue<i32> = EventQueue::new();
+        // An id from a different queue (here: an id whose slot this queue
+        // never allocated) must not cancel anything.
+        let mut other = EventQueue::new();
+        for i in 0..5 {
+            other.schedule_in(1.0, i);
+        }
+        let foreign = other.schedule_in(1.0, 99);
+        assert!(!q.cancel(foreign));
+        // An id that fired is equally inert.
+        let id = q.schedule_in(1.0, 0);
+        q.pop().unwrap();
+        assert!(!q.cancel(id));
         assert_eq!(q.cancelled_backlog(), 0);
     }
 
     #[test]
     fn cancelling_fired_events_leaves_no_tombstones() {
         // Regression test for unbounded cancelled-set growth: protocols
-        // routinely call `cancel` on timer ids that have already fired.  The
-        // old implementation tombstoned every such id forever; over a
-        // 20M-event session that is an unbounded `HashSet`.  Cancelling a
-        // fired id must be a `false` no-op that records nothing.
+        // routinely call `cancel` on timer ids that have already fired.
+        // Cancelling a fired id must be a `false` no-op that records
+        // nothing — with generation-tagged slots this holds by construction,
+        // even though fired slots are immediately reused.
         let mut q = EventQueue::new();
         let mut stale = Vec::new();
         for round in 0..1000 {
@@ -266,21 +430,36 @@ mod tests {
             for &old in &stale {
                 assert!(!q.cancel(old), "fired id must not be cancellable");
             }
-            assert_eq!(q.cancelled_backlog(), 0, "tombstone leaked at {round}");
+            assert_eq!(q.cancelled_backlog(), 0, "stale key leaked at {round}");
         }
         assert!(q.is_empty());
     }
 
     #[test]
-    fn tombstones_are_collected_when_entries_are_discarded() {
+    fn slot_reuse_does_not_resurrect_stale_ids() {
+        // The ABA hazard of a slab: after `a` fires, its slot is reused by
+        // `b`.  A held id for `a` must not cancel (or match) `b`.
+        let mut q = EventQueue::new();
+        let a = q.schedule_in(1.0, "a");
+        assert_eq!(q.pop().unwrap().event, "a");
+        let b = q.schedule_in(1.0, "b");
+        assert_eq!(a.raw() & 0xFFFF_FFFF, b.raw() & 0xFFFF_FFFF, "slot reused");
+        assert_ne!(a, b, "generation differs");
+        assert!(!q.cancel(a), "stale id is inert");
+        assert!(q.is_pending(b));
+        assert_eq!(q.pop().unwrap().event, "b");
+    }
+
+    #[test]
+    fn stale_keys_are_collected_when_they_surface() {
         let mut q = EventQueue::new();
         let ids: Vec<_> = (0..100).map(|i| q.schedule_in(1.0 + i as f64, i)).collect();
         for id in &ids[..50] {
             assert!(q.cancel(*id));
         }
         assert_eq!(q.cancelled_backlog(), 50);
-        // Draining the queue discards the cancelled entries and their
-        // tombstones together.
+        assert_eq!(q.len(), 50);
+        // Draining the queue discards the stale keys along the way.
         let mut delivered = 0;
         while q.pop().is_some() {
             delivered += 1;
@@ -288,6 +467,23 @@ mod tests {
         assert_eq!(delivered, 50);
         assert_eq!(q.cancelled_backlog(), 0);
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    #[allow(clippy::len_zero)]
+    fn len_counts_live_events_only() {
+        // Regression test: `len()` used to report the heap length including
+        // not-yet-collected cancelled entries, disagreeing with `is_empty()`.
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10).map(|i| q.schedule_in(1.0 + i as f64, i)).collect();
+        assert_eq!(q.len(), 10);
+        for id in &ids {
+            q.cancel(*id);
+        }
+        assert_eq!(q.len(), 0, "cancelled events must not count");
+        assert!(q.is_empty());
+        assert_eq!(q.len() == 0, q.is_empty(), "len/is_empty agree");
+        assert!(q.pop().is_none());
     }
 
     #[test]
@@ -331,13 +527,80 @@ mod tests {
     }
 
     #[test]
-    fn clear_discards_everything() {
+    fn clear_discards_everything_and_inerts_old_ids() {
         let mut q = EventQueue::new();
-        q.schedule_in(1.0, 1);
+        let a = q.schedule_in(1.0, 1);
         q.schedule_in(2.0, 2);
         q.clear();
         assert!(q.pop().is_none());
         assert_eq!(q.len(), 0);
+        // Slots are reused after the clear; pre-clear ids must stay inert.
+        let b = q.schedule_in(3.0, 3);
+        assert!(!q.cancel(a));
+        assert!(q.is_pending(b));
+        assert_eq!(q.pop().unwrap().event, 3);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(64);
+        assert!(q.is_empty());
+        q.schedule_in(1.0, "x");
+        assert_eq!(q.pop().unwrap().event, "x");
+    }
+
+    /// A straightforward reference model: a `Vec` of `(time, seq, payload)`
+    /// scanned for the minimum on every pop.
+    struct ReferenceModel {
+        events: Vec<(SimTime, u64, u32)>,
+        now: SimTime,
+        next_seq: u64,
+        popped: u64,
+    }
+
+    impl ReferenceModel {
+        fn new() -> Self {
+            Self {
+                events: Vec::new(),
+                now: SimTime::ZERO,
+                next_seq: 0,
+                popped: 0,
+            }
+        }
+
+        fn schedule_at(&mut self, time: SimTime, payload: u32) -> u64 {
+            let time = if time < self.now { self.now } else { time };
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.events.push((time, seq, payload));
+            seq
+        }
+
+        fn cancel(&mut self, seq: u64) -> bool {
+            match self.events.iter().position(|&(_, s, _)| s == seq) {
+                Some(i) => {
+                    self.events.remove(i);
+                    true
+                }
+                None => false,
+            }
+        }
+
+        fn min_index(&self) -> Option<usize> {
+            (0..self.events.len()).min_by_key(|&i| (self.events[i].0, self.events[i].1))
+        }
+
+        fn pop(&mut self) -> Option<(SimTime, u32)> {
+            let i = self.min_index()?;
+            let (time, _, payload) = self.events.remove(i);
+            self.now = time;
+            self.popped += 1;
+            Some((time, payload))
+        }
+
+        fn peek_time(&self) -> Option<SimTime> {
+            self.min_index().map(|i| self.events[i].0)
+        }
     }
 
     proptest! {
@@ -374,6 +637,93 @@ mod tests {
                 got += 1;
             }
             prop_assert_eq!(got, expected);
+        }
+
+        #[test]
+        #[allow(clippy::len_zero)]
+        fn prop_matches_reference_model(
+            ops in proptest::collection::vec((0u8..8, 0.0f64..50.0, 0u32..64), 1..300),
+        ) {
+            // Random interleavings of the full API must behave exactly like
+            // the sorted-Vec reference model: same delivery set and order,
+            // same clock, same live count, same peeked times.
+            let mut q = EventQueue::new();
+            let mut model = ReferenceModel::new();
+            // Parallel id maps: the payload of event k is k itself, so
+            // delivery comparisons identify events exactly.
+            let mut ids: Vec<EventId> = Vec::new();
+            let mut seqs: Vec<u64> = Vec::new();
+            let mut next_payload = 0u32;
+            for &(op, value, pick) in &ops {
+                match op {
+                    // schedule_at (twice as likely as each other op)
+                    0 | 1 => {
+                        let t = SimTime::from_secs(value);
+                        ids.push(q.schedule_at(t, next_payload));
+                        seqs.push(model.schedule_at(t, next_payload));
+                        next_payload += 1;
+                    }
+                    // schedule_in
+                    2 | 3 => {
+                        ids.push(q.schedule_in(value, next_payload));
+                        seqs.push(model.schedule_at(model.now.after(value), next_payload));
+                        next_payload += 1;
+                    }
+                    // cancel a previously issued id (possibly already fired
+                    // or already cancelled)
+                    4 | 5 => {
+                        if !ids.is_empty() {
+                            let k = pick as usize % ids.len();
+                            prop_assert_eq!(q.cancel(ids[k]), model.cancel(seqs[k]));
+                        }
+                    }
+                    // pop
+                    6 => {
+                        let got = q.pop();
+                        let want = model.pop();
+                        match (got, want) {
+                            (None, None) => {}
+                            (Some(e), Some((time, payload))) => {
+                                prop_assert_eq!(e.time, time);
+                                prop_assert_eq!(e.event, payload);
+                            }
+                            (got, want) => prop_assert!(
+                                false,
+                                "pop diverged: queue {:?}, model {:?}",
+                                got.map(|e| e.event),
+                                want
+                            ),
+                        }
+                    }
+                    // peek_time
+                    _ => {
+                        prop_assert_eq!(q.peek_time(), model.peek_time());
+                    }
+                }
+                prop_assert_eq!(q.len(), model.events.len());
+                prop_assert_eq!(q.is_empty(), model.events.is_empty());
+                prop_assert_eq!(q.now(), model.now);
+                prop_assert_eq!(q.popped_count(), model.popped);
+                prop_assert_eq!(q.len() == 0, q.is_empty());
+            }
+            // Drain both and compare the full remaining delivery order.
+            loop {
+                let got = q.pop();
+                let want = model.pop();
+                match (got, want) {
+                    (None, None) => break,
+                    (Some(e), Some((time, payload))) => {
+                        prop_assert_eq!(e.time, time);
+                        prop_assert_eq!(e.event, payload);
+                    }
+                    (got, want) => prop_assert!(
+                        false,
+                        "drain diverged: queue {:?}, model {:?}",
+                        got.map(|e| e.event),
+                        want
+                    ),
+                }
+            }
         }
     }
 }

@@ -94,8 +94,16 @@ pub enum Assignment {
     Contiguous,
     /// Worker `w` of `W` takes indices `w, w + W, w + 2W, ...` (round-robin).
     /// Skewed costs are spread across all workers, improving utilization at
-    /// high core counts — the first step of the ROADMAP's work-stealing item.
+    /// high core counts — the first step toward work stealing.
     Striped,
+    /// Workers claim the next unclaimed index from a shared atomic cursor
+    /// and write each result into its index slot.  No worker idles while
+    /// indices remain, so utilization is optimal under arbitrarily skewed
+    /// per-index costs; outputs are still returned in index order, so
+    /// results stay bit-identical to [`Assignment::Contiguous`] and
+    /// [`ExecutionPolicy::Serial`].  This is the default for the campaign
+    /// and sweep layers.
+    WorkStealing,
 }
 
 /// Runs replicable tasks under an [`ExecutionPolicy`].
@@ -150,6 +158,7 @@ impl ReplicationEngine {
         match self.assignment {
             Assignment::Contiguous => run_contiguous(workers, count, task),
             Assignment::Striped => run_striped(workers, count, task),
+            Assignment::WorkStealing => run_work_stealing(workers, count, task),
         }
     }
 }
@@ -201,6 +210,38 @@ fn run_striped<R: Replicate>(workers: usize, count: usize, task: &R) -> Vec<R::O
             stripes[i % workers]
                 .next()
                 .expect("stripe lengths cover every index")
+        })
+        .collect()
+}
+
+/// Work stealing: every worker claims the next unclaimed index from a shared
+/// atomic cursor and stores its output into that index's slot (a `Mutex` per
+/// slot — uncontended by construction, since each index is claimed exactly
+/// once and replication dominates the lock by orders of magnitude).
+fn run_work_stealing<R: Replicate>(workers: usize, count: usize, task: &R) -> Vec<R::Output> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R::Output>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= count {
+                    break;
+                }
+                let output = task.replicate(index as u64);
+                *slots[index].lock().expect("slot lock poisoned") = Some(output);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock poisoned")
+                .expect("every claimed index produced an output")
         })
         .collect()
 }
@@ -271,6 +312,48 @@ mod tests {
         assert!(engine.run(0, &|i: u64| i).is_empty());
         assert_eq!(engine.run(1, &|i: u64| i), vec![0]);
         assert_eq!(engine.assignment(), Assignment::Striped);
+    }
+
+    #[test]
+    fn work_stealing_matches_serial_and_striped_bit_for_bit() {
+        // The engine contract under the dynamic assignment: no matter how
+        // workers interleave their claims, outputs come back in index order,
+        // identical to Serial, Contiguous and Striped — including for worker
+        // counts that exceed, divide, and do not divide the count.
+        let task = |i: u64| {
+            let mut rng = SimRng::for_replication(21, i);
+            let work = (i % 17) as usize * 12;
+            (0..work).map(|_| rng.uniform()).sum::<f64>() + i as f64
+        };
+        let serial = ReplicationEngine::new(ExecutionPolicy::Serial).run(59, &task);
+        for n in [2, 3, 8, 64] {
+            let stealing = ReplicationEngine::new(ExecutionPolicy::threads(n))
+                .with_assignment(Assignment::WorkStealing)
+                .run(59, &task);
+            assert_eq!(serial, stealing, "WorkStealing Threads({n}) diverged");
+            let striped = ReplicationEngine::new(ExecutionPolicy::threads(n))
+                .with_assignment(Assignment::Striped)
+                .run(59, &task);
+            assert_eq!(stealing, striped, "assignments diverged at {n}");
+        }
+    }
+
+    #[test]
+    fn work_stealing_every_index_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = ReplicationEngine::new(ExecutionPolicy::threads(7))
+            .with_assignment(Assignment::WorkStealing)
+            .run(103, &|i: u64| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                i
+            });
+        assert_eq!(counter.load(Ordering::Relaxed), 103);
+        assert_eq!(out, (0..103u64).collect::<Vec<_>>());
+        // Degenerate sizes.
+        let engine = ReplicationEngine::auto().with_assignment(Assignment::WorkStealing);
+        assert!(engine.run(0, &|i: u64| i).is_empty());
+        assert_eq!(engine.run(1, &|i: u64| i), vec![0]);
+        assert_eq!(engine.assignment(), Assignment::WorkStealing);
     }
 
     #[test]

@@ -45,6 +45,13 @@ impl Timer {
 
     /// (Re)arms the timer to fire after `delay` seconds, cancelling any
     /// previously scheduled expiry.
+    ///
+    /// The common re-arm paths cost nothing: an idle timer (or one whose
+    /// fire was acknowledged via [`Timer::on_fired`]) holds no id and skips
+    /// the cancel call entirely, and a held id whose event already fired — a
+    /// handler re-arming in response to its own expiry without acknowledging
+    /// it — makes the cancel a constant-time generation-compare no-op that
+    /// cannot touch an event reusing the fired event's slot.
     pub fn arm<E>(&mut self, queue: &mut EventQueue<E>, delay: f64, event: E) {
         self.cancel(queue);
         self.pending = Some(queue.schedule_in(delay, event));
@@ -122,6 +129,47 @@ mod tests {
         assert!(!t.is_armed());
         assert!(q.pop().is_none());
         assert!(!t.cancel(&mut q), "second cancel is a no-op");
+    }
+
+    #[test]
+    fn rearm_after_unacknowledged_fire_skips_the_dead_cancel() {
+        // A handler may re-arm in response to the timer's own expiry without
+        // calling `on_fired` first.  The held id already fired, so the re-arm
+        // must not cancel anything — in particular not an unrelated event
+        // that reused the fired event's payload slot.
+        let mut q = EventQueue::new();
+        let mut t = Timer::new();
+        t.arm(&mut q, 1.0, Ev::Tick);
+        let fired = q.pop().unwrap();
+        assert_eq!(fired.event, Ev::Tick);
+        // `other` reuses the fired event's slot.
+        let other = q.schedule_in(5.0, Ev::Other);
+        t.arm(&mut q, 1.0, Ev::Tick);
+        assert_eq!(t.armed_count(), 2);
+        assert!(
+            q.is_pending(other),
+            "re-arm must not cancel the reused slot"
+        );
+        let e = q.pop().unwrap();
+        assert_eq!(e.event, Ev::Tick);
+        assert!(t.on_fired(e.id));
+        assert_eq!(q.pop().unwrap().event, Ev::Other);
+    }
+
+    #[test]
+    fn rearm_after_acknowledged_fire_schedules_fresh() {
+        let mut q = EventQueue::new();
+        let mut t = Timer::new();
+        t.arm(&mut q, 1.0, Ev::Tick);
+        let e = q.pop().unwrap();
+        assert!(t.on_fired(e.id));
+        assert!(!t.is_armed());
+        t.arm(&mut q, 2.0, Ev::Tick);
+        assert!(t.is_armed());
+        assert_eq!(q.len(), 1);
+        let e = q.pop().unwrap();
+        assert_eq!(e.time.as_secs(), 3.0);
+        assert!(t.on_fired(e.id));
     }
 
     #[test]

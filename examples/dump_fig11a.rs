@@ -1,0 +1,12 @@
+//! Dumps the fig11a JSON under fixed quick/serial options (golden capture).
+
+use signaling::experiment::{ExperimentId, ExperimentOptions};
+use signaling::report::render_json;
+use signaling::ExecutionPolicy;
+
+fn main() {
+    let options = ExperimentOptions::quick().with_execution(ExecutionPolicy::Serial);
+    let out = ExperimentId::Fig11a.run_with(&options);
+    let fig = out.as_figure().expect("fig11a is a figure");
+    println!("{}", render_json(fig));
+}

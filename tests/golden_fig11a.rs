@@ -1,0 +1,66 @@
+//! Golden test pinning the fig11a JSON byte-for-byte.
+//!
+//! Figure 11(a) exercises the full simulation stack — event queue, timers,
+//! protocols, campaigns, the sweep fan-out and the JSON renderer — so any
+//! unintended behavior change anywhere in that stack shows up here as a
+//! byte diff.  The fixture was recorded before the slab event-queue rewrite
+//! and must stay stable across engine refactors; regenerate it (only after
+//! establishing the change is intended) with:
+//!
+//! ```text
+//! cargo run --release --example dump_fig11a > tests/golden/fig11a_quick_serial.json
+//! ```
+
+use signaling::experiment::{ExperimentId, ExperimentOptions};
+use signaling::report::render_json;
+use signaling::{Assignment, ExecutionPolicy, ReplicationEngine};
+
+const GOLDEN: &str = include_str!("golden/fig11a_quick_serial.json");
+
+fn fig11a_json(execution: ExecutionPolicy) -> String {
+    let options = ExperimentOptions::quick().with_execution(execution);
+    let out = ExperimentId::Fig11a.run_with(&options);
+    render_json(out.as_figure().expect("fig11a is a figure"))
+}
+
+#[test]
+fn fig11a_quick_serial_matches_the_committed_golden_json() {
+    // The example appends a trailing newline via println!.
+    let fresh = fig11a_json(ExecutionPolicy::Serial) + "\n";
+    assert_eq!(
+        fresh, GOLDEN,
+        "fig11a output drifted from tests/golden/fig11a_quick_serial.json"
+    );
+}
+
+#[test]
+fn fig11a_is_bit_identical_under_every_execution_policy() {
+    // The sweep layer fans campaigns out with the work-stealing assignment;
+    // outputs must be byte-identical to serial execution regardless.
+    let serial = fig11a_json(ExecutionPolicy::Serial);
+    for n in [2, 4, 16] {
+        assert_eq!(
+            serial,
+            fig11a_json(ExecutionPolicy::threads(n)),
+            "Threads({n}) diverged from Serial"
+        );
+    }
+}
+
+#[test]
+fn engine_outputs_are_identical_across_all_assignments() {
+    // Determinism at the engine level, through the facade's re-exports:
+    // Serial ≡ Threads(n)+Contiguous ≡ Striped ≡ WorkStealing.
+    let task = |i: u64| (i * 2654435761) % 97;
+    let serial = ReplicationEngine::new(ExecutionPolicy::Serial).run(41, &task);
+    for assignment in [
+        Assignment::Contiguous,
+        Assignment::Striped,
+        Assignment::WorkStealing,
+    ] {
+        let parallel = ReplicationEngine::new(ExecutionPolicy::threads(4))
+            .with_assignment(assignment)
+            .run(41, &task);
+        assert_eq!(serial, parallel, "{assignment:?} diverged");
+    }
+}
