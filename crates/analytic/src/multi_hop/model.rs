@@ -5,6 +5,7 @@ use super::states::MultiHopState;
 use super::transitions::multi_hop_transitions;
 use crate::params::{MultiHopParams, Protocol};
 use crate::single_hop::model::ModelError;
+use crate::spec::ProtocolSpec;
 use ctmc::CtmcBuilder;
 use std::collections::HashMap;
 
@@ -37,7 +38,7 @@ impl MultiHopMessageRates {
 #[derive(Debug, Clone, PartialEq)]
 pub struct MultiHopSolution {
     /// The protocol.
-    pub protocol: Protocol,
+    pub protocol: ProtocolSpec,
     /// Parameters the model was solved under.
     pub params: MultiHopParams,
     /// End-to-end inconsistency ratio `I = 1 − π_(K,Fast)` (Equation 12):
@@ -70,25 +71,32 @@ impl MultiHopSolution {
     }
 }
 
-/// The multi-hop analytic model: one protocol + one parameter set.
+/// The multi-hop analytic model: one protocol spec + one parameter set.
 #[derive(Debug, Clone)]
 pub struct MultiHopModel {
-    protocol: Protocol,
+    protocol: ProtocolSpec,
     params: MultiHopParams,
 }
 
 impl MultiHopModel {
-    /// Builds the model, validating parameters.  The paper evaluates SS,
-    /// SS+RT and HS in the multi-hop setting; the removal-oriented variants
-    /// (SS+ER, SS+RTR) are accepted and behave like their base protocol
-    /// because the multi-hop model contains no sender-side removal.
-    pub fn new(protocol: Protocol, params: MultiHopParams) -> Result<Self, ModelError> {
+    /// Builds the model, validating the parameters and the protocol's
+    /// mechanism composition.  The paper evaluates SS, SS+RT and HS in the
+    /// multi-hop setting; the removal-oriented variants (SS+ER, SS+RTR) are
+    /// accepted and behave like their base protocol because the multi-hop
+    /// model contains no sender-side removal.  Accepts a [`Protocol`] name
+    /// or any coherent [`ProtocolSpec`].
+    pub fn new(
+        protocol: impl Into<ProtocolSpec>,
+        params: MultiHopParams,
+    ) -> Result<Self, ModelError> {
+        let protocol = protocol.into();
+        protocol.validate().map_err(ModelError::InvalidSpec)?;
         params.validate().map_err(ModelError::InvalidParams)?;
         Ok(Self { protocol, params })
     }
 
     /// The protocol being modelled.
-    pub fn protocol(&self) -> Protocol {
+    pub fn protocol(&self) -> ProtocolSpec {
         self.protocol
     }
 
@@ -100,7 +108,7 @@ impl MultiHopModel {
     /// Solves the chain and computes every metric.
     pub fn solve(&self) -> Result<MultiHopSolution, ModelError> {
         let k = self.params.hops;
-        let with_recovery = matches!(self.protocol, Protocol::Hs);
+        let with_recovery = self.protocol.has_external_detector();
 
         let mut builder: CtmcBuilder<MultiHopState> = CtmcBuilder::new();
         for s in MultiHopState::enumerate(k, with_recovery) {
@@ -190,24 +198,34 @@ impl MultiHopModel {
             0.0
         };
 
-        // Hop-by-hop retransmissions while stuck on the slow path.
-        let retransmission = if self.protocol.reliable_triggers() {
+        // Hop-by-hop retransmissions while stuck on the slow path (reliable
+        // triggers, or reliable refreshes doing the same repair job).
+        let retransmission = if self.protocol.retransmits_repairs() {
             slow_mass / p.retrans_timer
         } else {
             0.0
         };
 
-        // One hop-by-hop ACK per successfully delivered trigger /
-        // retransmission.
-        let ack = if self.protocol.reliable_triggers() {
-            success * (fast_mass / p.delay + slow_mass / p.retrans_timer)
-        } else {
-            0.0
+        // One hop-by-hop ACK per successfully delivered message of the
+        // acknowledged stream: triggers and retransmissions whenever any
+        // retransmission machinery exists (trigger ACKs under reliable
+        // triggers; the refresh loop acknowledges triggers too when they
+        // have no ACKs of their own), plus one ACK per delivered refresh
+        // hop under reliable refresh.
+        let ack = {
+            let mut acked_rate = 0.0;
+            if self.protocol.retransmits_repairs() {
+                acked_rate += fast_mass / p.delay + slow_mass / p.retrans_timer;
+            }
+            if self.protocol.reliable_refresh() {
+                acked_rate += self.expected_hops_per_message() / p.refresh_timer;
+            }
+            success * acked_rate
         };
 
         // Recovery traffic: the receiver that saw the false signal notifies
         // the other K−1 receivers and the sender (≈ K messages per recovery).
-        let recovery = if matches!(self.protocol, Protocol::Hs) {
+        let recovery = if self.protocol.has_external_detector() {
             recovery_mass * (2.0 / (k as f64 * p.delay)) * k as f64
         } else {
             0.0

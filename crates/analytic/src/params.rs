@@ -1,5 +1,6 @@
 //! Protocols and model parameters.
 
+use crate::spec::ProtocolSpec;
 use std::fmt;
 
 /// A typed description of why a parameter set (or a simulation configuration
@@ -82,6 +83,14 @@ impl fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// The five signaling protocols studied by the paper (Section II).
+///
+/// Since the protocol layer was opened up, this enum is a set of *names* for
+/// the five paper presets of [`ProtocolSpec`] — the mechanism-composition
+/// type every model and simulator actually runs on.  Each variant converts
+/// into its preset via [`Protocol::spec`] (or `Into<ProtocolSpec>`, which
+/// every protocol-taking API accepts), so existing call sites keep working
+/// unchanged.  The mechanism predicates on this enum are kept as the
+/// paper-transcribed ground truth the presets are tested against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Protocol {
     /// Pure soft state: best-effort triggers + periodic refresh; removal only
@@ -112,6 +121,18 @@ impl Protocol {
     /// The three protocols the paper evaluates in the multi-hop setting
     /// (Section III-B).
     pub const MULTI_HOP: [Protocol; 3] = [Protocol::Ss, Protocol::SsRt, Protocol::Hs];
+
+    /// The protocol's mechanism composition — the [`ProtocolSpec`] preset
+    /// this name stands for.
+    pub const fn spec(self) -> ProtocolSpec {
+        match self {
+            Protocol::Ss => ProtocolSpec::SS,
+            Protocol::SsEr => ProtocolSpec::SS_ER,
+            Protocol::SsRt => ProtocolSpec::SS_RT,
+            Protocol::SsRtr => ProtocolSpec::SS_RTR,
+            Protocol::Hs => ProtocolSpec::HS,
+        }
+    }
 
     /// The label used in the paper's figures.
     pub fn label(self) -> &'static str {
@@ -161,6 +182,24 @@ impl Protocol {
 impl fmt::Display for Protocol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+impl From<Protocol> for ProtocolSpec {
+    fn from(p: Protocol) -> Self {
+        p.spec()
+    }
+}
+
+impl PartialEq<Protocol> for ProtocolSpec {
+    fn eq(&self, other: &Protocol) -> bool {
+        *self == other.spec()
+    }
+}
+
+impl PartialEq<ProtocolSpec> for Protocol {
+    fn eq(&self, other: &ProtocolSpec) -> bool {
+        self.spec() == *other
     }
 }
 
@@ -257,10 +296,18 @@ impl SingleHopParams {
     /// within a timeout interval are lost, causing the receiver to time the
     /// state out even though the sender still has it.
     pub fn false_removal_rate(&self) -> f64 {
-        if self.timeout_timer <= 0.0 || self.refresh_timer <= 0.0 {
+        self.false_removal_rate_with_interval(self.refresh_timer)
+    }
+
+    /// [`SingleHopParams::false_removal_rate`] with an explicit
+    /// delivery-attempt interval: `p_l^(τ/interval) / τ`.  Best-effort
+    /// refreshes attempt once per refresh interval `T`; reliable refreshes
+    /// also retry every `R`, so their attempt interval is `min(T, R)`.
+    pub fn false_removal_rate_with_interval(&self, attempt_interval: f64) -> f64 {
+        if self.timeout_timer <= 0.0 || attempt_interval <= 0.0 {
             return 0.0;
         }
-        let exponent = self.timeout_timer / self.refresh_timer;
+        let exponent = self.timeout_timer / attempt_interval;
         self.loss.max(0.0).powf(exponent) / self.timeout_timer
     }
 

@@ -35,6 +35,10 @@ pub struct MessageRates {
     /// Extra messages due to reliable removal (removal retransmissions and
     /// ACKs), `m_RR`.
     pub reliable_removal_extra: f64,
+    /// Extra messages due to reliable refreshes (refresh ACKs and
+    /// retransmissions).  Zero for every paper protocol; non-zero only for
+    /// mechanism compositions with `RefreshMode::Reliable`.
+    pub reliable_refresh_extra: f64,
 }
 
 impl MessageRates {
@@ -46,6 +50,7 @@ impl MessageRates {
             + self.explicit_removal
             + self.reliable_trigger_extra
             + self.reliable_removal_extra
+            + self.reliable_refresh_extra
     }
 
     /// Fraction of the total rate spent on refresh messages — the knob the
@@ -72,8 +77,9 @@ mod tests {
             explicit_removal: 0.05,
             reliable_trigger_extra: 0.03,
             reliable_removal_extra: 0.02,
+            reliable_refresh_extra: 0.01,
         };
-        assert!((r.total() - 0.4).abs() < 1e-12);
+        assert!((r.total() - 0.41).abs() < 1e-12);
     }
 
     #[test]

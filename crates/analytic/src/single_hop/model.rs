@@ -4,6 +4,7 @@ use super::metrics::MessageRates;
 use super::states::SingleHopState;
 use super::transitions::{protocol_transitions, RateTable};
 use crate::params::{ConfigError, Protocol, SingleHopParams};
+use crate::spec::{ProtocolSpec, SpecError};
 use ctmc::{CtmcBuilder, CtmcError};
 use std::collections::HashMap;
 use std::fmt;
@@ -13,6 +14,8 @@ use std::fmt;
 pub enum ModelError {
     /// The parameter set failed validation.
     InvalidParams(ConfigError),
+    /// The protocol's mechanism composition is incoherent.
+    InvalidSpec(SpecError),
     /// The underlying Markov-chain machinery failed (singular system, ...).
     Chain(CtmcError),
 }
@@ -21,6 +24,7 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            ModelError::InvalidSpec(e) => write!(f, "invalid protocol spec: {e}"),
             ModelError::Chain(e) => write!(f, "chain error: {e}"),
         }
     }
@@ -38,7 +42,7 @@ impl From<CtmcError> for ModelError {
 #[derive(Debug, Clone, PartialEq)]
 pub struct SingleHopSolution {
     /// The protocol.
-    pub protocol: Protocol,
+    pub protocol: ProtocolSpec,
     /// The parameters the model was solved under.
     pub params: SingleHopParams,
     /// Inconsistency ratio `I` (Equation 1): fraction of time the sender and
@@ -74,17 +78,24 @@ impl SingleHopSolution {
     }
 }
 
-/// The single-hop analytic model: one protocol + one parameter set.
+/// The single-hop analytic model: one protocol spec + one parameter set.
 #[derive(Debug, Clone)]
 pub struct SingleHopModel {
-    protocol: Protocol,
+    protocol: ProtocolSpec,
     params: SingleHopParams,
     table: RateTable,
 }
 
 impl SingleHopModel {
-    /// Builds the model, validating the parameters.
-    pub fn new(protocol: Protocol, params: SingleHopParams) -> Result<Self, ModelError> {
+    /// Builds the model, validating the parameters and the protocol's
+    /// mechanism composition.  Accepts a [`Protocol`] name or any
+    /// [`ProtocolSpec`].
+    pub fn new(
+        protocol: impl Into<ProtocolSpec>,
+        params: SingleHopParams,
+    ) -> Result<Self, ModelError> {
+        let protocol = protocol.into();
+        protocol.validate().map_err(ModelError::InvalidSpec)?;
         params.validate().map_err(ModelError::InvalidParams)?;
         let table = protocol_transitions(protocol, &params);
         Ok(Self {
@@ -95,7 +106,7 @@ impl SingleHopModel {
     }
 
     /// The protocol being modelled.
-    pub fn protocol(&self) -> Protocol {
+    pub fn protocol(&self) -> ProtocolSpec {
         self.protocol
     }
 
@@ -234,14 +245,24 @@ impl SingleHopModel {
             0.0
         };
 
-        // Eq. (6): reliable-trigger extra traffic.
+        // Eq. (6): reliable-trigger extra traffic.  This component also
+        // carries the false-removal notification stream (Eq. 6's last
+        // term), which any notifying spec emits — with or without reliable
+        // triggers (every notifying paper preset happens to have both).
         let reliable_trigger_extra = if self.protocol.reliable_triggers() {
             let retransmissions = (get(Setup2) + get(Diff2)) / p.retrans_timer;
             let acks = success / p.delay * (get(Setup1) + get(Diff1))
                 + success / p.retrans_timer * (get(Setup2) + get(Diff2));
             let false_removal_rate = super::transitions::false_removal_rate(self.protocol, p);
-            let notifications = false_removal_rate * (get(Consistent) + get(Diff2));
+            let notifications = if self.protocol.notifies_on_removal() {
+                false_removal_rate * (get(Consistent) + get(Diff2))
+            } else {
+                0.0
+            };
             retransmissions + acks + notifications
+        } else if self.protocol.notifies_on_removal() {
+            let false_removal_rate = super::transitions::false_removal_rate(self.protocol, p);
+            false_removal_rate * (get(Consistent) + get(Diff2))
         } else {
             0.0
         };
@@ -255,12 +276,36 @@ impl SingleHopModel {
             0.0
         };
 
+        // Reliable-refresh extra traffic (no paper preset uses this — it is
+        // the mechanism-composition extension): one ACK per delivered
+        // refresh, and — when triggers have no ACK machinery of their own,
+        // so the refresh loop carries them — one ACK per delivered trigger
+        // plus retransmissions while the receiver lags.  (With reliable
+        // triggers those last two streams are already billed by Eq. 6.)
+        let reliable_refresh_extra = if self.protocol.reliable_refresh() {
+            let refresh_acks =
+                success / p.refresh_timer * (get(Setup2) + get(Consistent) + get(Diff2));
+            if self.protocol.reliable_triggers() {
+                refresh_acks
+            } else {
+                let trigger_acks = success / p.delay * (get(Setup1) + get(Diff1));
+                let retransmissions = (get(Setup2) + get(Diff2)) / p.retrans_timer;
+                // Delivered retransmissions are acknowledged too (the same
+                // `success/R` ACK stream Eq. 6 bills for reliable triggers).
+                let retrans_acks = success / p.retrans_timer * (get(Setup2) + get(Diff2));
+                refresh_acks + trigger_acks + retransmissions + retrans_acks
+            }
+        } else {
+            0.0
+        };
+
         MessageRates {
             trigger,
             refresh,
             explicit_removal,
             reliable_trigger_extra,
             reliable_removal_extra,
+            reliable_refresh_extra,
         }
     }
 }

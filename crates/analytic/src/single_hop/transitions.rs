@@ -32,7 +32,8 @@
 //! removal can originate from a fast-path state with a message in flight.
 
 use super::states::SingleHopState;
-use crate::params::{Protocol, SingleHopParams};
+use crate::params::SingleHopParams;
+use crate::spec::ProtocolSpec;
 
 /// One row of the transition table: a `from → to` transition and its rate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,7 +50,7 @@ pub struct RateEntry {
 #[derive(Debug, Clone, PartialEq)]
 pub struct RateTable {
     /// The protocol the rates belong to.
-    pub protocol: Protocol,
+    pub protocol: ProtocolSpec,
     /// All non-zero transitions.
     pub entries: Vec<RateEntry>,
 }
@@ -91,47 +92,70 @@ impl RateTable {
 }
 
 /// Rate at which a slow-path state (`(1,0)₂` or `IC₂`) returns to the
-/// consistent state: by refresh for pure soft state, refresh or
-/// retransmission for the reliable-trigger soft-state variants, and
-/// retransmission only for hard state (Table I row 3).
-pub fn slow_path_repair_rate(protocol: Protocol, p: &SingleHopParams) -> f64 {
+/// consistent state (Table I row 3), derived from the repair mechanisms the
+/// spec enables: a refresh stream contributes `1/T`, retransmission (of
+/// reliable triggers, or of reliable refreshes) contributes `1/R`, and
+/// either way the repairing message must survive the channel.
+///
+/// For the paper presets this reduces to exactly Table I: `(1−p_l)/T` for
+/// SS/SS+ER, `(1/T + 1/R)(1−p_l)` for SS+RT/SS+RTR, `(1−p_l)/R` for HS.
+pub fn slow_path_repair_rate(protocol: impl Into<ProtocolSpec>, p: &SingleHopParams) -> f64 {
+    let spec = protocol.into();
     let success = 1.0 - p.loss;
-    match protocol {
-        Protocol::Ss | Protocol::SsEr => success / p.refresh_timer,
-        Protocol::SsRt | Protocol::SsRtr => {
-            (1.0 / p.refresh_timer + 1.0 / p.retrans_timer) * success
-        }
-        Protocol::Hs => success / p.retrans_timer,
+    match (spec.uses_refresh(), spec.retransmits_repairs()) {
+        (true, true) => (1.0 / p.refresh_timer + 1.0 / p.retrans_timer) * success,
+        (true, false) => success / p.refresh_timer,
+        (false, true) => success / p.retrans_timer,
+        (false, false) => 0.0,
     }
 }
 
-/// The false-removal rate `λ_f` of Table I's last row.
-pub fn false_removal_rate(protocol: Protocol, p: &SingleHopParams) -> f64 {
-    match protocol {
-        Protocol::Hs => p.false_signal_rate,
-        _ => p.false_removal_rate(),
+/// The false-removal rate `λ_f` of Table I's last row: for the state-timeout
+/// protocols it is the all-delivery-attempts-lost approximation — `p_l^(τ/T)/τ`
+/// with best-effort refreshes, and `p_l^(τ/R)/τ` with reliable refreshes
+/// (retransmissions every `R` multiply the attempts per timeout interval); a
+/// protocol without a state timeout relies on an external failure detector
+/// instead, whose false alarms arrive at rate `λ_e`.
+pub fn false_removal_rate(protocol: impl Into<ProtocolSpec>, p: &SingleHopParams) -> f64 {
+    let spec = protocol.into();
+    if spec.has_external_detector() {
+        p.false_signal_rate
+    } else if spec.reliable_refresh() {
+        // Delivery attempts arrive at the faster of the periodic refresh
+        // stream (every `T`) and the retransmission retries (every `R`) —
+        // a slow retransmission timer never makes things *worse* than SS.
+        p.false_removal_rate_with_interval(p.refresh_timer.min(p.retrans_timer))
+    } else {
+        p.false_removal_rate()
     }
 }
 
 /// Rate at which orphaned receiver state is finally removed once the removal
-/// message was lost (`(0,1)₂ → (0,0)`, Table I row 6).  `None` when the
-/// protocol has no `(0,1)₂` state.
-pub fn orphan_cleanup_rate(protocol: Protocol, p: &SingleHopParams) -> Option<f64> {
+/// message was lost (`(0,1)₂ → (0,0)`, Table I row 6): the state-timeout
+/// backstop contributes `1/τ`, removal retransmission contributes
+/// `(1−p_l)/R`.  `None` when the protocol has no `(0,1)₂` state (no explicit
+/// removal, or no surviving cleanup mechanism).
+pub fn orphan_cleanup_rate(protocol: impl Into<ProtocolSpec>, p: &SingleHopParams) -> Option<f64> {
+    let spec = protocol.into();
+    if !spec.uses_explicit_removal() {
+        return None;
+    }
     let success = 1.0 - p.loss;
-    match protocol {
-        Protocol::Ss | Protocol::SsRt => None,
-        Protocol::SsEr => Some(1.0 / p.timeout_timer),
-        Protocol::SsRtr => Some(1.0 / p.timeout_timer + success / p.retrans_timer),
-        Protocol::Hs => Some(success / p.retrans_timer),
+    match (spec.uses_state_timeout(), spec.reliable_removal()) {
+        (true, true) => Some(1.0 / p.timeout_timer + success / p.retrans_timer),
+        (true, false) => Some(1.0 / p.timeout_timer),
+        (false, true) => Some(success / p.retrans_timer),
+        (false, false) => None,
     }
 }
 
 /// Rate of the `(0,1)₁ → (0,0)` transition (Table I row 5): state-timeout for
 /// the protocols without explicit removal, successful delivery of the removal
 /// message otherwise.
-pub fn removal_delivery_rate(protocol: Protocol, p: &SingleHopParams) -> f64 {
+pub fn removal_delivery_rate(protocol: impl Into<ProtocolSpec>, p: &SingleHopParams) -> f64 {
+    let spec = protocol.into();
     let success = 1.0 - p.loss;
-    if protocol.uses_explicit_removal() {
+    if spec.uses_explicit_removal() {
         success / p.delay
     } else {
         1.0 / p.timeout_timer
@@ -139,8 +163,14 @@ pub fn removal_delivery_rate(protocol: Protocol, p: &SingleHopParams) -> f64 {
 }
 
 /// Builds the complete transition list of one protocol.
-pub fn protocol_transitions(protocol: Protocol, p: &SingleHopParams) -> RateTable {
+///
+/// The builder is written entirely in terms of [`ProtocolSpec`]'s mechanism
+/// predicates — there is no per-protocol `match` left — so any coherent
+/// composition of mechanisms yields a well-formed chain, and the paper
+/// presets reproduce Table I bit for bit.
+pub fn protocol_transitions(protocol: impl Into<ProtocolSpec>, p: &SingleHopParams) -> RateTable {
     use SingleHopState::*;
+    let protocol: ProtocolSpec = protocol.into();
     let mut entries: Vec<RateEntry> = Vec::new();
     let mut push = |from: SingleHopState, to: SingleHopState, rate: f64| {
         if rate > 0.0 {
@@ -191,6 +221,7 @@ pub fn protocol_transitions(protocol: Protocol, p: &SingleHopParams) -> RateTabl
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::Protocol;
     use SingleHopState::*;
 
     fn params() -> SingleHopParams {
@@ -259,6 +290,25 @@ mod tests {
         assert_eq!(false_removal_rate(Protocol::Ss, &p), p.false_removal_rate());
         let hs = protocol_transitions(Protocol::Hs, &p);
         assert!((hs.rate(Consistent, Setup2) - p.false_signal_rate).abs() < 1e-18);
+    }
+
+    #[test]
+    fn reliable_refresh_lowers_the_false_removal_rate() {
+        use crate::spec::{ProtocolSpec, RefreshMode};
+        // Retransmissions every R multiply the delivery attempts per timeout
+        // interval, so the all-attempts-lost exponent becomes τ/R.
+        let mut p = params();
+        p.loss = 0.5;
+        p.timeout_timer = 2.0 * p.refresh_timer;
+        let ss_rr = ProtocolSpec::soft_state("SS+RR").with_refresh(Some(RefreshMode::Reliable));
+        let rr = false_removal_rate(ss_rr, &p);
+        let ss = false_removal_rate(Protocol::Ss, &p);
+        assert!(
+            rr < ss,
+            "reliable refresh must cut λ_f ({rr} vs {ss}), matching the simulator"
+        );
+        let expected = p.loss.powf(p.timeout_timer / p.retrans_timer) / p.timeout_timer;
+        assert!((rr - expected).abs() < 1e-18);
     }
 
     #[test]

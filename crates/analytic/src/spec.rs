@@ -1,0 +1,572 @@
+//! Mechanism-composition protocol specifications.
+//!
+//! Section II of the paper does not define five monolithic protocols — it
+//! defines a handful of *orthogonal mechanisms* (periodic refresh,
+//! receiver-side state timeout, best-effort vs. reliable trigger delivery,
+//! explicit state removal, removal notification) and presents SS, SS+ER,
+//! SS+RT, SS+RTR and HS as particular *combinations* of them.  That is what
+//! lets the paper speak of a hard-state/soft-state *spectrum*.
+//!
+//! [`ProtocolSpec`] makes the composition explicit: one knob per mechanism,
+//! typed [`SpecError`] validation for incoherent combinations, and the five
+//! paper protocols as `const` presets ([`ProtocolSpec::SS`], ...,
+//! [`ProtocolSpec::HS`]).  Everything downstream — the analytic transition
+//! builders, both discrete-event simulators, the experiment registry —
+//! derives its behavior from these knobs, so a *sixth* design point (say,
+//! soft state with reliable refreshes) runs through the whole stack without
+//! a single new `match` arm:
+//!
+//! ```
+//! use siganalytic::spec::{Delivery, ProtocolSpec, RefreshMode, Removal};
+//!
+//! // Soft state whose refreshes are acknowledged and retransmitted.
+//! let ss_rr = ProtocolSpec::soft_state("SS+RR").with_refresh(Some(RefreshMode::Reliable));
+//! ss_rr.validate().unwrap();
+//! assert!(ss_rr.uses_refresh() && ss_rr.reliable_refresh());
+//! assert_eq!(ss_rr.triggers, Delivery::BestEffort);
+//! assert_eq!(ss_rr.removal, Removal::None);
+//!
+//! // The paper presets are just named spec constants.
+//! assert!(ProtocolSpec::HS.reliable_removal());
+//! assert!(!ProtocolSpec::HS.uses_state_timeout());
+//! ```
+
+use std::fmt;
+
+/// How (and whether) periodic refresh messages are delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefreshMode {
+    /// Refreshes are fire-and-forget (every soft-state paper protocol).
+    BestEffort,
+    /// Refreshes are acknowledged and retransmitted until acknowledged — a
+    /// non-paper design point on the soft/hard spectrum.
+    Reliable,
+}
+
+/// Delivery discipline of trigger (setup/update) messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Delivery {
+    /// Fire-and-forget (SS, SS+ER).
+    BestEffort,
+    /// Acknowledged and retransmitted (SS+RT, SS+RTR, HS).
+    Reliable,
+}
+
+/// How state removal is signaled to the receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Removal {
+    /// No explicit removal message; orphaned state is only reclaimed by the
+    /// receiver's state timeout (SS, SS+RT).
+    None,
+    /// A single best-effort removal message (SS+ER).
+    BestEffort,
+    /// Removal messages are acknowledged and retransmitted (SS+RTR, HS).
+    Reliable,
+}
+
+/// Why a mechanism combination is incoherent.
+///
+/// Returned by [`ProtocolSpec::validate`].  Every variant names a
+/// combination that cannot implement the paper's signaling contract
+/// (installed state eventually reflects the sender's, and orphaned state is
+/// eventually reclaimed), so the models refuse to run it rather than produce
+/// a meaningless chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecError {
+    /// The spec's label is empty (labels key series, reports and registries).
+    EmptyLabel,
+    /// A state timeout with no refresh stream to feed it: every installed
+    /// state times out unconditionally, i.e. removal is guaranteed to be
+    /// false.
+    TimeoutWithoutRefresh,
+    /// Neither refresh nor reliable triggers: a lost trigger is never
+    /// repaired and the receiver can lag the sender forever.
+    NoLossRecovery,
+    /// No explicit removal and no state timeout: orphaned receiver state is
+    /// never reclaimed.
+    NoRemovalPath,
+    /// Best-effort removal without a state-timeout backstop: a single lost
+    /// removal message orphans the receiver state forever.
+    UnreliableRemovalWithoutTimeout,
+    /// No state timeout means an external failure detector removes state on
+    /// (possibly false) failure signals; without a removal notification or a
+    /// refresh stream the sender never learns of a false removal and cannot
+    /// repair it.
+    UnrecoverableFalseRemoval,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::EmptyLabel => write!(f, "protocol spec has an empty label"),
+            SpecError::TimeoutWithoutRefresh => write!(
+                f,
+                "state timeout without refresh: every removal would be a false removal"
+            ),
+            SpecError::NoLossRecovery => write!(
+                f,
+                "no refresh and best-effort triggers: a lost trigger is never repaired"
+            ),
+            SpecError::NoRemovalPath => write!(
+                f,
+                "no explicit removal and no state timeout: orphaned state is never reclaimed"
+            ),
+            SpecError::UnreliableRemovalWithoutTimeout => write!(
+                f,
+                "best-effort removal without a state-timeout backstop: a lost removal \
+                 message orphans the receiver state forever"
+            ),
+            SpecError::UnrecoverableFalseRemoval => write!(
+                f,
+                "no state timeout, no removal notification and no refresh: a false \
+                 external removal is never repaired"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A signaling protocol as a composition of orthogonal mechanisms.
+///
+/// The five paper protocols are the presets [`ProtocolSpec::SS`] through
+/// [`ProtocolSpec::HS`] (collected in [`ProtocolSpec::PAPER`]); anything
+/// else on the spectrum is built with [`ProtocolSpec::soft_state`] /
+/// [`ProtocolSpec::hard_state`] and the `with_*` knobs, then checked with
+/// [`ProtocolSpec::validate`].
+///
+/// The struct is `Copy` (labels are `&'static str`) so it flows through
+/// configs, campaigns and sweep job lists exactly like the old closed enum
+/// did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProtocolSpec {
+    /// The label used in figures, reports and registries (e.g. `"SS+ER"`).
+    pub label: &'static str,
+    /// Periodic refresh stream, if any, and its delivery discipline.
+    pub refresh: Option<RefreshMode>,
+    /// Whether the receiver removes state when refreshes stop arriving.
+    pub state_timeout: bool,
+    /// Delivery discipline of trigger (setup/update) messages.
+    pub triggers: Delivery,
+    /// Explicit state-removal signaling.
+    pub removal: Removal,
+    /// Whether the receiver notifies the sender when it removes state, so
+    /// the sender can repair a false removal with a fresh trigger (the paper
+    /// gives this to SS+RT, SS+RTR and HS).
+    pub notify_on_removal: bool,
+}
+
+impl ProtocolSpec {
+    /// Pure soft state: best-effort triggers, periodic refresh, removal only
+    /// by receiver-side state timeout.
+    pub const SS: ProtocolSpec = ProtocolSpec {
+        label: "SS",
+        refresh: Some(RefreshMode::BestEffort),
+        state_timeout: true,
+        triggers: Delivery::BestEffort,
+        removal: Removal::None,
+        notify_on_removal: false,
+    };
+
+    /// Soft state plus best-effort explicit removal messages.
+    pub const SS_ER: ProtocolSpec = ProtocolSpec {
+        label: "SS+ER",
+        removal: Removal::BestEffort,
+        ..ProtocolSpec::SS
+    };
+
+    /// Soft state with reliable triggers and a removal notification that
+    /// lets the sender recover from false removal.
+    pub const SS_RT: ProtocolSpec = ProtocolSpec {
+        label: "SS+RT",
+        triggers: Delivery::Reliable,
+        notify_on_removal: true,
+        ..ProtocolSpec::SS
+    };
+
+    /// Soft state with reliable triggers *and* reliable explicit removal.
+    pub const SS_RTR: ProtocolSpec = ProtocolSpec {
+        label: "SS+RTR",
+        removal: Removal::Reliable,
+        ..ProtocolSpec::SS_RT
+    };
+
+    /// Pure hard state: reliable setup/update/removal, no refreshes, no
+    /// state timeout; orphan removal relies on an external failure detector.
+    pub const HS: ProtocolSpec = ProtocolSpec {
+        label: "HS",
+        refresh: None,
+        state_timeout: false,
+        triggers: Delivery::Reliable,
+        removal: Removal::Reliable,
+        notify_on_removal: true,
+    };
+
+    /// The paper's five protocols, in the order the paper lists them.
+    pub const PAPER: [ProtocolSpec; 5] = [
+        ProtocolSpec::SS,
+        ProtocolSpec::SS_ER,
+        ProtocolSpec::SS_RT,
+        ProtocolSpec::SS_RTR,
+        ProtocolSpec::HS,
+    ];
+
+    /// The three protocols the paper evaluates in the multi-hop setting
+    /// (Section III-B).
+    pub const PAPER_MULTI_HOP: [ProtocolSpec; 3] =
+        [ProtocolSpec::SS, ProtocolSpec::SS_RT, ProtocolSpec::HS];
+
+    /// A relabeled copy of the SS preset — the natural starting point for a
+    /// custom soft-state variant.
+    pub const fn soft_state(label: &'static str) -> Self {
+        ProtocolSpec {
+            label,
+            ..ProtocolSpec::SS
+        }
+    }
+
+    /// A relabeled copy of the HS preset — the natural starting point for a
+    /// custom hard-state variant.
+    pub const fn hard_state(label: &'static str) -> Self {
+        ProtocolSpec {
+            label,
+            ..ProtocolSpec::HS
+        }
+    }
+
+    /// Replaces the label.
+    pub const fn with_label(mut self, label: &'static str) -> Self {
+        self.label = label;
+        self
+    }
+
+    /// Sets the refresh mechanism (`None` disables refreshes).
+    pub const fn with_refresh(mut self, refresh: Option<RefreshMode>) -> Self {
+        self.refresh = refresh;
+        self
+    }
+
+    /// Enables or disables the receiver-side state timeout.
+    pub const fn with_state_timeout(mut self, state_timeout: bool) -> Self {
+        self.state_timeout = state_timeout;
+        self
+    }
+
+    /// Sets the trigger delivery discipline.
+    pub const fn with_triggers(mut self, triggers: Delivery) -> Self {
+        self.triggers = triggers;
+        self
+    }
+
+    /// Sets the explicit-removal mechanism.
+    pub const fn with_removal(mut self, removal: Removal) -> Self {
+        self.removal = removal;
+        self
+    }
+
+    /// Enables or disables the removal notification.
+    pub const fn with_notify_on_removal(mut self, notify: bool) -> Self {
+        self.notify_on_removal = notify;
+        self
+    }
+
+    /// The label used in the paper's figures and in reports.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    // ------------------------------------------------------------------
+    // Mechanism predicates — the vocabulary every model and simulator is
+    // written in.
+    // ------------------------------------------------------------------
+
+    /// Whether the protocol sends periodic refresh messages.
+    pub fn uses_refresh(&self) -> bool {
+        self.refresh.is_some()
+    }
+
+    /// Whether refreshes are acknowledged and retransmitted.
+    pub fn reliable_refresh(&self) -> bool {
+        self.refresh == Some(RefreshMode::Reliable)
+    }
+
+    /// Whether the receiver removes state on a state-timeout timer.
+    pub fn uses_state_timeout(&self) -> bool {
+        self.state_timeout
+    }
+
+    /// Whether the protocol sends explicit state-removal messages.
+    pub fn uses_explicit_removal(&self) -> bool {
+        self.removal != Removal::None
+    }
+
+    /// Whether trigger (setup/update) messages are sent reliably
+    /// (ACK + retransmission).
+    pub fn reliable_triggers(&self) -> bool {
+        self.triggers == Delivery::Reliable
+    }
+
+    /// Whether explicit removal messages are sent reliably.
+    pub fn reliable_removal(&self) -> bool {
+        self.removal == Removal::Reliable
+    }
+
+    /// Whether the receiver notifies the sender when it removes state.
+    pub fn notifies_on_removal(&self) -> bool {
+        self.notify_on_removal
+    }
+
+    /// Whether a lost forward message is repaired by retransmission (either
+    /// because triggers are reliable or because refreshes are): the `1/R`
+    /// term of the slow-path repair rate.
+    pub fn retransmits_repairs(&self) -> bool {
+        self.reliable_triggers() || self.reliable_refresh()
+    }
+
+    /// Whether the protocol relies on an external failure detector to
+    /// remove orphaned state — the hard-state posture.  In the paper's
+    /// framing a protocol without a state timeout *must* have one (it is
+    /// what removes state when the sender crashes), and its false alarms
+    /// are the hard-state analogue of false removal.
+    pub fn has_external_detector(&self) -> bool {
+        !self.state_timeout
+    }
+
+    /// Checks that the mechanisms compose coherently (see [`SpecError`] for
+    /// the rules).  All five paper presets validate.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.label.is_empty() {
+            return Err(SpecError::EmptyLabel);
+        }
+        if self.state_timeout && self.refresh.is_none() {
+            return Err(SpecError::TimeoutWithoutRefresh);
+        }
+        if self.refresh.is_none() && self.triggers == Delivery::BestEffort {
+            return Err(SpecError::NoLossRecovery);
+        }
+        if self.removal == Removal::None && !self.state_timeout {
+            return Err(SpecError::NoRemovalPath);
+        }
+        if self.removal == Removal::BestEffort && !self.state_timeout {
+            return Err(SpecError::UnreliableRemovalWithoutTimeout);
+        }
+        if !self.state_timeout && !self.notify_on_removal && self.refresh.is_none() {
+            return Err(SpecError::UnrecoverableFalseRemoval);
+        }
+        Ok(())
+    }
+
+    /// A one-line, human-readable mechanism summary (used by
+    /// `repro --list-protocols`).
+    pub fn mechanism_summary(&self) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        parts.push(match self.refresh {
+            None => "no refresh",
+            Some(RefreshMode::BestEffort) => "periodic refresh",
+            Some(RefreshMode::Reliable) => "reliable refresh",
+        });
+        parts.push(if self.state_timeout {
+            "state timeout"
+        } else {
+            "external failure detector"
+        });
+        parts.push(match self.triggers {
+            Delivery::BestEffort => "best-effort triggers",
+            Delivery::Reliable => "reliable triggers",
+        });
+        parts.push(match self.removal {
+            Removal::None => "no explicit removal",
+            Removal::BestEffort => "best-effort removal",
+            Removal::Reliable => "reliable removal",
+        });
+        if self.notify_on_removal {
+            parts.push("removal notification");
+        }
+        parts.join(", ")
+    }
+
+    /// Every combination of the mechanism knobs under a fixed label — the
+    /// exhaustive spec space (72 points), used by the coherence tests.
+    pub fn enumerate_all(label: &'static str) -> Vec<ProtocolSpec> {
+        let mut out = Vec::with_capacity(72);
+        for refresh in [
+            None,
+            Some(RefreshMode::BestEffort),
+            Some(RefreshMode::Reliable),
+        ] {
+            for state_timeout in [false, true] {
+                for triggers in [Delivery::BestEffort, Delivery::Reliable] {
+                    for removal in [Removal::None, Removal::BestEffort, Removal::Reliable] {
+                        for notify_on_removal in [false, true] {
+                            out.push(ProtocolSpec {
+                                label,
+                                refresh,
+                                state_timeout,
+                                triggers,
+                                removal,
+                                notify_on_removal,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ProtocolSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_presets_validate_and_have_paper_labels() {
+        let labels: Vec<&str> = ProtocolSpec::PAPER.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["SS", "SS+ER", "SS+RT", "SS+RTR", "HS"]);
+        for spec in ProtocolSpec::PAPER {
+            spec.validate().unwrap_or_else(|e| panic!("{spec}: {e}"));
+        }
+        assert_eq!(format!("{}", ProtocolSpec::SS_RTR), "SS+RTR");
+    }
+
+    #[test]
+    fn preset_mechanism_matrix_matches_section_two() {
+        // Refresh + timeout: all soft-state variants, not HS.
+        for s in [
+            ProtocolSpec::SS,
+            ProtocolSpec::SS_ER,
+            ProtocolSpec::SS_RT,
+            ProtocolSpec::SS_RTR,
+        ] {
+            assert!(s.uses_refresh(), "{s}");
+            assert!(s.uses_state_timeout(), "{s}");
+            assert!(!s.reliable_refresh(), "{s}");
+            assert!(!s.has_external_detector(), "{s}");
+        }
+        assert!(!ProtocolSpec::HS.uses_refresh());
+        assert!(ProtocolSpec::HS.has_external_detector());
+        // Explicit removal: SS+ER, SS+RTR, HS.
+        assert!(!ProtocolSpec::SS.uses_explicit_removal());
+        assert!(ProtocolSpec::SS_ER.uses_explicit_removal());
+        assert!(!ProtocolSpec::SS_RT.uses_explicit_removal());
+        assert!(ProtocolSpec::SS_RTR.uses_explicit_removal());
+        assert!(ProtocolSpec::HS.uses_explicit_removal());
+        // Reliable triggers and removal.
+        assert!(!ProtocolSpec::SS_ER.reliable_triggers());
+        assert!(ProtocolSpec::SS_RT.reliable_triggers());
+        assert!(!ProtocolSpec::SS_RT.reliable_removal());
+        assert!(ProtocolSpec::SS_RTR.reliable_removal());
+        assert!(ProtocolSpec::HS.reliable_removal());
+        // Notification on removal: the reliable-trigger protocols.
+        assert!(ProtocolSpec::SS_RT.notifies_on_removal());
+        assert!(!ProtocolSpec::SS_ER.notifies_on_removal());
+    }
+
+    #[test]
+    fn incoherent_combinations_are_rejected_with_the_right_error() {
+        // State timeout with nothing feeding it.
+        let starving = ProtocolSpec::hard_state("bad").with_state_timeout(true);
+        assert_eq!(starving.validate(), Err(SpecError::TimeoutWithoutRefresh));
+
+        // No refresh and best-effort triggers: lost triggers are forever.
+        let leaky = ProtocolSpec::hard_state("bad").with_triggers(Delivery::BestEffort);
+        assert_eq!(leaky.validate(), Err(SpecError::NoLossRecovery));
+
+        // Nothing ever removes orphaned state.
+        let immortal = ProtocolSpec::hard_state("bad").with_removal(Removal::None);
+        assert_eq!(immortal.validate(), Err(SpecError::NoRemovalPath));
+
+        // A lost best-effort removal with no timeout backstop.
+        let orphaning = ProtocolSpec::hard_state("bad").with_removal(Removal::BestEffort);
+        assert_eq!(
+            orphaning.validate(),
+            Err(SpecError::UnreliableRemovalWithoutTimeout)
+        );
+
+        // External detector false alarms with no repair channel.
+        let silent = ProtocolSpec::hard_state("bad").with_notify_on_removal(false);
+        assert_eq!(silent.validate(), Err(SpecError::UnrecoverableFalseRemoval));
+
+        // Empty labels are meaningless everywhere downstream.
+        assert_eq!(
+            ProtocolSpec::soft_state("").validate(),
+            Err(SpecError::EmptyLabel)
+        );
+
+        // Errors render and implement std::error::Error.
+        let e: Box<dyn std::error::Error> = Box::new(SpecError::TimeoutWithoutRefresh);
+        assert!(e.to_string().contains("false removal"));
+    }
+
+    #[test]
+    fn coherent_non_paper_points_validate() {
+        // Reliable-refresh soft state.
+        ProtocolSpec::soft_state("SS+RR")
+            .with_refresh(Some(RefreshMode::Reliable))
+            .validate()
+            .unwrap();
+        // SS+ER with reliable removal but best-effort triggers.
+        ProtocolSpec::soft_state("SS+ERR")
+            .with_removal(Removal::Reliable)
+            .validate()
+            .unwrap();
+        // Hard state that also refreshes (repairs false removals by refresh
+        // even without a notification).
+        ProtocolSpec::hard_state("HS+R")
+            .with_refresh(Some(RefreshMode::BestEffort))
+            .with_notify_on_removal(false)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn builder_knobs_compose() {
+        let s = ProtocolSpec::soft_state("X")
+            .with_label("Y")
+            .with_refresh(Some(RefreshMode::Reliable))
+            .with_triggers(Delivery::Reliable)
+            .with_removal(Removal::Reliable)
+            .with_notify_on_removal(true);
+        assert_eq!(s.label(), "Y");
+        assert!(s.reliable_refresh() && s.reliable_triggers() && s.reliable_removal());
+        assert!(s.retransmits_repairs());
+        assert!(s.notifies_on_removal());
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn mechanism_summary_mentions_every_knob() {
+        let text = ProtocolSpec::SS_RTR.mechanism_summary();
+        assert!(text.contains("periodic refresh"));
+        assert!(text.contains("state timeout"));
+        assert!(text.contains("reliable triggers"));
+        assert!(text.contains("reliable removal"));
+        assert!(text.contains("removal notification"));
+        let hs = ProtocolSpec::HS.mechanism_summary();
+        assert!(hs.contains("no refresh"));
+        assert!(hs.contains("external failure detector"));
+    }
+
+    #[test]
+    fn enumerate_all_covers_the_full_space() {
+        let all = ProtocolSpec::enumerate_all("x");
+        assert_eq!(all.len(), 72);
+        // Every paper preset appears (modulo the label).
+        for preset in ProtocolSpec::PAPER {
+            assert!(
+                all.iter().any(|s| s.with_label(preset.label) == preset),
+                "{preset} missing from the enumeration"
+            );
+        }
+        // No duplicates.
+        use std::collections::HashSet;
+        let set: HashSet<ProtocolSpec> = all.iter().copied().collect();
+        assert_eq!(set.len(), 72);
+    }
+}

@@ -9,6 +9,8 @@
 //! timeout-to-refresh ratio the paper discusses around Figure 8(a).
 
 use criterion::{black_box, Criterion};
+use siganalytic::single_hop::transitions::{protocol_transitions, RateEntry, RateTable};
+use siganalytic::single_hop::SingleHopState;
 use signaling::{Campaign, Protocol, SessionConfig, SingleHopModel, SingleHopParams};
 use signet::LossModel;
 
@@ -117,6 +119,96 @@ fn print_burst_loss_ablation() {
     println!();
 }
 
+/// The pre-redesign transition builder: one `match` arm per protocol,
+/// transcribed from the closed-enum implementation this bench compares the
+/// mechanism-driven dispatch against.  Kept here (not in the library) so the
+/// spec-dispatch ablation has a faithful baseline to race and to
+/// equality-check.
+fn enum_match_transitions(protocol: Protocol, p: &SingleHopParams) -> RateTable {
+    use SingleHopState::*;
+    let mut entries: Vec<RateEntry> = Vec::new();
+    let mut push = |from: SingleHopState, to: SingleHopState, rate: f64| {
+        if rate > 0.0 {
+            entries.push(RateEntry { from, to, rate });
+        }
+    };
+
+    let success = 1.0 - p.loss;
+    let fast_delivery = success / p.delay;
+    let fast_loss = p.loss / p.delay;
+    let slow_repair = match protocol {
+        Protocol::Ss | Protocol::SsEr => success / p.refresh_timer,
+        Protocol::SsRt | Protocol::SsRtr => {
+            (1.0 / p.refresh_timer + 1.0 / p.retrans_timer) * success
+        }
+        Protocol::Hs => success / p.retrans_timer,
+    };
+    let lambda_f = match protocol {
+        Protocol::Hs => p.false_signal_rate,
+        _ => p.false_removal_rate(),
+    };
+
+    push(Setup1, Consistent, fast_delivery);
+    push(Setup1, Setup2, fast_loss);
+    push(Diff1, Consistent, fast_delivery);
+    push(Diff1, Diff2, fast_loss);
+    push(Setup2, Consistent, slow_repair);
+    push(Diff2, Consistent, slow_repair);
+    push(Consistent, Diff1, p.update_rate);
+    push(Setup2, Setup1, p.update_rate);
+    push(Diff2, Diff1, p.update_rate);
+    push(Setup2, Absorbed, p.removal_rate);
+    push(Consistent, Removing1, p.removal_rate);
+    push(Diff2, Removing1, p.removal_rate);
+    push(Consistent, Setup2, lambda_f);
+    push(Diff2, Setup2, lambda_f);
+
+    let removal_delivery = match protocol {
+        Protocol::SsEr | Protocol::SsRtr | Protocol::Hs => success / p.delay,
+        Protocol::Ss | Protocol::SsRt => 1.0 / p.timeout_timer,
+    };
+    push(Removing1, Absorbed, removal_delivery);
+    match protocol {
+        Protocol::Ss | Protocol::SsRt => {}
+        Protocol::SsEr => {
+            push(Removing1, Removing2, fast_loss);
+            push(Removing2, Absorbed, 1.0 / p.timeout_timer);
+        }
+        Protocol::SsRtr => {
+            push(Removing1, Removing2, fast_loss);
+            push(
+                Removing2,
+                Absorbed,
+                1.0 / p.timeout_timer + success / p.retrans_timer,
+            );
+        }
+        Protocol::Hs => {
+            push(Removing1, Removing2, fast_loss);
+            push(Removing2, Absorbed, success / p.retrans_timer);
+        }
+    }
+
+    RateTable {
+        protocol: protocol.spec(),
+        entries,
+    }
+}
+
+fn print_spec_dispatch_ablation(params: &SingleHopParams) {
+    println!("== Ablation: enum-match vs mechanism-derived transition dispatch ==");
+    // The two dispatch styles must agree bit for bit on every preset before
+    // their timing comparison means anything.
+    for protocol in Protocol::ALL {
+        let via_enum = enum_match_transitions(protocol, params);
+        let via_spec = protocol_transitions(protocol, params);
+        assert_eq!(
+            via_enum, via_spec,
+            "{protocol}: spec-derived table diverged from the enum baseline"
+        );
+    }
+    println!("   all 5 preset transition tables bit-identical across dispatch styles\n");
+}
+
 fn main() {
     print_mechanism_ablation(
         "Kazaa defaults, 1800 s sessions",
@@ -129,13 +221,32 @@ fn main() {
     });
     print_timeout_ratio_ablation();
     print_burst_loss_ablation();
+    let params = SingleHopParams::kazaa_defaults();
+    print_spec_dispatch_ablation(&params);
 
     let mut c = Criterion::default().configure_from_args();
     c.bench_function("ablation/mechanism_table", |b| {
-        let params = SingleHopParams::kazaa_defaults();
         b.iter(|| {
             for protocol in Protocol::ALL {
                 black_box(solve(protocol, black_box(params)));
+            }
+        })
+    });
+    // Spec-dispatch ablation: building all five presets' transition tables
+    // through the closed-enum match vs. the mechanism-composition path
+    // (which also pays the Protocol → ProtocolSpec conversion), so the
+    // BENCH_COMPARE_DIR gate catches regressions in protocol dispatch.
+    c.bench_function("ablation/dispatch/enum_match", |b| {
+        b.iter(|| {
+            for protocol in Protocol::ALL {
+                black_box(enum_match_transitions(protocol, black_box(&params)));
+            }
+        })
+    });
+    c.bench_function("ablation/dispatch/mechanism_spec", |b| {
+        b.iter(|| {
+            for protocol in Protocol::ALL {
+                black_box(protocol_transitions(protocol, black_box(&params)));
             }
         })
     });

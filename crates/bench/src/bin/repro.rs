@@ -11,6 +11,10 @@
 //! repro --csv DIR       # additionally write one CSV file per figure to DIR
 //! repro --list          # list the registered experiments (name, tags, description)
 //! repro --list-md       # the same listing as a markdown table (EXPERIMENTS.md)
+//! repro --list-protocols # list the registered protocols (name, mechanisms, used by)
+//! repro --protocols SS,HS # run experiments over this protocol set instead
+//!                         # of each experiment's default (any registered
+//!                         # label, including non-paper specs like SS+RR)
 //! repro --serial        # disable the multi-core sweep fan-out
 //! repro --jobs N        # fan simulation sweeps out across N threads
 //! ```
@@ -39,6 +43,8 @@ struct Args {
     csv_dir: Option<PathBuf>,
     list: bool,
     list_md: bool,
+    list_protocols: bool,
+    protocols: Vec<String>,
     execution: ExecutionPolicy,
 }
 
@@ -50,6 +56,8 @@ fn parse_args() -> Result<Args, String> {
         csv_dir: None,
         list: false,
         list_md: false,
+        list_protocols: false,
+        protocols: Vec::new(),
         execution: ExecutionPolicy::auto(),
     };
     let mut it = std::env::args().skip(1);
@@ -58,6 +66,13 @@ fn parse_args() -> Result<Args, String> {
             "--quick" => args.quick = true,
             "--list" => args.list = true,
             "--list-md" => args.list_md = true,
+            "--list-protocols" => args.list_protocols = true,
+            "--protocols" => {
+                let set = it
+                    .next()
+                    .ok_or("--protocols needs a comma-separated list")?;
+                args.protocols.push(set);
+            }
             "--serial" => args.execution = ExecutionPolicy::Serial,
             "--jobs" => {
                 let n = it.next().ok_or("--jobs needs a thread count")?;
@@ -81,7 +96,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "repro [--quick] [--fig NAME]... [--tag TAG]... [--csv DIR] \
-                     [--list | --list-md] [--serial | --jobs N]\n\
+                     [--protocols SS,HS,...] [--list | --list-md | --list-protocols] \
+                     [--serial | --jobs N]\n\
                      Regenerates the paper's tables and figures and any registered extras."
                 );
                 std::process::exit(0);
@@ -129,6 +145,20 @@ fn main() {
     };
 
     let registry = sigbench::extended_registry();
+    let protocol_registry = sigbench::protocol_registry();
+
+    if args.list_protocols {
+        println!("{:<8} {:<90} used by", "name", "mechanisms");
+        for entry in protocol_registry.iter() {
+            println!(
+                "{:<8} {:<90} {}",
+                entry.spec.label(),
+                entry.spec.mechanism_summary(),
+                entry.used_by
+            );
+        }
+        return;
+    }
 
     if args.list || args.list_md {
         if args.list_md {
@@ -146,12 +176,36 @@ fn main() {
         return;
     }
 
-    let options = if args.quick {
+    let mut options = if args.quick {
         ExperimentOptions::quick()
     } else {
         ExperimentOptions::default()
     }
     .with_execution(args.execution);
+    if !args.protocols.is_empty() {
+        let mut set = Vec::new();
+        for csv in &args.protocols {
+            match protocol_registry.resolve_set(csv) {
+                Ok(specs) => set.extend(specs),
+                Err(e) => {
+                    eprintln!("error: {e} (try --list-protocols)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        // Registry resolution guarantees coherent specs; reject set-level
+        // mistakes (nothing selected, or the same label twice — which would
+        // render ambiguous duplicate series) before any experiment runs.
+        if set.is_empty() {
+            eprintln!("error: --protocols selected no protocols (try --list-protocols)");
+            std::process::exit(2);
+        }
+        if let Err(e) = signaling::registry::check_protocol_set(&set) {
+            eprintln!("error: --protocols: {e}");
+            std::process::exit(2);
+        }
+        options = options.with_protocols(set);
+    }
 
     let selected = match select(&registry, &args) {
         Ok(s) => s,

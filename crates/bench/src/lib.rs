@@ -15,12 +15,23 @@
 
 use signaling::experiment::{ExperimentId, ExperimentOptions};
 use signaling::registry::{
-    Experiment, ExperimentSpec, Registry, RegistryError, SpecKind, SweepTarget,
+    Experiment, ExperimentSpec, ProtocolRegistry, Registry, RegistryError, SpecKind, SweepTarget,
 };
 use signaling::report::run_and_render;
 use signaling::{
-    ExperimentOutput, Metric, Point, Protocol, Scenario, Series, SeriesSet, SingleHopModel, Sweep,
+    ExperimentOutput, Metric, Point, Protocol, ProtocolSpec, RefreshMode, Scenario, Series,
+    SeriesSet, SingleHopModel, Sweep,
 };
+
+/// Reliable-refresh soft state — a design point on the hard/soft spectrum
+/// the paper never evaluates: refreshes are acknowledged and retransmitted
+/// (so a lost refresh is repaired in `R` rather than waiting a full refresh
+/// interval), while triggers stay best-effort and removal stays
+/// timeout-only.  Composed purely from [`ProtocolSpec`] knobs; it runs
+/// through the analytic models, both simulators, the experiment registry
+/// and `repro` with zero protocol-specific code.
+pub const SS_RR: ProtocolSpec =
+    ProtocolSpec::soft_state("SS+RR").with_refresh(Some(RefreshMode::Reliable));
 
 /// Options used by the benches: small simulation campaigns so `cargo bench`
 /// stays fast; the `repro` binary uses the full defaults instead.
@@ -45,6 +56,16 @@ pub fn print_experiments(ids: &[ExperimentId]) {
 pub fn extended_registry() -> Registry {
     let mut registry = Registry::with_builtins();
     register_extras(&mut registry).expect("extra experiment names are unique");
+    registry
+}
+
+/// The protocol registry the `repro` binary resolves `--protocols` against:
+/// the paper's five presets plus the non-paper [`SS_RR`] composition.
+pub fn protocol_registry() -> ProtocolRegistry {
+    let mut registry = ProtocolRegistry::with_paper_presets();
+    registry
+        .register(SS_RR, "ss-rr-lifetime (custom, non-paper)")
+        .expect("SS+RR is coherent and its label is free");
     registry
 }
 
@@ -77,6 +98,19 @@ pub fn register_extras(registry: &mut Registry) -> Result<(), RegistryError> {
         .tag("scenario")
         .tag("analytic"),
     )?;
+    registry.register(
+        ExperimentSpec::new(
+            "ss-rr-lifetime",
+            "reliable-refresh soft state (SS+RR) vs SS: analytic vs simulation over session length",
+        )
+        .protocols(&[ProtocolSpec::SS, SS_RR])
+        .sweep(Sweep::session_length(), SweepTarget::MeanLifetime)
+        .kind(SpecKind::AnalyticVsSim)
+        .sim_range(30.0, 300.0)
+        .tag("extra")
+        .tag("custom-protocol")
+        .tag("simulation"),
+    )?;
     registry.register(ScenarioCostSweep)?;
     Ok(())
 }
@@ -86,7 +120,9 @@ pub fn register_extras(registry: &mut Registry) -> Result<(), RegistryError> {
 /// cross-scenario view no single paper figure provides.
 ///
 /// Implemented by hand (not via [`ExperimentSpec`]) to exercise the open
-/// [`Experiment`] trait end to end.
+/// [`Experiment`] trait end to end; it derives its protocol set through
+/// `ExperimentOptions::protocol_set` (default: SS alone), so
+/// `repro --protocols` applies to it like to every other experiment.
 pub struct ScenarioCostSweep;
 
 impl Experiment for ScenarioCostSweep {
@@ -102,27 +138,40 @@ impl Experiment for ScenarioCostSweep {
         vec!["extra".into(), "scenario".into(), "analytic".into()]
     }
 
-    fn run(&self, _options: &ExperimentOptions) -> ExperimentOutput {
+    fn run(&self, options: &ExperimentOptions) -> ExperimentOutput {
+        let protocols = options.protocol_set(&[ProtocolSpec::SS]);
         let sweep = Sweep::refresh_timer();
-        let mut set = SeriesSet::new(
-            "Integrated cost C = w·I + M of SS vs refresh timer, per scenario",
-            sweep.parameter.clone(),
-            "integrated cost",
-        );
+        // Keep the historical "of SS" title and one-series-per-scenario
+        // labels only for the default set; any override names the protocol
+        // in every label so the output is never mislabeled as SS data.
+        let default_set = protocols == [ProtocolSpec::SS];
+        let title = if default_set {
+            "Integrated cost C = w·I + M of SS vs refresh timer, per scenario"
+        } else {
+            "Integrated cost C = w·I + M vs refresh timer, per scenario"
+        };
+        let mut set = SeriesSet::new(title, sweep.parameter.clone(), "integrated cost");
         for scenario in Scenario::builtins() {
-            let mut series = Series::new(scenario.name.clone());
-            for &t in &sweep.values {
-                let params = scenario.params.with_refresh_timer_scaled_timeout(t);
-                let s = SingleHopModel::new(Protocol::Ss, params)
-                    .expect("scenario parameters are valid")
-                    .solve()
-                    .expect("single-hop chain solves");
-                series.push(Point::new(
-                    t,
-                    s.integrated_cost(scenario.inconsistency_weight),
-                ));
+            for &protocol in &protocols {
+                let label = if default_set {
+                    scenario.name.clone()
+                } else {
+                    format!("{} ({})", scenario.name, protocol.label())
+                };
+                let mut series = Series::new(label);
+                for &t in &sweep.values {
+                    let params = scenario.params.with_refresh_timer_scaled_timeout(t);
+                    let s = SingleHopModel::new(protocol, params)
+                        .expect("scenario parameters are valid")
+                        .solve()
+                        .expect("single-hop chain solves");
+                    series.push(Point::new(
+                        t,
+                        s.integrated_cost(scenario.inconsistency_weight),
+                    ));
+                }
+                set.push(series);
             }
-            set.push(series);
         }
         ExperimentOutput::Figure(set)
     }
@@ -148,19 +197,62 @@ mod tests {
     #[test]
     fn extended_registry_adds_user_level_experiments() {
         let registry = extended_registry();
-        assert_eq!(registry.len(), 25);
+        assert_eq!(registry.len(), 26);
         // Paper experiments still resolve...
         assert!(registry.get("fig11a").is_some());
         // ...and the extras are addressable by name and tag.
         for name in [
             "dns-lease-cost",
             "bgp-keepalive-loss",
+            "ss-rr-lifetime",
             "scenario-cost-sweep",
         ] {
             assert!(registry.get(name).is_some(), "{name} missing");
         }
-        assert_eq!(registry.with_tag("extra").len(), 3);
+        assert_eq!(registry.with_tag("extra").len(), 4);
         assert_eq!(registry.with_tag("paper").len(), 22);
+    }
+
+    #[test]
+    fn protocol_registry_resolves_presets_and_the_custom_spec() {
+        let protocols = protocol_registry();
+        assert_eq!(protocols.len(), 6);
+        let set = protocols.resolve_set("SS,SS+RR,HS").unwrap();
+        assert_eq!(set[1], SS_RR);
+        assert!(protocols
+            .get("ss+rr")
+            .unwrap()
+            .used_by
+            .contains("ss-rr-lifetime"));
+    }
+
+    #[test]
+    fn the_custom_protocol_runs_end_to_end_through_the_registry() {
+        // SS+RR through analytic + simulation + registry in one shot: the
+        // AnalyticVsSim kind solves the chain for the custom spec and runs
+        // replicated discrete-event campaigns of it.
+        let mut options = bench_options();
+        options.sim_replications = 5;
+        options.sim_points = 2;
+        let out = extended_registry()
+            .run("ss-rr-lifetime", &options)
+            .expect("registered");
+        let fig = out.as_figure().expect("figure");
+        assert_eq!(fig.labels(), vec!["SS", "SS+RR", "SS sim", "SS+RR sim"]);
+        // Reliable refresh repairs lost refreshes, so the analytic SS+RR
+        // curve sits at or below SS everywhere.
+        let ss = fig.get("SS").unwrap();
+        let rr = fig.get("SS+RR").unwrap();
+        for (a, b) in rr.points.iter().zip(ss.points.iter()) {
+            assert!(a.y <= b.y + 1e-12, "SS+RR above SS at x = {}", a.x);
+        }
+        // And the simulated points carry error bars like every sim series.
+        assert!(fig
+            .get("SS+RR sim")
+            .unwrap()
+            .points
+            .iter()
+            .all(|p| p.err.is_some()));
     }
 
     #[test]

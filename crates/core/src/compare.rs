@@ -6,7 +6,7 @@
 //! message rate differs by 5–15%.  [`compare_single_hop`] reproduces that
 //! methodology for any protocol and parameter set.
 
-use siganalytic::{Protocol, SingleHopModel, SingleHopParams, SingleHopSolution};
+use siganalytic::{Protocol, ProtocolSpec, SingleHopModel, SingleHopParams, SingleHopSolution};
 use sigproto::{Campaign, SessionConfig};
 use sigstats::Summary;
 use simcore::{ExecutionPolicy, TimerMode};
@@ -15,7 +15,7 @@ use simcore::{ExecutionPolicy, TimerMode};
 #[derive(Debug, Clone, PartialEq)]
 pub struct ComparisonRow {
     /// The protocol compared.
-    pub protocol: Protocol,
+    pub protocol: ProtocolSpec,
     /// The parameter set used for both sides.
     pub params: SingleHopParams,
     /// How simulation timers were drawn.
@@ -83,7 +83,7 @@ impl ComparisonRow {
 /// [`ExecutionPolicy::Serial`] here because it parallelizes one level up,
 /// across sweep points).
 pub fn compare_single_hop(
-    protocol: Protocol,
+    protocol: impl Into<ProtocolSpec>,
     params: SingleHopParams,
     timer_mode: TimerMode,
     replications: usize,
@@ -102,7 +102,7 @@ pub fn compare_single_hop(
 /// [`compare_single_hop`] with an explicit execution policy for the
 /// simulation campaign.
 pub fn compare_single_hop_with(
-    protocol: Protocol,
+    protocol: impl Into<ProtocolSpec>,
     params: SingleHopParams,
     timer_mode: TimerMode,
     replications: usize,
@@ -110,7 +110,7 @@ pub fn compare_single_hop_with(
     policy: ExecutionPolicy,
 ) -> ComparisonRow {
     let config = SessionConfig {
-        protocol,
+        protocol: protocol.into(),
         params,
         timer_mode,
         delay_mode: timer_mode,

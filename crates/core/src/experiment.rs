@@ -11,7 +11,7 @@
 use crate::compare::compare_session;
 use siganalytic::single_hop::protocol_transitions;
 use siganalytic::{
-    MultiHopModel, MultiHopParams, MultiHopSolution, Protocol, SingleHopModel, SingleHopParams,
+    MultiHopModel, MultiHopParams, MultiHopSolution, ProtocolSpec, SingleHopModel, SingleHopParams,
     SingleHopSolution,
 };
 use sigproto::{LossModel, SessionConfig};
@@ -20,7 +20,7 @@ use sigworkload::Sweep;
 use simcore::{Assignment, ExecutionPolicy, ReplicationEngine, TimerMode};
 
 /// Options controlling the simulation-backed experiments.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentOptions {
     /// Independent replications per simulated point.
     pub sim_replications: usize,
@@ -33,6 +33,11 @@ pub struct ExperimentOptions {
     /// campaigns — one unit per (protocol × sweep point) — under this
     /// policy; results are bit-identical under every policy.
     pub execution: ExecutionPolicy,
+    /// Optional protocol-set override.  `None` runs each experiment with
+    /// its own default set (the paper's, for the built-ins); `Some` replaces
+    /// that set with the given mechanism compositions, in order — this is
+    /// how `repro --protocols` runs any figure over any design point.
+    pub protocols: Option<Vec<ProtocolSpec>>,
 }
 
 impl Default for ExperimentOptions {
@@ -42,6 +47,7 @@ impl Default for ExperimentOptions {
             sim_points: 6,
             seed: 2003,
             execution: ExecutionPolicy::auto(),
+            protocols: None,
         }
     }
 }
@@ -60,6 +66,39 @@ impl ExperimentOptions {
     pub fn with_execution(mut self, execution: ExecutionPolicy) -> Self {
         self.execution = execution;
         self
+    }
+
+    /// Overrides the protocol set experiments run with (see
+    /// [`ExperimentOptions::protocols`]).
+    pub fn with_protocols(mut self, protocols: Vec<ProtocolSpec>) -> Self {
+        self.protocols = Some(protocols);
+        self
+    }
+
+    /// The protocol set an experiment should run with: the override if one
+    /// was given, the experiment's own `default` set otherwise.
+    ///
+    /// # Panics
+    /// Panics with the
+    /// [`ProtocolSetError`](crate::registry::ProtocolSetError) message if
+    /// the override contains an incoherent spec or duplicate labels
+    /// (mirroring how running an invalid
+    /// [`ExperimentSpec`](crate::registry::ExperimentSpec) panics with its
+    /// [`SpecError`](crate::registry::SpecError)); check override sets up
+    /// front with [`check_protocol_set`](crate::registry::check_protocol_set)
+    /// — or resolve them through a
+    /// [`ProtocolRegistry`](crate::registry::ProtocolRegistry), which
+    /// validates at registration — to turn these into typed errors.
+    pub fn protocol_set(&self, default: &[ProtocolSpec]) -> Vec<ProtocolSpec> {
+        match &self.protocols {
+            Some(set) => {
+                if let Err(e) = crate::registry::check_protocol_set(set) {
+                    panic!("the protocol override is not runnable: {e}");
+                }
+                set.clone()
+            }
+            None => default.to_vec(),
+        }
     }
 }
 
@@ -233,28 +272,28 @@ impl ExperimentId {
     /// Runs the experiment with explicit options.
     pub fn run_with(self, options: &ExperimentOptions) -> ExperimentOutput {
         match self {
-            ExperimentId::Table1 => ExperimentOutput::Text(table1()),
-            ExperimentId::Fig4a => ExperimentOutput::Figure(fig4(Metric::Inconsistency)),
-            ExperimentId::Fig4b => ExperimentOutput::Figure(fig4(Metric::MessageRate)),
-            ExperimentId::Fig5a => ExperimentOutput::Figure(fig5a()),
-            ExperimentId::Fig5b => ExperimentOutput::Figure(fig5b()),
-            ExperimentId::Fig6a => ExperimentOutput::Figure(fig6(Metric::Inconsistency)),
-            ExperimentId::Fig6b => ExperimentOutput::Figure(fig6(Metric::MessageRate)),
-            ExperimentId::Fig7 => ExperimentOutput::Figure(fig7()),
-            ExperimentId::Fig8a => ExperimentOutput::Figure(fig8a()),
-            ExperimentId::Fig8b => ExperimentOutput::Figure(fig8b()),
-            ExperimentId::Fig9 => ExperimentOutput::Figure(fig9()),
-            ExperimentId::Fig10a => ExperimentOutput::Figure(fig10a()),
-            ExperimentId::Fig10b => ExperimentOutput::Figure(fig10b()),
+            ExperimentId::Table1 => ExperimentOutput::Text(table1(options)),
+            ExperimentId::Fig4a => ExperimentOutput::Figure(fig4(Metric::Inconsistency, options)),
+            ExperimentId::Fig4b => ExperimentOutput::Figure(fig4(Metric::MessageRate, options)),
+            ExperimentId::Fig5a => ExperimentOutput::Figure(fig5a(options)),
+            ExperimentId::Fig5b => ExperimentOutput::Figure(fig5b(options)),
+            ExperimentId::Fig6a => ExperimentOutput::Figure(fig6(Metric::Inconsistency, options)),
+            ExperimentId::Fig6b => ExperimentOutput::Figure(fig6(Metric::MessageRate, options)),
+            ExperimentId::Fig7 => ExperimentOutput::Figure(fig7(options)),
+            ExperimentId::Fig8a => ExperimentOutput::Figure(fig8a(options)),
+            ExperimentId::Fig8b => ExperimentOutput::Figure(fig8b(options)),
+            ExperimentId::Fig9 => ExperimentOutput::Figure(fig9(options)),
+            ExperimentId::Fig10a => ExperimentOutput::Figure(fig10a(options)),
+            ExperimentId::Fig10b => ExperimentOutput::Figure(fig10b(options)),
             ExperimentId::Fig11a => ExperimentOutput::Figure(fig11(Metric::Inconsistency, options)),
             ExperimentId::Fig11b => ExperimentOutput::Figure(fig11(Metric::MessageRate, options)),
             ExperimentId::Fig12a => ExperimentOutput::Figure(fig12(Metric::Inconsistency, options)),
             ExperimentId::Fig12b => ExperimentOutput::Figure(fig12(Metric::MessageRate, options)),
-            ExperimentId::Fig17 => ExperimentOutput::Figure(fig17()),
-            ExperimentId::Fig18a => ExperimentOutput::Figure(fig18(Metric::Inconsistency)),
-            ExperimentId::Fig18b => ExperimentOutput::Figure(fig18(Metric::MessageRate)),
-            ExperimentId::Fig19a => ExperimentOutput::Figure(fig19(Metric::Inconsistency)),
-            ExperimentId::Fig19b => ExperimentOutput::Figure(fig19(Metric::MessageRate)),
+            ExperimentId::Fig17 => ExperimentOutput::Figure(fig17(options)),
+            ExperimentId::Fig18a => ExperimentOutput::Figure(fig18(Metric::Inconsistency, options)),
+            ExperimentId::Fig18b => ExperimentOutput::Figure(fig18(Metric::MessageRate, options)),
+            ExperimentId::Fig19a => ExperimentOutput::Figure(fig19(Metric::Inconsistency, options)),
+            ExperimentId::Fig19b => ExperimentOutput::Figure(fig19(Metric::MessageRate, options)),
         }
     }
 }
@@ -294,14 +333,14 @@ impl Metric {
     }
 }
 
-pub(crate) fn solve_single(protocol: Protocol, params: SingleHopParams) -> SingleHopSolution {
+pub(crate) fn solve_single(protocol: ProtocolSpec, params: SingleHopParams) -> SingleHopSolution {
     SingleHopModel::new(protocol, params)
         .expect("experiment parameters are validated before solving")
         .solve()
         .expect("single-hop chain solves")
 }
 
-pub(crate) fn solve_multi(protocol: Protocol, params: MultiHopParams) -> MultiHopSolution {
+pub(crate) fn solve_multi(protocol: ProtocolSpec, params: MultiHopParams) -> MultiHopSolution {
     MultiHopModel::new(protocol, params)
         .expect("experiment parameters are validated before solving")
         .solve()
@@ -311,7 +350,7 @@ pub(crate) fn solve_multi(protocol: Protocol, params: MultiHopParams) -> MultiHo
 /// Generic single-hop sweep: one series per protocol, analytic solutions.
 pub(crate) fn single_hop_sweep_over(
     title: &str,
-    protocols: &[Protocol],
+    protocols: &[ProtocolSpec],
     sweep: &Sweep,
     metric: Metric,
     make_params: impl Fn(f64) -> SingleHopParams,
@@ -328,20 +367,28 @@ pub(crate) fn single_hop_sweep_over(
     set
 }
 
-/// [`single_hop_sweep_over`] with the paper's full protocol set.
+/// [`single_hop_sweep_over`] with the paper's full protocol set (or the
+/// options' override).
 fn single_hop_sweep(
     title: &str,
+    options: &ExperimentOptions,
     sweep: &Sweep,
     metric: Metric,
     make_params: impl Fn(f64) -> SingleHopParams,
 ) -> SeriesSet {
-    single_hop_sweep_over(title, &Protocol::ALL, sweep, metric, make_params)
+    single_hop_sweep_over(
+        title,
+        &options.protocol_set(&ProtocolSpec::PAPER),
+        sweep,
+        metric,
+        make_params,
+    )
 }
 
 /// Generic multi-hop sweep: one series per protocol, analytic solutions.
 pub(crate) fn multi_hop_sweep_over(
     title: &str,
-    protocols: &[Protocol],
+    protocols: &[ProtocolSpec],
     sweep: &Sweep,
     metric: Metric,
     make_params: impl Fn(f64) -> MultiHopParams,
@@ -358,21 +405,29 @@ pub(crate) fn multi_hop_sweep_over(
     set
 }
 
-/// [`multi_hop_sweep_over`] with the paper's multi-hop protocol set.
+/// [`multi_hop_sweep_over`] with the paper's multi-hop protocol set (or the
+/// options' override).
 fn multi_hop_sweep(
     title: &str,
+    options: &ExperimentOptions,
     sweep: &Sweep,
     metric: Metric,
     make_params: impl Fn(f64) -> MultiHopParams,
 ) -> SeriesSet {
-    multi_hop_sweep_over(title, &Protocol::MULTI_HOP, sweep, metric, make_params)
+    multi_hop_sweep_over(
+        title,
+        &options.protocol_set(&ProtocolSpec::PAPER_MULTI_HOP),
+        sweep,
+        metric,
+        make_params,
+    )
 }
 
 // ----------------------------------------------------------------------
 // Table I.
 // ----------------------------------------------------------------------
 
-fn table1() -> String {
+fn table1(options: &ExperimentOptions) -> String {
     let params = SingleHopParams::kazaa_defaults();
     let mut out = String::new();
     out.push_str("Table I — protocol-specific transition rates of the unified single-hop CTMC\n");
@@ -386,7 +441,7 @@ fn table1() -> String {
         params.timeout_timer,
         params.retrans_timer,
     ));
-    for protocol in Protocol::ALL {
+    for protocol in options.protocol_set(&ProtocolSpec::PAPER) {
         out.push_str(&protocol_transitions(protocol, &params).render());
         out.push('\n');
     }
@@ -397,19 +452,24 @@ fn table1() -> String {
 // Single-hop analytic figures.
 // ----------------------------------------------------------------------
 
-fn fig4(metric: Metric) -> SeriesSet {
+fn fig4(metric: Metric, options: &ExperimentOptions) -> SeriesSet {
     let title = match metric {
         Metric::Inconsistency => "Fig 4(a): inconsistency vs mean state lifetime",
         Metric::MessageRate => "Fig 4(b): message rate vs mean state lifetime",
     };
-    single_hop_sweep(title, &Sweep::session_length(), metric, |lifetime| {
-        SingleHopParams::kazaa_defaults().with_mean_lifetime(lifetime)
-    })
+    single_hop_sweep(
+        title,
+        options,
+        &Sweep::session_length(),
+        metric,
+        |lifetime| SingleHopParams::kazaa_defaults().with_mean_lifetime(lifetime),
+    )
 }
 
-fn fig5a() -> SeriesSet {
+fn fig5a(options: &ExperimentOptions) -> SeriesSet {
     single_hop_sweep(
         "Fig 5(a): inconsistency vs channel loss rate",
+        options,
         &Sweep::loss_rate(),
         Metric::Inconsistency,
         |loss| {
@@ -420,33 +480,34 @@ fn fig5a() -> SeriesSet {
     )
 }
 
-fn fig5b() -> SeriesSet {
+fn fig5b(options: &ExperimentOptions) -> SeriesSet {
     single_hop_sweep(
         "Fig 5(b): inconsistency vs channel delay",
+        options,
         &Sweep::channel_delay(),
         Metric::Inconsistency,
         |delay| SingleHopParams::kazaa_defaults().with_delay_scaled_retrans(delay),
     )
 }
 
-fn fig6(metric: Metric) -> SeriesSet {
+fn fig6(metric: Metric, options: &ExperimentOptions) -> SeriesSet {
     let title = match metric {
         Metric::Inconsistency => "Fig 6(a): inconsistency vs refresh timer",
         Metric::MessageRate => "Fig 6(b): message rate vs refresh timer",
     };
-    single_hop_sweep(title, &Sweep::refresh_timer(), metric, |t| {
+    single_hop_sweep(title, options, &Sweep::refresh_timer(), metric, |t| {
         SingleHopParams::kazaa_defaults().with_refresh_timer_scaled_timeout(t)
     })
 }
 
-fn fig7() -> SeriesSet {
+fn fig7(options: &ExperimentOptions) -> SeriesSet {
     let sweep = Sweep::refresh_timer();
     let mut set = SeriesSet::new(
         "Fig 7: integrated cost C = 10*I + M vs refresh timer",
         sweep.parameter.clone(),
         "integrated cost",
     );
-    for protocol in Protocol::ALL {
+    for protocol in options.protocol_set(&ProtocolSpec::PAPER) {
         let mut series = Series::new(protocol.label());
         for &t in &sweep.values {
             let params = SingleHopParams::kazaa_defaults().with_refresh_timer_scaled_timeout(t);
@@ -458,9 +519,10 @@ fn fig7() -> SeriesSet {
     set
 }
 
-fn fig8a() -> SeriesSet {
+fn fig8a(options: &ExperimentOptions) -> SeriesSet {
     single_hop_sweep(
         "Fig 8(a): inconsistency vs state-timeout timer (T = 5 s)",
+        options,
         &Sweep::timeout_timer(),
         Metric::Inconsistency,
         |tau| {
@@ -471,9 +533,10 @@ fn fig8a() -> SeriesSet {
     )
 }
 
-fn fig8b() -> SeriesSet {
+fn fig8b(options: &ExperimentOptions) -> SeriesSet {
     single_hop_sweep(
         "Fig 8(b): inconsistency vs retransmission timer",
+        options,
         &Sweep::retrans_timer(),
         Metric::Inconsistency,
         |r| {
@@ -488,7 +551,7 @@ fn fig8b() -> SeriesSet {
 /// point per swept parameter value.
 pub(crate) fn tradeoff_over(
     title: &str,
-    protocols: &[Protocol],
+    protocols: &[ProtocolSpec],
     sweep: &Sweep,
     make_params: impl Fn(f64) -> SingleHopParams,
 ) -> SeriesSet {
@@ -504,30 +567,44 @@ pub(crate) fn tradeoff_over(
     set
 }
 
-/// [`tradeoff_over`] with the paper's full protocol set.
-fn tradeoff(title: &str, sweep: &Sweep, make_params: impl Fn(f64) -> SingleHopParams) -> SeriesSet {
-    tradeoff_over(title, &Protocol::ALL, sweep, make_params)
+/// [`tradeoff_over`] with the paper's full protocol set (or the options'
+/// override).
+fn tradeoff(
+    title: &str,
+    options: &ExperimentOptions,
+    sweep: &Sweep,
+    make_params: impl Fn(f64) -> SingleHopParams,
+) -> SeriesSet {
+    tradeoff_over(
+        title,
+        &options.protocol_set(&ProtocolSpec::PAPER),
+        sweep,
+        make_params,
+    )
 }
 
-fn fig9() -> SeriesSet {
+fn fig9(options: &ExperimentOptions) -> SeriesSet {
     tradeoff(
         "Fig 9: overhead vs inconsistency, varying refresh timer",
+        options,
         &Sweep::refresh_timer(),
         |t| SingleHopParams::kazaa_defaults().with_refresh_timer_scaled_timeout(t),
     )
 }
 
-fn fig10a() -> SeriesSet {
+fn fig10a(options: &ExperimentOptions) -> SeriesSet {
     tradeoff(
         "Fig 10(a): overhead vs inconsistency, varying update rate",
+        options,
         &Sweep::update_interval(),
         |interval| SingleHopParams::kazaa_defaults().with_mean_update_interval(interval),
     )
 }
 
-fn fig10b() -> SeriesSet {
+fn fig10b(options: &ExperimentOptions) -> SeriesSet {
     tradeoff(
         "Fig 10(b): overhead vs inconsistency, varying channel delay",
+        options,
         &Sweep::channel_delay(),
         |delay| SingleHopParams::kazaa_defaults().with_delay_scaled_retrans(delay),
     )
@@ -550,7 +627,7 @@ pub(crate) fn analytic_vs_sim_over(
     title: &str,
     x_label: &str,
     metric: Metric,
-    protocols: &[Protocol],
+    protocols: &[ProtocolSpec],
     xs_analytic: &[f64],
     xs_sim: &[f64],
     timer_mode: TimerMode,
@@ -570,7 +647,7 @@ pub(crate) fn analytic_vs_sim_over(
 
     // The sweep-point × replication fan-out: flatten (protocol, x) pairs
     // into one job list for the engine.
-    let jobs: Vec<(Protocol, f64)> = protocols
+    let jobs: Vec<(ProtocolSpec, f64)> = protocols
         .iter()
         .flat_map(|&p| xs_sim.iter().map(move |&x| (p, x)))
         .collect();
@@ -618,7 +695,8 @@ pub(crate) fn analytic_vs_sim_over(
 }
 
 /// [`analytic_vs_sim_over`] as the paper's Figures 11–12 use it: every
-/// protocol, deterministic simulation timers, Bernoulli loss.
+/// protocol (or the options' override), deterministic simulation timers,
+/// Bernoulli loss.
 #[allow(clippy::too_many_arguments)]
 fn analytic_vs_sim(
     title: &str,
@@ -633,7 +711,7 @@ fn analytic_vs_sim(
         title,
         x_label,
         metric,
-        &Protocol::ALL,
+        &options.protocol_set(&ProtocolSpec::PAPER),
         xs_analytic,
         xs_sim,
         TimerMode::Deterministic,
@@ -719,14 +797,14 @@ fn fig12(metric: Metric, options: &ExperimentOptions) -> SeriesSet {
 // Multi-hop figures.
 // ----------------------------------------------------------------------
 
-fn fig17() -> SeriesSet {
+fn fig17(options: &ExperimentOptions) -> SeriesSet {
     let params = MultiHopParams::reservation_defaults();
     let mut set = SeriesSet::new(
         "Fig 17: fraction of time the i-th hop is inconsistent (K = 20)",
         "hop index i",
         "fraction of time inconsistent",
     );
-    for protocol in Protocol::MULTI_HOP {
+    for protocol in options.protocol_set(&ProtocolSpec::PAPER_MULTI_HOP) {
         let solution = solve_multi(protocol, params);
         let mut series = Series::new(protocol.label());
         for (i, v) in solution.per_hop_inconsistency.iter().enumerate() {
@@ -737,22 +815,22 @@ fn fig17() -> SeriesSet {
     set
 }
 
-fn fig18(metric: Metric) -> SeriesSet {
+fn fig18(metric: Metric, options: &ExperimentOptions) -> SeriesSet {
     let title = match metric {
         Metric::Inconsistency => "Fig 18(a): inconsistency vs total number of hops",
         Metric::MessageRate => "Fig 18(b): signaling message rate vs total number of hops",
     };
-    multi_hop_sweep(title, &Sweep::hop_count(), metric, |k| {
+    multi_hop_sweep(title, options, &Sweep::hop_count(), metric, |k| {
         MultiHopParams::reservation_defaults().with_hops(k as usize)
     })
 }
 
-fn fig19(metric: Metric) -> SeriesSet {
+fn fig19(metric: Metric, options: &ExperimentOptions) -> SeriesSet {
     let title = match metric {
         Metric::Inconsistency => "Fig 19(a): multi-hop inconsistency vs refresh timer",
         Metric::MessageRate => "Fig 19(b): multi-hop message rate vs refresh timer",
     };
-    multi_hop_sweep(title, &Sweep::refresh_timer(), metric, |t| {
+    multi_hop_sweep(title, options, &Sweep::refresh_timer(), metric, |t| {
         MultiHopParams::reservation_defaults().with_refresh_timer_scaled_timeout(t)
     })
 }
@@ -760,6 +838,7 @@ fn fig19(metric: Metric) -> SeriesSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use siganalytic::Protocol;
 
     #[test]
     fn names_roundtrip() {
@@ -908,10 +987,50 @@ mod tests {
         // The whole sweep (protocol × point × replication) must be a pure
         // function of the options, no matter how it is scheduled.
         let quick = ExperimentOptions::quick();
-        let serial = ExperimentId::Fig11a.run_with(&quick.with_execution(ExecutionPolicy::Serial));
+        let serial =
+            ExperimentId::Fig11a.run_with(&quick.clone().with_execution(ExecutionPolicy::Serial));
         let threaded =
             ExperimentId::Fig11a.run_with(&quick.with_execution(ExecutionPolicy::threads(4)));
         assert_eq!(serial, threaded);
+    }
+
+    #[test]
+    fn protocol_override_replaces_a_figure_protocol_set() {
+        // The options-level override runs any figure over any design point:
+        // restrict fig6a to two presets and check only those series appear.
+        let options =
+            ExperimentOptions::quick().with_protocols(vec![ProtocolSpec::SS, ProtocolSpec::HS]);
+        let fig = ExperimentId::Fig6a.run_with(&options);
+        let fig = fig.as_figure().unwrap();
+        assert_eq!(
+            fig.labels(),
+            vec!["SS", "HS"],
+            "override must replace the default set in order"
+        );
+        // And the full preset override reproduces the default set exactly.
+        let default_run = ExperimentId::Fig6a.run_with(&ExperimentOptions::quick());
+        let preset_run = ExperimentId::Fig6a
+            .run_with(&ExperimentOptions::quick().with_protocols(ProtocolSpec::PAPER.to_vec()));
+        assert_eq!(default_run, preset_run);
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol 'bad' is incoherent")]
+    fn incoherent_protocol_override_panics_with_a_clear_message() {
+        // An unvalidated spec smuggled in through the options-level override
+        // must fail at the funnel with its SpecError, not deep inside the
+        // solver with a misleading message.
+        let bad = ProtocolSpec::hard_state("bad").with_state_timeout(true);
+        let options = ExperimentOptions::quick().with_protocols(vec![bad]);
+        ExperimentId::Fig6a.run_with(&options);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label 'ss'")]
+    fn duplicate_labels_in_protocol_override_panic_clearly() {
+        let options = ExperimentOptions::quick()
+            .with_protocols(vec![ProtocolSpec::SS, ProtocolSpec::soft_state("ss")]);
+        ExperimentId::Fig6a.run_with(&options);
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! The crate re-exports the pieces a user needs to compare signaling
 //! protocols:
 //!
-//! * the five protocols and their parameters ([`Protocol`],
-//!   [`SingleHopParams`], [`MultiHopParams`]) — from `siganalytic`;
+//! * the mechanism-composition protocol layer ([`ProtocolSpec`] and its
+//!   five paper presets named by [`Protocol`]) and the model parameters
+//!   ([`SingleHopParams`], [`MultiHopParams`]) — from `siganalytic`;
 //! * the analytic models ([`SingleHopModel`], [`MultiHopModel`]) and their
 //!   solutions;
 //! * the discrete-event simulator ([`SessionConfig`], [`Campaign`],
@@ -50,15 +51,17 @@ pub use compare::{
 };
 pub use experiment::{ExperimentId, ExperimentOptions, ExperimentOutput, Metric};
 pub use registry::{
-    Experiment, ExperimentSpec, Registry, RegistryError, SpecError, SpecKind, SweepTarget,
+    check_protocol_set, Experiment, ExperimentSpec, ProtocolEntry, ProtocolRegistry,
+    ProtocolSetError, Registry, RegistryError, SpecError, SpecKind, SweepTarget,
 };
 pub use report::{render_csv, render_json, render_table};
 
 // Re-exports of the building blocks.
+pub use siganalytic::spec::SpecError as ProtocolSpecError;
 pub use siganalytic::{
-    integrated_cost, solve_all, solve_all_multi_hop, ConfigError, CostWeights, MessageRates,
-    ModelError, MultiHopModel, MultiHopParams, MultiHopSolution, Protocol, SingleHopModel,
-    SingleHopParams, SingleHopSolution,
+    integrated_cost, solve_all, solve_all_multi_hop, ConfigError, CostWeights, Delivery,
+    MessageRates, ModelError, MultiHopModel, MultiHopParams, MultiHopSolution, Protocol,
+    ProtocolSpec, RefreshMode, Removal, SingleHopModel, SingleHopParams, SingleHopSolution,
 };
 pub use sigproto::{
     Campaign, CampaignResult, LossModel, MultiHopCampaign, MultiHopCampaignResult, MultiHopSession,

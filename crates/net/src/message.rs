@@ -30,6 +30,10 @@ pub enum MsgKind {
     Removal,
     /// Acknowledgment of a reliably transmitted trigger.
     TriggerAck,
+    /// Acknowledgment of a reliably transmitted refresh (used only by
+    /// mechanism compositions with reliable refreshes; no paper protocol
+    /// sends these).
+    RefreshAck,
     /// Acknowledgment of a reliably transmitted removal.
     RemovalAck,
     /// Receiver → sender notification that state was removed at the receiver
@@ -55,11 +59,12 @@ impl MsgKind {
     }
 
     /// All message kinds, in a stable order (used by per-kind counters).
-    pub const ALL: [MsgKind; 7] = [
+    pub const ALL: [MsgKind; 8] = [
         MsgKind::Trigger,
         MsgKind::Refresh,
         MsgKind::Removal,
         MsgKind::TriggerAck,
+        MsgKind::RefreshAck,
         MsgKind::RemovalAck,
         MsgKind::RemovalNotice,
         MsgKind::ExternalSignal,
@@ -73,6 +78,7 @@ impl fmt::Display for MsgKind {
             MsgKind::Refresh => "REFRESH",
             MsgKind::Removal => "REMOVAL",
             MsgKind::TriggerAck => "TRIGGER-ACK",
+            MsgKind::RefreshAck => "REFRESH-ACK",
             MsgKind::RemovalAck => "REMOVAL-ACK",
             MsgKind::RemovalNotice => "REMOVAL-NOTICE",
             MsgKind::ExternalSignal => "EXTERNAL-SIGNAL",

@@ -1,15 +1,20 @@
 //! Simulation configuration.
 
-use siganalytic::{ConfigError, MultiHopParams, Protocol, SingleHopParams};
+use siganalytic::{ConfigError, MultiHopParams, ProtocolSpec, SingleHopParams};
 use signet::LossModel;
 use sigworkload::Scenario;
 use simcore::TimerMode;
 
 /// Configuration of a single-hop signaling session simulation.
+///
+/// The protocol is a mechanism-composition [`ProtocolSpec`]; every
+/// constructor accepts either a `siganalytic::Protocol` preset name or a
+/// custom spec, so paper call sites are unchanged and novel design points
+/// run through the same simulator.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SessionConfig {
-    /// The signaling protocol to simulate.
-    pub protocol: Protocol,
+    /// The signaling protocol (mechanism composition) to simulate.
+    pub protocol: ProtocolSpec,
     /// Model parameters (same structure the analytic model uses, so the two
     /// can be compared point for point).
     pub params: SingleHopParams,
@@ -31,9 +36,9 @@ pub struct SessionConfig {
 
 impl SessionConfig {
     /// Deterministic-timer configuration (what a deployed protocol would do).
-    pub fn deterministic(protocol: Protocol, params: SingleHopParams) -> Self {
+    pub fn deterministic(protocol: impl Into<ProtocolSpec>, params: SingleHopParams) -> Self {
         Self {
-            protocol,
+            protocol: protocol.into(),
             params,
             timer_mode: TimerMode::Deterministic,
             delay_mode: TimerMode::Deterministic,
@@ -43,9 +48,9 @@ impl SessionConfig {
 
     /// Fully exponential configuration (matches the analytic model's
     /// assumptions; used to validate the model itself).
-    pub fn exponential(protocol: Protocol, params: SingleHopParams) -> Self {
+    pub fn exponential(protocol: impl Into<ProtocolSpec>, params: SingleHopParams) -> Self {
         Self {
-            protocol,
+            protocol: protocol.into(),
             params,
             timer_mode: TimerMode::Exponential,
             delay_mode: TimerMode::Exponential,
@@ -60,9 +65,13 @@ impl SessionConfig {
     /// This is the composition point the open experiment registry uses: a
     /// user-defined scenario plugs into the simulator without touching any
     /// protocol code.
-    pub fn for_scenario(protocol: Protocol, scenario: &Scenario, timer_mode: TimerMode) -> Self {
+    pub fn for_scenario(
+        protocol: impl Into<ProtocolSpec>,
+        scenario: &Scenario,
+        timer_mode: TimerMode,
+    ) -> Self {
         Self {
-            protocol,
+            protocol: protocol.into(),
             params: scenario.params,
             timer_mode,
             delay_mode: timer_mode,
@@ -83,7 +92,10 @@ impl SessionConfig {
         })
     }
 
-    /// Validates the embedded parameters.
+    /// Validates the embedded parameters.  The protocol's mechanism
+    /// coherence is checked separately with
+    /// [`ProtocolSpec::validate`](siganalytic::ProtocolSpec::validate)
+    /// (the analytic models do so on construction).
     pub fn validate(&self) -> Result<(), ConfigError> {
         self.params.validate()?;
         if let Some(model) = self.loss_model {
@@ -99,9 +111,9 @@ impl SessionConfig {
 /// Configuration of a multi-hop simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MultiHopSimConfig {
-    /// The signaling protocol (SS, SS+RT and HS are the meaningful choices,
-    /// matching the paper's Section III-B).
-    pub protocol: Protocol,
+    /// The signaling protocol (SS, SS+RT and HS are the paper's choices for
+    /// Section III-B; any coherent [`ProtocolSpec`] runs).
+    pub protocol: ProtocolSpec,
     /// Multi-hop model parameters.
     pub params: MultiHopParams,
     /// Deterministic or exponential protocol timers.
@@ -114,9 +126,9 @@ pub struct MultiHopSimConfig {
 
 impl MultiHopSimConfig {
     /// Deterministic-timer configuration with a default two-hour horizon.
-    pub fn deterministic(protocol: Protocol, params: MultiHopParams) -> Self {
+    pub fn deterministic(protocol: impl Into<ProtocolSpec>, params: MultiHopParams) -> Self {
         Self {
-            protocol,
+            protocol: protocol.into(),
             params,
             timer_mode: TimerMode::Deterministic,
             delay_mode: TimerMode::Deterministic,
@@ -125,7 +137,7 @@ impl MultiHopSimConfig {
     }
 
     /// Exponential-timer configuration with a default two-hour horizon.
-    pub fn exponential(protocol: Protocol, params: MultiHopParams) -> Self {
+    pub fn exponential(protocol: impl Into<ProtocolSpec>, params: MultiHopParams) -> Self {
         Self {
             timer_mode: TimerMode::Exponential,
             delay_mode: TimerMode::Exponential,
@@ -152,6 +164,7 @@ impl MultiHopSimConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use siganalytic::Protocol;
 
     #[test]
     fn constructors_set_modes() {

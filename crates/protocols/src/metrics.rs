@@ -18,6 +18,8 @@ pub struct MessageCounts {
     pub removal: u64,
     /// Trigger acknowledgments.
     pub trigger_ack: u64,
+    /// Refresh acknowledgments (reliable-refresh compositions only).
+    pub refresh_ack: u64,
     /// Removal acknowledgments.
     pub removal_ack: u64,
     /// Removal notifications (receiver → sender).
@@ -34,6 +36,7 @@ impl MessageCounts {
             MsgKind::Refresh => self.refresh += 1,
             MsgKind::Removal => self.removal += 1,
             MsgKind::TriggerAck => self.trigger_ack += 1,
+            MsgKind::RefreshAck => self.refresh_ack += 1,
             MsgKind::RemovalAck => self.removal_ack += 1,
             MsgKind::RemovalNotice => self.removal_notice += 1,
             MsgKind::ExternalSignal => self.external_signal += 1,
@@ -46,6 +49,7 @@ impl MessageCounts {
             + self.refresh
             + self.removal
             + self.trigger_ack
+            + self.refresh_ack
             + self.removal_ack
             + self.removal_notice
     }
@@ -56,6 +60,7 @@ impl MessageCounts {
         self.refresh += other.refresh;
         self.removal += other.removal;
         self.trigger_ack += other.trigger_ack;
+        self.refresh_ack += other.refresh_ack;
         self.removal_ack += other.removal_ack;
         self.removal_notice += other.removal_notice;
         self.external_signal += other.external_signal;

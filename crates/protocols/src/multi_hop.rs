@@ -16,7 +16,7 @@
 use crate::config::MultiHopSimConfig;
 use crate::metrics::{MessageCounts, MultiHopRunMetrics};
 use crate::single_hop::RETRANS_SLACK;
-use siganalytic::Protocol;
+use siganalytic::ProtocolSpec;
 use signet::{DelayModel, MsgKind, Path, SignalMessage, StateValue, TransmitOutcome};
 use sigstats::TimeWeighted;
 use simcore::{Dist, EventId, EventQueue, SimRng, SimTime, Timer};
@@ -62,8 +62,11 @@ pub struct MultiHopSession<'a> {
 
     sender_value: StateValue,
     node_values: Vec<Option<StateValue>>,
-    /// Per-hop pending reliable trigger (value awaiting a hop-level ACK).
+    /// Per-hop pending reliable message (value awaiting a hop-level ACK).
     pending: Vec<Option<StateValue>>,
+    /// The kind (trigger or refresh) of each hop's pending message, so
+    /// retransmissions resend what was lost.
+    pending_kind: Vec<MsgKind>,
     hop_retrans: Vec<Timer>,
     node_timeout: Vec<Timer>,
     refresh_timer: Timer,
@@ -106,6 +109,7 @@ impl<'a> MultiHopSession<'a> {
             sender_value: 1,
             node_values: vec![Some(1); k],
             pending: vec![None; k],
+            pending_kind: vec![MsgKind::Trigger; k],
             hop_retrans: vec![Timer::new(); k],
             node_timeout: vec![Timer::new(); k],
             refresh_timer: Timer::new(),
@@ -117,7 +121,7 @@ impl<'a> MultiHopSession<'a> {
         }
     }
 
-    fn protocol(&self) -> Protocol {
+    fn protocol(&self) -> ProtocolSpec {
         self.cfg.protocol
     }
 
@@ -142,7 +146,7 @@ impl<'a> MultiHopSession<'a> {
                 self.node_timeout[node - 1].arm(&mut self.queue, d, Event::NodeTimeout { node });
             }
         }
-        if self.protocol() == Protocol::Hs {
+        if self.protocol().has_external_detector() {
             for node in 1..=self.k() {
                 self.schedule_false_signal(node);
             }
@@ -225,11 +229,49 @@ impl<'a> MultiHopSession<'a> {
     /// Originates (or forwards) a trigger on hop `hop`, with hop-by-hop
     /// reliability when the protocol provides it.
     fn push_trigger(&mut self, hop: usize, value: StateValue) {
-        self.send_forward(hop, MsgKind::Trigger, value, 0);
-        if self.protocol().reliable_triggers() {
+        self.push_forward(hop, MsgKind::Trigger, value);
+    }
+
+    /// Originates (or forwards) a forward message on hop `hop`, arming the
+    /// hop's retransmission timer when the spec makes that kind reliable:
+    /// triggers under reliable triggers, refreshes under reliable refresh —
+    /// and, with best-effort triggers, the reliable refresh loop also
+    /// carries triggers (retransmitting them as refreshes), which is the
+    /// repair behavior the analytic slow-path rate credits those specs.
+    fn push_forward(&mut self, hop: usize, kind: MsgKind, value: StateValue) {
+        self.send_forward(hop, kind, value, 0);
+        let reliable = match kind {
+            MsgKind::Trigger => {
+                self.protocol().reliable_triggers() || self.protocol().reliable_refresh()
+            }
+            MsgKind::Refresh => self.protocol().reliable_refresh(),
+            _ => false,
+        };
+        let retrans_kind = if kind == MsgKind::Trigger && !self.protocol().reliable_triggers() {
+            MsgKind::Refresh
+        } else {
+            kind
+        };
+        // Take over the hop's pending slot only when this message carries at
+        // least the value already awaiting an ACK: a stale forwarded refresh
+        // must not displace a newer pending trigger, or the hop would
+        // retransmit the old value and a matching ACK would cancel the
+        // newer value's repair entirely.  (Forwarded triggers always carry a
+        // news-checked, strictly growing value, so this guard never fires
+        // for the paper presets.)
+        if reliable && self.pending[hop].is_none_or(|pending| value >= pending) {
             self.pending[hop] = Some(value);
-            let d = self.retrans_dist.sample(self.rng) + RETRANS_SLACK;
-            self.hop_retrans[hop].arm(&mut self.queue, d, Event::HopRetrans { hop });
+            self.pending_kind[hop] = retrans_kind;
+            // Reliable triggers restart the hop's retry cycle on every push
+            // (each trigger is fresh news).  The refresh-reliability paths
+            // instead arm only an idle timer: re-arming on every periodic
+            // refresh would perpetually postpone the retry whenever
+            // `R + slack ≥ T` and starve hop retransmissions.
+            let restart_cycle = kind == MsgKind::Trigger && self.protocol().reliable_triggers();
+            if restart_cycle || !self.hop_retrans[hop].is_armed() {
+                let d = self.retrans_dist.sample(self.rng) + RETRANS_SLACK;
+                self.hop_retrans[hop].arm(&mut self.queue, d, Event::HopRetrans { hop });
+            }
         }
     }
 
@@ -289,7 +331,7 @@ impl<'a> MultiHopSession<'a> {
             return;
         }
         if self.protocol().uses_refresh() {
-            self.send_forward(0, MsgKind::Refresh, self.sender_value, 0);
+            self.push_forward(0, MsgKind::Refresh, self.sender_value);
             let d = self.refresh_dist.sample(self.rng);
             self.refresh_timer
                 .arm(&mut self.queue, d, Event::RefreshTimer);
@@ -311,7 +353,7 @@ impl<'a> MultiHopSession<'a> {
             return;
         }
         if let Some(value) = self.pending[hop] {
-            self.send_forward(hop, MsgKind::Trigger, value, 0);
+            self.send_forward(hop, self.pending_kind[hop], value, 0);
             let d = self.retrans_dist.sample(self.rng) + RETRANS_SLACK;
             self.hop_retrans[hop].arm(&mut self.queue, d, Event::HopRetrans { hop });
         }
@@ -372,15 +414,19 @@ impl<'a> MultiHopSession<'a> {
                 self.restart_node_timeout(node);
                 if msg.kind == MsgKind::Trigger && self.protocol().reliable_triggers() {
                     self.send_backward(node - 1, MsgKind::TriggerAck, msg.value, msg.seq);
+                } else if self.protocol().reliable_refresh() {
+                    // Reliable refresh acknowledges the whole state stream
+                    // hop by hop (triggers too, when they have no ACK
+                    // machinery of their own).
+                    self.send_backward(node - 1, MsgKind::RefreshAck, msg.value, msg.seq);
                 }
-                // Forward down the chain: refreshes always travel end to end;
-                // triggers are forwarded when they carry news for the next
-                // hop (a duplicate retransmission is absorbed here).
+                // Forward down the chain: refreshes always travel end to end
+                // (reliable refreshes hop by hop with ACKs); triggers are
+                // forwarded when they carry news for the next hop (a
+                // duplicate retransmission is absorbed here).
                 if node < self.k() {
                     match msg.kind {
-                        MsgKind::Refresh => {
-                            self.send_forward(node, MsgKind::Refresh, msg.value, msg.seq)
-                        }
+                        MsgKind::Refresh => self.push_forward(node, MsgKind::Refresh, msg.value),
                         MsgKind::Trigger if is_news => self.push_trigger(node, msg.value),
                         _ => {}
                     }
@@ -395,7 +441,7 @@ impl<'a> MultiHopSession<'a> {
     }
 
     fn on_backward_arrive(&mut self, msg: SignalMessage, node: usize) {
-        if msg.kind == MsgKind::TriggerAck {
+        if matches!(msg.kind, MsgKind::TriggerAck | MsgKind::RefreshAck) {
             // `node` is the upstream endpoint of hop `node` (0 = sender).
             if let Some(pending) = self.pending[node] {
                 if msg.value >= pending {
@@ -410,7 +456,7 @@ impl<'a> MultiHopSession<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use siganalytic::MultiHopParams;
+    use siganalytic::{MultiHopParams, Protocol, RefreshMode};
 
     fn quick_params(hops: usize) -> MultiHopParams {
         MultiHopParams::reservation_defaults().with_hops(hops)
@@ -544,6 +590,31 @@ mod tests {
         let mut rng = SimRng::new(21);
         let m = MultiHopSession::run(&cfg, &mut rng);
         assert!((0.0..=1.0).contains(&m.end_to_end_inconsistency));
+    }
+
+    #[test]
+    fn reliable_refresh_spec_runs_hop_by_hop() {
+        // A non-paper composition: soft state whose refreshes are
+        // hop-by-hop acknowledged and retransmitted.
+        let ss_rr = ProtocolSpec::soft_state("SS+RR").with_refresh(Some(RefreshMode::Reliable));
+        ss_rr.validate().unwrap();
+        let mut p = quick_params(6);
+        p.loss = 0.2;
+        let cfg = MultiHopSimConfig::deterministic(ss_rr, p).with_horizon(1500.0);
+        let mut rng = SimRng::new(23);
+        let rr = MultiHopSession::run(&cfg, &mut rng);
+        assert!(rr.messages.refresh_ack > 0, "refresh ACKs must flow");
+        assert!((0.0..=1.0).contains(&rr.end_to_end_inconsistency));
+        // SS on the same channel sends no refresh ACKs and, with losses
+        // unrepaired hop by hop, is more inconsistent at the far end.
+        let ss = run(Protocol::Ss, p, 1500.0, 23);
+        assert_eq!(ss.messages.refresh_ack, 0);
+        assert!(
+            rr.per_hop_inconsistency[5] < ss.per_hop_inconsistency[5],
+            "SS+RR ({}) should beat SS ({}) at the far hop",
+            rr.per_hop_inconsistency[5],
+            ss.per_hop_inconsistency[5]
+        );
     }
 
     #[test]

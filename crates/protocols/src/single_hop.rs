@@ -13,7 +13,7 @@
 
 use crate::config::SessionConfig;
 use crate::metrics::{MessageCounts, SessionMetrics};
-use siganalytic::Protocol;
+use siganalytic::ProtocolSpec;
 use signet::{Channel, DelayModel, MsgKind, SignalMessage, StateValue};
 
 use sigstats::TimeWeighted;
@@ -38,6 +38,7 @@ enum Event {
     ArriveAtSender(SignalMessage),
     RefreshTimer,
     TriggerRetrans,
+    RefreshRetrans,
     RemovalRetrans,
     ReceiverTimeout,
     SenderUpdate,
@@ -61,10 +62,12 @@ pub struct SingleHopSession<'a> {
     receiver_value: Option<StateValue>,
     next_seq: u64,
     pending_trigger: Option<u64>,
+    pending_refresh: Option<u64>,
     pending_removal: bool,
 
     refresh_timer: Timer,
     trigger_retrans: Timer,
+    refresh_retrans: Timer,
     removal_retrans: Timer,
     receiver_timeout: Timer,
 
@@ -122,9 +125,11 @@ impl<'a> SingleHopSession<'a> {
             receiver_value: None,
             next_seq: 0,
             pending_trigger: None,
+            pending_refresh: None,
             pending_removal: false,
             refresh_timer: Timer::new(),
             trigger_retrans: Timer::new(),
+            refresh_retrans: Timer::new(),
             removal_retrans: Timer::new(),
             receiver_timeout: Timer::new(),
             counts: MessageCounts::default(),
@@ -136,7 +141,7 @@ impl<'a> SingleHopSession<'a> {
         }
     }
 
-    fn protocol(&self) -> Protocol {
+    fn protocol(&self) -> ProtocolSpec {
         self.cfg.protocol
     }
 
@@ -168,7 +173,7 @@ impl<'a> SingleHopSession<'a> {
     }
 
     fn schedule_next_false_signal(&mut self) {
-        if self.protocol() == Protocol::Hs && self.cfg.params.false_signal_rate > 0.0 {
+        if self.protocol().has_external_detector() && self.cfg.params.false_signal_rate > 0.0 {
             let dt = self.rng.exponential_rate(self.cfg.params.false_signal_rate);
             if dt.is_finite() {
                 self.queue.schedule_in(dt, Event::FalseSignal);
@@ -250,6 +255,15 @@ impl<'a> SingleHopSession<'a> {
             let d = self.retrans_dist.sample(self.rng) + RETRANS_SLACK;
             self.trigger_retrans
                 .arm(&mut self.queue, d, Event::TriggerRetrans);
+        } else if self.protocol().reliable_refresh() {
+            // With best-effort triggers, the reliable refresh loop is the
+            // spec's only retransmission machinery, and it tracks the
+            // *current* value: a trigger re-enters the loop, so until the
+            // receiver acknowledges this value the sender keeps repairing
+            // at rate 1/R (retransmissions go out as refreshes) — the
+            // behavior the analytic slow-path repair rate credits
+            // reliable-refresh compositions.
+            self.track_pending_refresh(seq);
         }
         if self.protocol().uses_refresh() && self.refresh_timer.is_armed() {
             // Sending an explicit trigger resets the refresh cycle.
@@ -268,6 +282,20 @@ impl<'a> SingleHopSession<'a> {
             let d = self.retrans_dist.sample(self.rng) + RETRANS_SLACK;
             self.removal_retrans
                 .arm(&mut self.queue, d, Event::RemovalRetrans);
+        }
+    }
+
+    /// Enters (or updates) the reliable-refresh retransmission loop for the
+    /// state announcement with sequence number `seq`.  The retransmission
+    /// timer is armed only when no cycle is running: re-arming on every
+    /// periodic refresh would perpetually postpone the retry whenever
+    /// `R + slack ≥ T` and starve retransmissions entirely.
+    fn track_pending_refresh(&mut self, seq: u64) {
+        self.pending_refresh = Some(seq);
+        if !self.refresh_retrans.is_armed() {
+            let d = self.retrans_dist.sample(self.rng) + RETRANS_SLACK;
+            self.refresh_retrans
+                .arm(&mut self.queue, d, Event::RefreshRetrans);
         }
     }
 
@@ -295,6 +323,7 @@ impl<'a> SingleHopSession<'a> {
             Event::SenderRemoval => self.on_sender_removal(time),
             Event::RefreshTimer => self.on_refresh_timer(id),
             Event::TriggerRetrans => self.on_trigger_retrans(id),
+            Event::RefreshRetrans => self.on_refresh_retrans(id),
             Event::RemovalRetrans => self.on_removal_retrans(id),
             Event::ReceiverTimeout => self.on_receiver_timeout(id, time),
             Event::FalseSignal => self.on_false_signal(time),
@@ -320,8 +349,10 @@ impl<'a> SingleHopSession<'a> {
         self.sender_value = None;
         self.sender_lifetime = time.as_secs();
         self.pending_trigger = None;
+        self.pending_refresh = None;
         self.refresh_timer.cancel(&mut self.queue);
         self.trigger_retrans.cancel(&mut self.queue);
+        self.refresh_retrans.cancel(&mut self.queue);
         self.trace.record(time, "sender", "state removed locally");
         if self.protocol().uses_explicit_removal() {
             self.send_removal();
@@ -338,11 +369,30 @@ impl<'a> SingleHopSession<'a> {
                 let seq = self.next_seq;
                 self.next_seq += 1;
                 self.send_to_receiver(MsgKind::Refresh, value, seq);
+                if self.protocol().reliable_refresh() {
+                    self.track_pending_refresh(seq);
+                }
                 let d = self.refresh_dist.sample(self.rng);
                 self.refresh_timer
                     .arm(&mut self.queue, d, Event::RefreshTimer);
             }
         }
+    }
+
+    fn on_refresh_retrans(&mut self, id: EventId) {
+        if !self.refresh_retrans.on_fired(id) {
+            return;
+        }
+        let Some(seq) = self.pending_refresh else {
+            return;
+        };
+        let Some(value) = self.sender_value else {
+            return;
+        };
+        self.send_to_receiver(MsgKind::Refresh, value, seq);
+        let d = self.retrans_dist.sample(self.rng) + RETRANS_SLACK;
+        self.refresh_retrans
+            .arm(&mut self.queue, d, Event::RefreshRetrans);
     }
 
     fn on_trigger_retrans(&mut self, id: EventId) {
@@ -425,6 +475,11 @@ impl<'a> SingleHopSession<'a> {
                 self.restart_receiver_timeout();
                 if msg.kind == MsgKind::Trigger && self.protocol().reliable_triggers() {
                     self.send_to_sender(MsgKind::TriggerAck, msg.value, msg.seq);
+                } else if self.protocol().reliable_refresh() {
+                    // Reliable refresh acknowledges the state stream: every
+                    // delivered refresh and — when triggers have no ACK
+                    // machinery of their own — every delivered trigger.
+                    self.send_to_sender(MsgKind::RefreshAck, msg.value, msg.seq);
                 }
                 self.update_consistency();
             }
@@ -438,6 +493,7 @@ impl<'a> SingleHopSession<'a> {
             }
             // Backward-direction kinds never arrive at the receiver.
             MsgKind::TriggerAck
+            | MsgKind::RefreshAck
             | MsgKind::RemovalAck
             | MsgKind::RemovalNotice
             | MsgKind::ExternalSignal => {}
@@ -450,6 +506,19 @@ impl<'a> SingleHopSession<'a> {
                 if self.pending_trigger == Some(msg.seq) {
                     self.pending_trigger = None;
                     self.trigger_retrans.cancel(&mut self.queue);
+                }
+            }
+            MsgKind::RefreshAck => {
+                // Sequence numbers grow monotonically, so an ACK for the
+                // pending announcement *or anything newer* retires the
+                // retransmission cycle (the pending seq may have been
+                // superseded by a later refresh while the cycle ran).
+                if self
+                    .pending_refresh
+                    .is_some_and(|pending| msg.seq >= pending)
+                {
+                    self.pending_refresh = None;
+                    self.refresh_retrans.cancel(&mut self.queue);
                 }
             }
             MsgKind::RemovalAck => {
@@ -471,9 +540,104 @@ impl<'a> SingleHopSession<'a> {
 }
 
 #[cfg(test)]
+mod reliable_refresh_tests {
+    use super::*;
+    use siganalytic::{Protocol, RefreshMode, SingleHopParams};
+
+    const SS_RR: ProtocolSpec =
+        ProtocolSpec::soft_state("SS+RR").with_refresh(Some(RefreshMode::Reliable));
+
+    fn lossy_params() -> SingleHopParams {
+        let mut p = SingleHopParams::kazaa_defaults()
+            .with_mean_lifetime(300.0)
+            .with_mean_update_interval(1e9); // isolate the refresh stream
+        p.loss = 0.3;
+        p
+    }
+
+    fn run(spec: ProtocolSpec, seed: u64) -> SessionMetrics {
+        let cfg = SessionConfig::deterministic(spec, lossy_params());
+        let mut rng = SimRng::new(seed);
+        SingleHopSession::run(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn reliable_refresh_acks_and_retransmits() {
+        SS_RR.validate().unwrap();
+        let mut acked = 0u64;
+        let mut refreshes_rr = 0u64;
+        let mut refreshes_ss = 0u64;
+        for seed in 0..10 {
+            let rr = run(SS_RR, seed);
+            acked += rr.messages.refresh_ack;
+            refreshes_rr += rr.messages.refresh;
+            let ss = run(Protocol::Ss.spec(), seed);
+            assert_eq!(ss.messages.refresh_ack, 0, "SS never acks refreshes");
+            refreshes_ss += ss.messages.refresh;
+        }
+        assert!(acked > 0, "refresh ACKs must flow for SS+RR");
+        // Lost refreshes are retransmitted, so SS+RR sends strictly more
+        // refresh messages than SS over the same sample paths.
+        assert!(
+            refreshes_rr > refreshes_ss,
+            "SS+RR ({refreshes_rr}) should retransmit beyond SS ({refreshes_ss})"
+        );
+    }
+
+    #[test]
+    fn refresh_retransmissions_still_fire_when_retrans_timer_exceeds_refresh_timer() {
+        // Regression: each periodic refresh used to re-arm the retransmission
+        // timer, so with R + slack ≥ T the retry was perpetually postponed
+        // and never fired.  The retry cycle must run at its own cadence.
+        let mut p = lossy_params();
+        p.retrans_timer = 1.6 * p.refresh_timer; // R > T
+        let cfg = SessionConfig::deterministic(SS_RR, p);
+        let mut retransmitted = 0i64;
+        let mut acks = 0u64;
+        for seed in 0..10 {
+            let mut rng = SimRng::new(seed);
+            let m = SingleHopSession::run(&cfg, &mut rng);
+            // Periodic refreshes alone would send ~lifetime/T; anything
+            // beyond that (under 30% loss) is the retry cycle firing.
+            let periodic_budget = (m.sender_lifetime / p.refresh_timer).ceil() as i64 + 1;
+            retransmitted += m.messages.refresh as i64 - periodic_budget;
+            acks += m.messages.refresh_ack;
+        }
+        assert!(acks > 0);
+        assert!(
+            retransmitted > 0,
+            "no refresh retransmissions fired with R > T (starved retry cycle)"
+        );
+    }
+
+    #[test]
+    fn reliable_refresh_reduces_false_removals_under_loss() {
+        let mut p = lossy_params();
+        p.loss = 0.5;
+        p.timeout_timer = 2.0 * p.refresh_timer;
+        let mut ss_false = 0u64;
+        let mut rr_false = 0u64;
+        for seed in 0..30 {
+            let mut rng = SimRng::new(seed);
+            ss_false +=
+                SingleHopSession::run(&SessionConfig::deterministic(Protocol::Ss, p), &mut rng)
+                    .false_removals;
+            let mut rng = SimRng::new(seed);
+            rr_false += SingleHopSession::run(&SessionConfig::deterministic(SS_RR, p), &mut rng)
+                .false_removals;
+        }
+        assert!(ss_false > 0, "the operating point must stress SS");
+        assert!(
+            rr_false < ss_false,
+            "retransmitted refreshes should cut false removals ({rr_false} vs {ss_false})"
+        );
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
-    use siganalytic::SingleHopParams;
+    use siganalytic::{Protocol, SingleHopParams};
     use sigstats::OnlineStats;
 
     fn lossless_params() -> SingleHopParams {

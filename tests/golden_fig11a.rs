@@ -13,7 +13,7 @@
 
 use signaling::experiment::{ExperimentId, ExperimentOptions};
 use signaling::report::render_json;
-use signaling::{Assignment, ExecutionPolicy, ReplicationEngine};
+use signaling::{Assignment, ExecutionPolicy, Protocol, ProtocolSpec, ReplicationEngine};
 
 const GOLDEN: &str = include_str!("golden/fig11a_quick_serial.json");
 
@@ -31,6 +31,29 @@ fn fig11a_quick_serial_matches_the_committed_golden_json() {
         fresh, GOLDEN,
         "fig11a output drifted from tests/golden/fig11a_quick_serial.json"
     );
+}
+
+#[test]
+fn fig11a_via_protocol_spec_presets_matches_the_golden_json() {
+    // The protocol-layer redesign guarantee: running the figure over the
+    // five mechanism-composition presets — through the options-level
+    // protocol override, i.e. the `repro --protocols` path — produces
+    // byte-for-byte the JSON the closed-enum path recorded.  The fixture
+    // predates `ProtocolSpec` and is unchanged.
+    let options = ExperimentOptions::quick()
+        .with_execution(ExecutionPolicy::Serial)
+        .with_protocols(ProtocolSpec::PAPER.to_vec());
+    let out = ExperimentId::Fig11a.run_with(&options);
+    let fresh = render_json(out.as_figure().expect("fig11a is a figure")) + "\n";
+    assert_eq!(
+        fresh, GOLDEN,
+        "the ProtocolSpec preset path drifted from the recorded enum-path output"
+    );
+
+    // And the enum names are literally the presets (conversion is identity
+    // on every mechanism knob).
+    let via_enum: Vec<ProtocolSpec> = Protocol::ALL.iter().map(|p| p.spec()).collect();
+    assert_eq!(via_enum, ProtocolSpec::PAPER.to_vec());
 }
 
 #[test]

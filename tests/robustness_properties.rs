@@ -154,7 +154,7 @@ fn timer_mode_changes_little_at_the_paper_defaults() {
     for protocol in [Protocol::SsRtr, Protocol::Hs] {
         let run = |mode: TimerMode| {
             let cfg = SessionConfig {
-                protocol,
+                protocol: protocol.into(),
                 params,
                 timer_mode: mode,
                 delay_mode: TimerMode::Deterministic,
