@@ -36,9 +36,11 @@ pub mod multi_hop;
 pub mod params;
 pub mod single_hop;
 pub mod spec;
+pub mod sweep;
 
 pub use cost::{integrated_cost, CostWeights};
 pub use multi_hop::{solve_all_multi_hop, MultiHopModel, MultiHopSolution};
 pub use params::{ConfigError, MultiHopParams, Protocol, SingleHopParams};
 pub use single_hop::{solve_all, MessageRates, ModelError, SingleHopModel, SingleHopSolution};
 pub use spec::{Delivery, ProtocolSpec, RefreshMode, Removal, SpecError};
+pub use sweep::{MultiHopSweepSession, SingleHopSweepSession};

@@ -17,4 +17,4 @@ pub mod transitions;
 
 pub use model::{solve_all_multi_hop, MultiHopModel, MultiHopSolution};
 pub use states::{MultiHopState, PathMode};
-pub use transitions::multi_hop_transitions;
+pub use transitions::{multi_hop_transitions, multi_hop_transitions_into};

@@ -119,40 +119,12 @@ impl MultiHopModel {
         }
         let chain = builder.build()?;
         let pi = chain.stationary_distribution()?;
-
-        let mut stationary = HashMap::new();
-        for (idx, label) in builder.labels().iter().enumerate() {
-            stationary.insert(*label, pi[idx]);
-        }
-
-        let fully = MultiHopState::fast(k);
-        let inconsistency = 1.0 - stationary.get(&fully).copied().unwrap_or(0.0);
-
-        // Summed in state-index order (not HashMap order), so repeated
-        // solves produce bit-identical floating-point results.
-        let per_hop_inconsistency = (1..=k)
-            .map(|hop| {
-                let consistent_mass: f64 = builder
-                    .labels()
-                    .iter()
-                    .zip(pi.iter())
-                    .filter(|(s, _)| s.hop_is_consistent(hop))
-                    .map(|(_, p)| *p)
-                    .sum();
-                (1.0 - consistent_mass).clamp(0.0, 1.0)
-            })
-            .collect();
-
-        let message_rates = self.message_rates(&stationary);
-        Ok(MultiHopSolution {
-            protocol: self.protocol,
-            params: self.params,
-            inconsistency: inconsistency.clamp(0.0, 1.0),
-            per_hop_inconsistency,
-            message_rate: message_rates.total(),
-            message_rates,
-            stationary,
-        })
+        Ok(solution_from_stationary(
+            self.protocol,
+            self.params,
+            builder.labels(),
+            &pi,
+        ))
     }
 
     /// Expected number of hop transmissions of one end-to-end message
@@ -161,83 +133,156 @@ impl MultiHopModel {
     /// `Σ_{j=1..K} (1−p_l)^(j−1) = (1 − (1−p_l)^K) / p_l` (or `K` when the
     /// channel is loss free).
     pub fn expected_hops_per_message(&self) -> f64 {
-        let k = self.params.hops as f64;
-        let p = self.params.loss;
-        if p <= 0.0 {
-            k
-        } else {
-            (1.0 - (1.0 - p).powf(k)) / p
+        expected_hops_per_message(&self.params)
+    }
+}
+
+/// [`MultiHopModel::expected_hops_per_message`] as a free function, shared
+/// with the sweep fast path.
+pub(crate) fn expected_hops_per_message(params: &MultiHopParams) -> f64 {
+    let k = params.hops as f64;
+    let p = params.loss;
+    if p <= 0.0 {
+        k
+    } else {
+        (1.0 - (1.0 - p).powf(k)) / p
+    }
+}
+
+/// Assembles every solution metric from the chain's stationary distribution
+/// (`labels[i]` ↔ `pi[i]`).  Shared verbatim by [`MultiHopModel::solve`] and
+/// the sweep fast path ([`crate::sweep::MultiHopSweepSession`]), so both
+/// paths produce identical `MultiHopSolution`s.
+pub(crate) fn solution_from_stationary(
+    protocol: ProtocolSpec,
+    params: MultiHopParams,
+    labels: &[MultiHopState],
+    pi: &[f64],
+) -> MultiHopSolution {
+    let k = params.hops;
+    let mut stationary = HashMap::new();
+    for (idx, label) in labels.iter().enumerate() {
+        stationary.insert(*label, pi[idx]);
+    }
+
+    let fully = MultiHopState::fast(k);
+    let inconsistency = 1.0 - stationary.get(&fully).copied().unwrap_or(0.0);
+
+    // Summed in state-index order (not HashMap order), so repeated
+    // solves produce bit-identical floating-point results.
+    let per_hop_inconsistency = (1..=k)
+        .map(|hop| {
+            let consistent_mass: f64 = labels
+                .iter()
+                .zip(pi.iter())
+                .filter(|(s, _)| s.hop_is_consistent(hop))
+                .map(|(_, p)| *p)
+                .sum();
+            (1.0 - consistent_mass).clamp(0.0, 1.0)
+        })
+        .collect();
+
+    let message_rates = message_rates_from(protocol, &params, labels, pi);
+    MultiHopSolution {
+        protocol,
+        params,
+        inconsistency: inconsistency.clamp(0.0, 1.0),
+        per_hop_inconsistency,
+        message_rate: message_rates.total(),
+        message_rates,
+        stationary,
+    }
+}
+
+/// Message rates from the stationary distribution (Equations 13, 16, 17;
+/// the OCR-damaged sub-terms are documented term by term here).
+///
+/// Takes the labelled probability vector (`labels[i]` ↔ `pi[i]`) rather
+/// than the solution's `HashMap`, so the per-point hot path performs no
+/// hashing; the state masses accumulate in label order, which — states being
+/// enumerated fast `0..=K`, slow `0..K`, recovery — is exactly the `i` order
+/// the historical `HashMap` lookups summed in, keeping every sum
+/// bit-identical.
+pub(crate) fn message_rates_from(
+    protocol: ProtocolSpec,
+    p: &MultiHopParams,
+    labels: &[MultiHopState],
+    pi: &[f64],
+) -> MultiHopMessageRates {
+    let k = p.hops;
+    let success = 1.0 - p.loss;
+
+    let mut fast_mass = 0.0f64;
+    let mut slow_mass = 0.0f64;
+    let mut recovery_mass = 0.0f64;
+    for (s, &prob) in labels.iter().zip(pi.iter()) {
+        match s {
+            // The fully consistent state (K, Fast) is not "in flight".
+            MultiHopState::Progress {
+                consistent,
+                mode: super::states::PathMode::Fast,
+            } if *consistent < k => fast_mass += prob,
+            MultiHopState::Progress {
+                consistent,
+                mode: super::states::PathMode::Slow,
+            } if *consistent < k => slow_mass += prob,
+            MultiHopState::Recovery => recovery_mass += prob,
+            _ => {}
         }
     }
 
-    /// Message rates from the stationary distribution (Equations 13, 16, 17;
-    /// the OCR-damaged sub-terms are documented term by term here).
-    fn message_rates(&self, pi: &HashMap<MultiHopState, f64>) -> MultiHopMessageRates {
-        let k = self.params.hops;
-        let p = &self.params;
-        let success = 1.0 - p.loss;
+    // A trigger is being transmitted on some hop whenever the chain is in
+    // a fast-path state; each such sojourn lasts Δ on average.
+    let trigger = fast_mass / p.delay;
 
-        let fast_mass: f64 = (0..k)
-            .map(|i| pi.get(&MultiHopState::fast(i)).copied().unwrap_or(0.0))
-            .sum();
-        let slow_mass: f64 = (0..k)
-            .map(|i| pi.get(&MultiHopState::slow(i)).copied().unwrap_or(0.0))
-            .sum();
-        let recovery_mass = pi.get(&MultiHopState::Recovery).copied().unwrap_or(0.0);
+    // The sender emits a refresh every T seconds as long as it holds
+    // state (always, in this model); each refresh costs
+    // `expected_hops_per_message()` hop transmissions.
+    let refresh = if protocol.uses_refresh() {
+        expected_hops_per_message(p) / p.refresh_timer
+    } else {
+        0.0
+    };
 
-        // A trigger is being transmitted on some hop whenever the chain is in
-        // a fast-path state; each such sojourn lasts Δ on average.
-        let trigger = fast_mass / p.delay;
+    // Hop-by-hop retransmissions while stuck on the slow path (reliable
+    // triggers, or reliable refreshes doing the same repair job).
+    let retransmission = if protocol.retransmits_repairs() {
+        slow_mass / p.retrans_timer
+    } else {
+        0.0
+    };
 
-        // The sender emits a refresh every T seconds as long as it holds
-        // state (always, in this model); each refresh costs
-        // `expected_hops_per_message()` hop transmissions.
-        let refresh = if self.protocol.uses_refresh() {
-            self.expected_hops_per_message() / p.refresh_timer
-        } else {
-            0.0
-        };
-
-        // Hop-by-hop retransmissions while stuck on the slow path (reliable
-        // triggers, or reliable refreshes doing the same repair job).
-        let retransmission = if self.protocol.retransmits_repairs() {
-            slow_mass / p.retrans_timer
-        } else {
-            0.0
-        };
-
-        // One hop-by-hop ACK per successfully delivered message of the
-        // acknowledged stream: triggers and retransmissions whenever any
-        // retransmission machinery exists (trigger ACKs under reliable
-        // triggers; the refresh loop acknowledges triggers too when they
-        // have no ACKs of their own), plus one ACK per delivered refresh
-        // hop under reliable refresh.
-        let ack = {
-            let mut acked_rate = 0.0;
-            if self.protocol.retransmits_repairs() {
-                acked_rate += fast_mass / p.delay + slow_mass / p.retrans_timer;
-            }
-            if self.protocol.reliable_refresh() {
-                acked_rate += self.expected_hops_per_message() / p.refresh_timer;
-            }
-            success * acked_rate
-        };
-
-        // Recovery traffic: the receiver that saw the false signal notifies
-        // the other K−1 receivers and the sender (≈ K messages per recovery).
-        let recovery = if self.protocol.has_external_detector() {
-            recovery_mass * (2.0 / (k as f64 * p.delay)) * k as f64
-        } else {
-            0.0
-        };
-
-        MultiHopMessageRates {
-            trigger,
-            refresh,
-            retransmission,
-            ack,
-            recovery,
+    // One hop-by-hop ACK per successfully delivered message of the
+    // acknowledged stream: triggers and retransmissions whenever any
+    // retransmission machinery exists (trigger ACKs under reliable
+    // triggers; the refresh loop acknowledges triggers too when they
+    // have no ACKs of their own), plus one ACK per delivered refresh
+    // hop under reliable refresh.
+    let ack = {
+        let mut acked_rate = 0.0;
+        if protocol.retransmits_repairs() {
+            acked_rate += fast_mass / p.delay + slow_mass / p.retrans_timer;
         }
+        if protocol.reliable_refresh() {
+            acked_rate += expected_hops_per_message(p) / p.refresh_timer;
+        }
+        success * acked_rate
+    };
+
+    // Recovery traffic: the receiver that saw the false signal notifies
+    // the other K−1 receivers and the sender (≈ K messages per recovery).
+    let recovery = if protocol.has_external_detector() {
+        recovery_mass * (2.0 / (k as f64 * p.delay)) * k as f64
+    } else {
+        0.0
+    };
+
+    MultiHopMessageRates {
+        trigger,
+        refresh,
+        retransmission,
+        ack,
+        recovery,
     }
 }
 

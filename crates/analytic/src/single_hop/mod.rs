@@ -23,4 +23,4 @@ pub mod transitions;
 pub use metrics::MessageRates;
 pub use model::{solve_all, ModelError, SingleHopModel, SingleHopSolution};
 pub use states::SingleHopState;
-pub use transitions::{protocol_transitions, RateTable};
+pub use transitions::{protocol_transitions, protocol_transitions_into, RateTable};

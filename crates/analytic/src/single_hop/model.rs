@@ -124,20 +124,13 @@ impl SingleHopModel {
     pub fn solve(&self) -> Result<SingleHopSolution, ModelError> {
         let pi = self.stationary_merged()?;
         let lifetime = self.expected_lifetime()?;
-        let inconsistency = self.inconsistency_from(&pi);
-        let message_rates = self.message_rates_from(&pi);
-        let message_rate = message_rates.total();
-        let normalized = lifetime * message_rate * self.params.removal_rate;
-        Ok(SingleHopSolution {
-            protocol: self.protocol,
-            params: self.params,
-            inconsistency,
-            expected_lifetime: lifetime,
-            message_rates,
-            message_rate,
-            normalized_message_rate: normalized,
-            stationary: pi,
-        })
+        Ok(assemble_solution(
+            self.protocol,
+            self.params,
+            &self.table,
+            pi,
+            lifetime,
+        ))
     }
 
     /// Stationary distribution of the *merged* recurrent chain, in which the
@@ -202,111 +195,151 @@ impl SingleHopModel {
         }
         self.table.entries.iter().any(|e| e.from == s || e.to == s)
     }
+}
 
-    fn inconsistency_from(&self, pi: &HashMap<SingleHopState, f64>) -> f64 {
-        1.0 - pi.get(&SingleHopState::Consistent).copied().unwrap_or(0.0)
+/// Assembles every solution metric from a solved merged-chain distribution
+/// and the expected lifetime.  Shared verbatim by [`SingleHopModel::solve`]
+/// and the sweep fast path ([`crate::sweep::SingleHopSweepSession`]), which
+/// is what makes the two paths produce identical `SingleHopSolution`s.
+pub(crate) fn assemble_solution(
+    protocol: ProtocolSpec,
+    params: SingleHopParams,
+    table: &RateTable,
+    stationary: HashMap<SingleHopState, f64>,
+    lifetime: f64,
+) -> SingleHopSolution {
+    // One dense probability array up front (missing states are 0, exactly
+    // like the historical per-lookup `unwrap_or(0.0)`), so the metric
+    // formulas below do no hashing.
+    let mut probs = [0.0f64; 8];
+    for (slot, s) in SingleHopState::ALL.iter().enumerate() {
+        probs[slot] = stationary.get(s).copied().unwrap_or(0.0);
     }
+    let inconsistency = inconsistency_from(&probs);
+    let message_rates = message_rates_from(protocol, &params, table, &probs);
+    let message_rate = message_rates.total();
+    let normalized = lifetime * message_rate * params.removal_rate;
+    SingleHopSolution {
+        protocol,
+        params,
+        inconsistency,
+        expected_lifetime: lifetime,
+        message_rates,
+        message_rate,
+        normalized_message_rate: normalized,
+        stationary,
+    }
+}
 
-    /// Message-rate components (Equations 3–7), evaluated on the merged
-    /// chain's stationary distribution.
-    ///
-    /// Interpretation of the OCR-damaged terms (documented in DESIGN.md):
-    ///
-    /// * the acknowledgment part of `m_RT` counts one ACK per successfully
-    ///   delivered trigger — fast-path deliveries at rate `(1−p_l)/Δ` from
-    ///   `(1,0)₁`/`IC₁` and retransmission deliveries at rate `(1−p_l)/R`
-    ///   from `(1,0)₂`/`IC₂`;
-    /// * the notification part of `m_RT` is `λ_f·(π_C + π_IC₂)` — the
-    ///   receiver tells the sender whenever it (falsely) removes state;
-    /// * `m_RR` counts removal retransmissions at rate `1/R` from `(0,1)₂`
-    ///   plus one ACK per completed removal.
-    fn message_rates_from(&self, pi: &HashMap<SingleHopState, f64>) -> MessageRates {
-        use SingleHopState::*;
-        let p = &self.params;
-        let get = |s: SingleHopState| pi.get(&s).copied().unwrap_or(0.0);
-        let success = 1.0 - p.loss;
+/// Inconsistency ratio `I` (Equation 1) from the merged chain's stationary
+/// distribution (as a dense by-[`canonical_index`] array).
+///
+/// [`canonical_index`]: SingleHopState::canonical_index
+pub(crate) fn inconsistency_from(pi: &[f64; 8]) -> f64 {
+    1.0 - pi[SingleHopState::Consistent.canonical_index()]
+}
 
-        // Eq. (3): every sojourn in a fast-path state emits one trigger.
-        let trigger = (get(Setup1) + get(Diff1)) / p.delay;
+/// Message-rate components (Equations 3–7), evaluated on the merged
+/// chain's stationary distribution.
+///
+/// Interpretation of the OCR-damaged terms (documented in DESIGN.md):
+///
+/// * the acknowledgment part of `m_RT` counts one ACK per successfully
+///   delivered trigger — fast-path deliveries at rate `(1−p_l)/Δ` from
+///   `(1,0)₁`/`IC₁` and retransmission deliveries at rate `(1−p_l)/R`
+///   from `(1,0)₂`/`IC₂`;
+/// * the notification part of `m_RT` is `λ_f·(π_C + π_IC₂)` — the
+///   receiver tells the sender whenever it (falsely) removes state;
+/// * `m_RR` counts removal retransmissions at rate `1/R` from `(0,1)₂`
+///   plus one ACK per completed removal.
+pub(crate) fn message_rates_from(
+    protocol: ProtocolSpec,
+    p: &SingleHopParams,
+    table: &RateTable,
+    pi: &[f64; 8],
+) -> MessageRates {
+    use SingleHopState::*;
+    let get = |s: SingleHopState| pi[s.canonical_index()];
+    let success = 1.0 - p.loss;
 
-        // Eq. (5): refreshes are emitted while the sender holds state and no
-        // trigger is in flight.
-        let refresh = if self.protocol.uses_refresh() {
-            (get(Setup2) + get(Consistent) + get(Diff2)) / p.refresh_timer
-        } else {
-            0.0
-        };
+    // Eq. (3): every sojourn in a fast-path state emits one trigger.
+    let trigger = (get(Setup1) + get(Diff1)) / p.delay;
 
-        // Eq. (4): explicit removal messages.
-        let explicit_removal = if self.protocol.uses_explicit_removal() {
-            get(Removing1)
-                * (self.table.rate(Removing1, Absorbed) + self.table.rate(Removing1, Removing2))
-        } else {
-            0.0
-        };
+    // Eq. (5): refreshes are emitted while the sender holds state and no
+    // trigger is in flight.
+    let refresh = if protocol.uses_refresh() {
+        (get(Setup2) + get(Consistent) + get(Diff2)) / p.refresh_timer
+    } else {
+        0.0
+    };
 
-        // Eq. (6): reliable-trigger extra traffic.  This component also
-        // carries the false-removal notification stream (Eq. 6's last
-        // term), which any notifying spec emits — with or without reliable
-        // triggers (every notifying paper preset happens to have both).
-        let reliable_trigger_extra = if self.protocol.reliable_triggers() {
-            let retransmissions = (get(Setup2) + get(Diff2)) / p.retrans_timer;
-            let acks = success / p.delay * (get(Setup1) + get(Diff1))
-                + success / p.retrans_timer * (get(Setup2) + get(Diff2));
-            let false_removal_rate = super::transitions::false_removal_rate(self.protocol, p);
-            let notifications = if self.protocol.notifies_on_removal() {
-                false_removal_rate * (get(Consistent) + get(Diff2))
-            } else {
-                0.0
-            };
-            retransmissions + acks + notifications
-        } else if self.protocol.notifies_on_removal() {
-            let false_removal_rate = super::transitions::false_removal_rate(self.protocol, p);
+    // Eq. (4): explicit removal messages.
+    let explicit_removal = if protocol.uses_explicit_removal() {
+        get(Removing1) * (table.rate(Removing1, Absorbed) + table.rate(Removing1, Removing2))
+    } else {
+        0.0
+    };
+
+    // Eq. (6): reliable-trigger extra traffic.  This component also
+    // carries the false-removal notification stream (Eq. 6's last
+    // term), which any notifying spec emits — with or without reliable
+    // triggers (every notifying paper preset happens to have both).
+    let reliable_trigger_extra = if protocol.reliable_triggers() {
+        let retransmissions = (get(Setup2) + get(Diff2)) / p.retrans_timer;
+        let acks = success / p.delay * (get(Setup1) + get(Diff1))
+            + success / p.retrans_timer * (get(Setup2) + get(Diff2));
+        let false_removal_rate = super::transitions::false_removal_rate(protocol, p);
+        let notifications = if protocol.notifies_on_removal() {
             false_removal_rate * (get(Consistent) + get(Diff2))
         } else {
             0.0
         };
+        retransmissions + acks + notifications
+    } else if protocol.notifies_on_removal() {
+        let false_removal_rate = super::transitions::false_removal_rate(protocol, p);
+        false_removal_rate * (get(Consistent) + get(Diff2))
+    } else {
+        0.0
+    };
 
-        // Eq. (7): reliable-removal extra traffic.
-        let reliable_removal_extra = if self.protocol.reliable_removal() {
-            get(Removing2) / p.retrans_timer
-                + get(Removing1) * self.table.rate(Removing1, Absorbed)
-                + get(Removing2) * self.table.rate(Removing2, Absorbed)
+    // Eq. (7): reliable-removal extra traffic.
+    let reliable_removal_extra = if protocol.reliable_removal() {
+        get(Removing2) / p.retrans_timer
+            + get(Removing1) * table.rate(Removing1, Absorbed)
+            + get(Removing2) * table.rate(Removing2, Absorbed)
+    } else {
+        0.0
+    };
+
+    // Reliable-refresh extra traffic (no paper preset uses this — it is
+    // the mechanism-composition extension): one ACK per delivered
+    // refresh, and — when triggers have no ACK machinery of their own,
+    // so the refresh loop carries them — one ACK per delivered trigger
+    // plus retransmissions while the receiver lags.  (With reliable
+    // triggers those last two streams are already billed by Eq. 6.)
+    let reliable_refresh_extra = if protocol.reliable_refresh() {
+        let refresh_acks = success / p.refresh_timer * (get(Setup2) + get(Consistent) + get(Diff2));
+        if protocol.reliable_triggers() {
+            refresh_acks
         } else {
-            0.0
-        };
-
-        // Reliable-refresh extra traffic (no paper preset uses this — it is
-        // the mechanism-composition extension): one ACK per delivered
-        // refresh, and — when triggers have no ACK machinery of their own,
-        // so the refresh loop carries them — one ACK per delivered trigger
-        // plus retransmissions while the receiver lags.  (With reliable
-        // triggers those last two streams are already billed by Eq. 6.)
-        let reliable_refresh_extra = if self.protocol.reliable_refresh() {
-            let refresh_acks =
-                success / p.refresh_timer * (get(Setup2) + get(Consistent) + get(Diff2));
-            if self.protocol.reliable_triggers() {
-                refresh_acks
-            } else {
-                let trigger_acks = success / p.delay * (get(Setup1) + get(Diff1));
-                let retransmissions = (get(Setup2) + get(Diff2)) / p.retrans_timer;
-                // Delivered retransmissions are acknowledged too (the same
-                // `success/R` ACK stream Eq. 6 bills for reliable triggers).
-                let retrans_acks = success / p.retrans_timer * (get(Setup2) + get(Diff2));
-                refresh_acks + trigger_acks + retransmissions + retrans_acks
-            }
-        } else {
-            0.0
-        };
-
-        MessageRates {
-            trigger,
-            refresh,
-            explicit_removal,
-            reliable_trigger_extra,
-            reliable_removal_extra,
-            reliable_refresh_extra,
+            let trigger_acks = success / p.delay * (get(Setup1) + get(Diff1));
+            let retransmissions = (get(Setup2) + get(Diff2)) / p.retrans_timer;
+            // Delivered retransmissions are acknowledged too (the same
+            // `success/R` ACK stream Eq. 6 bills for reliable triggers).
+            let retrans_acks = success / p.retrans_timer * (get(Setup2) + get(Diff2));
+            refresh_acks + trigger_acks + retransmissions + retrans_acks
         }
+    } else {
+        0.0
+    };
+
+    MessageRates {
+        trigger,
+        refresh,
+        explicit_removal,
+        reliable_trigger_extra,
+        reliable_removal_extra,
+        reliable_refresh_extra,
     }
 }
 

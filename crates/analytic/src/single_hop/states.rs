@@ -48,6 +48,22 @@ impl SingleHopState {
         SingleHopState::Absorbed,
     ];
 
+    /// Position of the state in [`SingleHopState::ALL`] — a dense index for
+    /// array-backed state maps (the sweep fast path uses it to avoid hashing
+    /// in per-point hot loops).
+    pub fn canonical_index(self) -> usize {
+        match self {
+            SingleHopState::Setup1 => 0,
+            SingleHopState::Setup2 => 1,
+            SingleHopState::Consistent => 2,
+            SingleHopState::Diff1 => 3,
+            SingleHopState::Diff2 => 4,
+            SingleHopState::Removing1 => 5,
+            SingleHopState::Removing2 => 6,
+            SingleHopState::Absorbed => 7,
+        }
+    }
+
     /// Whether the sender and receiver state values agree in this state.
     ///
     /// Only [`SingleHopState::Consistent`] and the final

@@ -169,9 +169,27 @@ pub fn removal_delivery_rate(protocol: impl Into<ProtocolSpec>, p: &SingleHopPar
 /// composition of mechanisms yields a well-formed chain, and the paper
 /// presets reproduce Table I bit for bit.
 pub fn protocol_transitions(protocol: impl Into<ProtocolSpec>, p: &SingleHopParams) -> RateTable {
+    let protocol: ProtocolSpec = protocol.into();
+    let mut table = RateTable {
+        protocol,
+        entries: Vec::new(),
+    };
+    protocol_transitions_into(protocol, p, &mut table);
+    table
+}
+
+/// [`protocol_transitions`] into a caller-owned table (entries cleared
+/// first), so sweep loops re-fill one allocation per point.
+pub fn protocol_transitions_into(
+    protocol: impl Into<ProtocolSpec>,
+    p: &SingleHopParams,
+    table: &mut RateTable,
+) {
     use SingleHopState::*;
     let protocol: ProtocolSpec = protocol.into();
-    let mut entries: Vec<RateEntry> = Vec::new();
+    table.protocol = protocol;
+    table.entries.clear();
+    let entries = &mut table.entries;
     let mut push = |from: SingleHopState, to: SingleHopState, rate: f64| {
         if rate > 0.0 {
             entries.push(RateEntry { from, to, rate });
@@ -214,8 +232,6 @@ pub fn protocol_transitions(protocol: impl Into<ProtocolSpec>, p: &SingleHopPara
     if let Some(rate) = orphan_cleanup_rate(protocol, p) {
         push(Removing2, Absorbed, rate);
     }
-
-    RateTable { protocol, entries }
 }
 
 #[cfg(test)]

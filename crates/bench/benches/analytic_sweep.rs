@@ -1,0 +1,147 @@
+//! The analytic sweep fast path: rebuild-per-point vs `SweepSession`.
+//!
+//! Every analytic figure solves hundreds of `(ProtocolSpec, params)` CTMC
+//! points.  The historical path rebuilds the chain from scratch each time
+//! (two `CtmcBuilder`s + `HashMap`s, generator clone, transpose, submatrix,
+//! fresh elimination working copy); the `SweepSession` path keeps matrices,
+//! LU workspace and state maps alive and mutates rate entries in place.
+//!
+//! The two paths are **equality-checked** below before any timing: the
+//! session is not approximately right, it is bit-identical — which is what
+//! lets the experiment layer route every analytic sweep through it while
+//! keeping all figures byte-identical.
+//!
+//! The four benchmarks time one full sweep per iteration:
+//!
+//! * `analytic_sweep/single_hop/*` — the paper's five protocols × the
+//!   16-point session-length grid of Figure 4 (8-state chains);
+//! * `analytic_sweep/multi_hop/*` — the multi-hop trio × Figure 18's
+//!   hop-count grid K = 1..20 (chains of 3 to 42 states; at the large-K end
+//!   the dense `O(n³)` factorization itself — identical in both paths —
+//!   dominates, so the multi-hop ratio is structurally smaller than the
+//!   single-hop one).
+
+use criterion::{black_box, Criterion};
+use signaling::{
+    MultiHopModel, MultiHopParams, MultiHopSolution, MultiHopSweepSession, ProtocolSpec,
+    SingleHopModel, SingleHopParams, SingleHopSolution, SingleHopSweepSession, Sweep,
+};
+
+fn single_hop_jobs() -> Vec<(ProtocolSpec, SingleHopParams)> {
+    ProtocolSpec::PAPER
+        .iter()
+        .flat_map(|&p| {
+            Sweep::session_length()
+                .values
+                .into_iter()
+                .map(move |lifetime| {
+                    (
+                        p,
+                        SingleHopParams::kazaa_defaults().with_mean_lifetime(lifetime),
+                    )
+                })
+        })
+        .collect()
+}
+
+fn multi_hop_jobs() -> Vec<(ProtocolSpec, MultiHopParams)> {
+    ProtocolSpec::PAPER_MULTI_HOP
+        .iter()
+        .flat_map(|&p| {
+            Sweep::hop_count().values.into_iter().map(move |k| {
+                (
+                    p,
+                    MultiHopParams::reservation_defaults().with_hops(k as usize),
+                )
+            })
+        })
+        .collect()
+}
+
+fn rebuild_single_hop(jobs: &[(ProtocolSpec, SingleHopParams)]) -> Vec<SingleHopSolution> {
+    jobs.iter()
+        .map(|&(protocol, params)| {
+            SingleHopModel::new(protocol, params)
+                .expect("valid job")
+                .solve()
+                .expect("solvable chain")
+        })
+        .collect()
+}
+
+fn rebuild_multi_hop(jobs: &[(ProtocolSpec, MultiHopParams)]) -> Vec<MultiHopSolution> {
+    jobs.iter()
+        .map(|&(protocol, params)| {
+            MultiHopModel::new(protocol, params)
+                .expect("valid job")
+                .solve()
+                .expect("solvable chain")
+        })
+        .collect()
+}
+
+fn main() {
+    let single_jobs = single_hop_jobs();
+    let multi_jobs = multi_hop_jobs();
+
+    // The timing comparison is meaningless unless the two paths agree — and
+    // they must agree *exactly*, not within a tolerance.
+    let single_rebuilt = rebuild_single_hop(&single_jobs);
+    let mut session = SingleHopSweepSession::new();
+    let single_session = session.solve_sweep(&single_jobs).expect("sweep solves");
+    assert_eq!(
+        single_rebuilt, single_session,
+        "single-hop SweepSession diverged from the rebuild-per-point path"
+    );
+    let multi_rebuilt = rebuild_multi_hop(&multi_jobs);
+    let mut msession = MultiHopSweepSession::new();
+    let multi_session = msession.solve_sweep(&multi_jobs).expect("sweep solves");
+    assert_eq!(
+        multi_rebuilt, multi_session,
+        "multi-hop SweepSession diverged from the rebuild-per-point path"
+    );
+    println!(
+        "analytic_sweep: both paths bit-identical on {} single-hop + {} multi-hop points\n",
+        single_jobs.len(),
+        multi_jobs.len()
+    );
+
+    let mut c = Criterion::default().configure_from_args();
+    c.bench_function("analytic_sweep/single_hop/rebuild", |b| {
+        b.iter(|| black_box(rebuild_single_hop(black_box(&single_jobs))))
+    });
+    c.bench_function("analytic_sweep/single_hop/session", |b| {
+        let mut session = SingleHopSweepSession::new();
+        b.iter(|| black_box(session.solve_sweep(black_box(&single_jobs)).unwrap()))
+    });
+    c.bench_function("analytic_sweep/multi_hop/rebuild", |b| {
+        b.iter(|| black_box(rebuild_multi_hop(black_box(&multi_jobs))))
+    });
+    c.bench_function("analytic_sweep/multi_hop/session", |b| {
+        let mut session = MultiHopSweepSession::new();
+        b.iter(|| black_box(session.solve_sweep(black_box(&multi_jobs)).unwrap()))
+    });
+
+    // Speedup summary straight from the measurements, so the bench log reads
+    // as the before/after table.
+    let mean = |name: &str| {
+        c.results()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s.mean_ns)
+    };
+    for chain in ["single_hop", "multi_hop"] {
+        if let (Some(old), Some(new)) = (
+            mean(&format!("analytic_sweep/{chain}/rebuild")),
+            mean(&format!("analytic_sweep/{chain}/session")),
+        ) {
+            println!(
+                "analytic_sweep: {chain} sweep session speedup {:.2}x (rebuild {:.1} µs -> session {:.1} µs per sweep)",
+                old / new,
+                old / 1e3,
+                new / 1e3,
+            );
+        }
+    }
+    c.final_summary();
+}

@@ -16,7 +16,8 @@
 //!                         # of each experiment's default (any registered
 //!                         # label, including non-paper specs like SS+RR)
 //! repro --serial        # disable the multi-core sweep fan-out
-//! repro --jobs N        # fan simulation sweeps out across N threads
+//! repro --jobs N        # fan sweeps out across N threads
+//! repro --timing        # per-phase wall-clock (build/solve/report) per experiment
 //! ```
 //!
 //! Experiments are resolved by name through [`sigbench::extended_registry`]:
@@ -24,10 +25,15 @@
 //! the bench crate registers at startup (tag `extra`) — the latter are
 //! user-level compositions, proof that new experiments need no core changes.
 //!
-//! Simulation experiments (Figures 11–12) fan their sweeps out across all
-//! CPUs by default; `--serial` / `--jobs` control the `ExecutionPolicy` and
-//! the closing line reports the wall-clock, so a serial-vs-parallel speedup
-//! is one `time`-free A/B away.
+//! Simulation experiments (Figures 11–12) *and* every analytic sweep fan
+//! out across all CPUs by default; `--serial` / `--jobs` control the
+//! `ExecutionPolicy` and the closing line reports the wall-clock, so a
+//! serial-vs-parallel speedup is one `time`-free A/B away.  `--timing`
+//! refines that A/B to per-experiment phases: `build` (registry + protocol
+//! catalog construction, printed once), `solve` (the experiment's whole
+//! compute, including its engine fan-out) and `report` (text/CSV
+//! rendering) — record `--serial --timing` vs `--jobs N --timing` on a
+//! multi-core box and the solve column is the speedup table.
 
 use signaling::experiment::{ExperimentOptions, ExperimentOutput};
 use signaling::registry::{Experiment, Registry};
@@ -46,6 +52,7 @@ struct Args {
     list_protocols: bool,
     protocols: Vec<String>,
     execution: ExecutionPolicy,
+    timing: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -59,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
         list_protocols: false,
         protocols: Vec::new(),
         execution: ExecutionPolicy::auto(),
+        timing: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -73,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--protocols needs a comma-separated list")?;
                 args.protocols.push(set);
             }
+            "--timing" => args.timing = true,
             "--serial" => args.execution = ExecutionPolicy::Serial,
             "--jobs" => {
                 let n = it.next().ok_or("--jobs needs a thread count")?;
@@ -97,8 +106,10 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "repro [--quick] [--fig NAME]... [--tag TAG]... [--csv DIR] \
                      [--protocols SS,HS,...] [--list | --list-md | --list-protocols] \
-                     [--serial | --jobs N]\n\
-                     Regenerates the paper's tables and figures and any registered extras."
+                     [--serial | --jobs N] [--timing]\n\
+                     Regenerates the paper's tables and figures and any registered extras.\n\
+                     --timing prints per-phase wall-clock: build (registry construction, \
+                     once), then solve/report per experiment."
                 );
                 std::process::exit(0);
             }
@@ -144,8 +155,16 @@ fn main() {
         }
     };
 
+    let build_start = Instant::now();
     let registry = sigbench::extended_registry();
     let protocol_registry = sigbench::protocol_registry();
+    let build_elapsed = build_start.elapsed();
+    if args.timing {
+        eprintln!(
+            "timing: build {:>9.3} s   (experiment + protocol registries)",
+            build_elapsed.as_secs_f64()
+        );
+    }
 
     if args.list_protocols {
         println!("{:<8} {:<90} used by", "name", "mechanisms");
@@ -226,7 +245,10 @@ fn main() {
     for exp in &selected {
         // Run each experiment once and derive both renderings from it (the
         // simulation experiments are far too expensive to run twice).
+        let solve_start = Instant::now();
         let output = exp.run(&options);
+        let solve_elapsed = solve_start.elapsed();
+        let report_start = Instant::now();
         print!(
             "== {} — {} ==\n{}\n",
             exp.name(),
@@ -241,6 +263,14 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+        }
+        if args.timing {
+            eprintln!(
+                "timing: {:<20} solve {:>9.3} s   report {:>9.3} s",
+                exp.name(),
+                solve_elapsed.as_secs_f64(),
+                report_start.elapsed().as_secs_f64()
+            );
         }
     }
     let policy = match options.execution {

@@ -33,6 +33,52 @@ use signaling::{
 pub const SS_RR: ProtocolSpec =
     ProtocolSpec::soft_state("SS+RR").with_refresh(Some(RefreshMode::Reliable));
 
+/// Every *coherent* mechanism composition — the full hard/soft design space
+/// the `spec-spectrum` experiment charts — each under a distinct,
+/// mechanism-encoding label.
+///
+/// The label scheme packs one character per knob,
+/// `spec:<refresh><timeout><triggers><removal><notify>` with `-` for
+/// "absent/best-effort-less", `b` for best-effort, `r` for reliable, `t`/`n`
+/// for an enabled timeout/notification — e.g. pure soft state (the SS
+/// preset's mechanisms) is `spec:bt b--` written `spec:btb--`, and pure hard
+/// state is `spec:--rrn`.  The encoding is injective, so the set always
+/// passes [`signaling::registry::check_protocol_set`].
+pub fn coherent_spectrum() -> &'static [ProtocolSpec] {
+    use std::sync::OnceLock;
+    static SPECTRUM: OnceLock<Vec<ProtocolSpec>> = OnceLock::new();
+    SPECTRUM.get_or_init(|| {
+        ProtocolSpec::enumerate_all("spec")
+            .into_iter()
+            .filter(|spec| spec.validate().is_ok())
+            .map(|spec| spec.with_label(spectrum_label(&spec)))
+            .collect()
+    })
+}
+
+/// The injective `spec:<refresh><timeout><triggers><removal><notify>` label
+/// of one spectrum point (leaked once per distinct composition; the spectrum
+/// is computed a single time into a static).
+fn spectrum_label(spec: &ProtocolSpec) -> &'static str {
+    let refresh = match spec.refresh {
+        None => '-',
+        Some(RefreshMode::BestEffort) => 'b',
+        Some(RefreshMode::Reliable) => 'r',
+    };
+    let timeout = if spec.state_timeout { 't' } else { '-' };
+    let triggers = match spec.triggers {
+        signaling::Delivery::BestEffort => 'b',
+        signaling::Delivery::Reliable => 'r',
+    };
+    let removal = match spec.removal {
+        signaling::Removal::None => '-',
+        signaling::Removal::BestEffort => 'b',
+        signaling::Removal::Reliable => 'r',
+    };
+    let notify = if spec.notify_on_removal { 'n' } else { '-' };
+    Box::leak(format!("spec:{refresh}{timeout}{triggers}{removal}{notify}").into_boxed_str())
+}
+
 /// Options used by the benches: small simulation campaigns so `cargo bench`
 /// stays fast; the `repro` binary uses the full defaults instead.
 pub fn bench_options() -> ExperimentOptions {
@@ -111,8 +157,53 @@ pub fn register_extras(registry: &mut Registry) -> Result<(), RegistryError> {
         .tag("custom-protocol")
         .tag("simulation"),
     )?;
+    registry.register(
+        ExperimentSpec::new(
+            "spec-spectrum",
+            "overhead/inconsistency tradeoff of every coherent ProtocolSpec point \
+             (the full hard/soft design space), varying the refresh timer",
+        )
+        .title("Spec spectrum: overhead vs inconsistency for every coherent mechanism composition")
+        .protocols(coherent_spectrum())
+        .sweep(Sweep::refresh_timer(), SweepTarget::RefreshTimer)
+        .kind(SpecKind::Tradeoff)
+        .tag("extra")
+        .tag("spectrum")
+        .tag("analytic"),
+    )?;
     registry.register(ScenarioCostSweep)?;
     Ok(())
+}
+
+/// A small, deterministic slice of the `spec-spectrum` figure — four
+/// mechanism compositions spanning the spectrum (pure soft state, pure hard
+/// state, everything-reliable soft state, and timeout-free reliable-refresh
+/// state) at the first four sweep points — used by the golden test that pins
+/// the spectrum scan byte-for-byte (`tests/golden_spec_spectrum.rs`) and by
+/// the `dump_spec_spectrum_slice` example that regenerates the fixture.
+pub fn spec_spectrum_golden_slice(options: &ExperimentOptions) -> SeriesSet {
+    const SLICE_LABELS: [&str; 4] = ["spec:btb--", "spec:--rrn", "spec:rtrrn", "spec:r-br-"];
+    const SLICE_POINTS: usize = 4;
+    let out = extended_registry()
+        .run("spec-spectrum", options)
+        .expect("spec-spectrum is registered");
+    let fig = out.as_figure().expect("spec-spectrum is a figure").clone();
+    let mut slice = SeriesSet::new(
+        format!("{} (golden slice)", fig.title),
+        fig.x_label.clone(),
+        fig.y_label.clone(),
+    );
+    for label in SLICE_LABELS {
+        let series = fig
+            .get(label)
+            .unwrap_or_else(|| panic!("{label} missing from the spectrum"));
+        let mut trimmed = Series::new(label);
+        for p in series.points.iter().take(SLICE_POINTS) {
+            trimmed.push(*p);
+        }
+        slice.push(trimmed);
+    }
+    slice
 }
 
 /// A scenario-sweep experiment: the integrated cost of pure soft state as a
@@ -197,7 +288,7 @@ mod tests {
     #[test]
     fn extended_registry_adds_user_level_experiments() {
         let registry = extended_registry();
-        assert_eq!(registry.len(), 26);
+        assert_eq!(registry.len(), 27);
         // Paper experiments still resolve...
         assert!(registry.get("fig11a").is_some());
         // ...and the extras are addressable by name and tag.
@@ -205,12 +296,70 @@ mod tests {
             "dns-lease-cost",
             "bgp-keepalive-loss",
             "ss-rr-lifetime",
+            "spec-spectrum",
             "scenario-cost-sweep",
         ] {
             assert!(registry.get(name).is_some(), "{name} missing");
         }
-        assert_eq!(registry.with_tag("extra").len(), 4);
+        assert_eq!(registry.with_tag("extra").len(), 5);
         assert_eq!(registry.with_tag("paper").len(), 22);
+    }
+
+    #[test]
+    fn coherent_spectrum_covers_exactly_the_valid_compositions() {
+        let spectrum = coherent_spectrum();
+        // Exactly the coherent subset of the 72-point mechanism space.
+        let expected = ProtocolSpec::enumerate_all("x")
+            .into_iter()
+            .filter(|s| s.validate().is_ok())
+            .count();
+        assert_eq!(spectrum.len(), expected);
+        assert!(spectrum.len() > 5, "wider than the paper's five points");
+        // Labels are distinct and the set passes the shared set-level rules.
+        signaling::registry::check_protocol_set(spectrum).expect("spectrum set is runnable");
+        // Every paper preset's mechanisms appear (modulo the label).
+        for preset in ProtocolSpec::PAPER {
+            assert!(
+                spectrum
+                    .iter()
+                    .any(|s| s.with_label(preset.label) == preset),
+                "{preset} missing from the spectrum"
+            );
+        }
+        // The label encoding reads back the mechanisms: pure soft and pure
+        // hard state land on their documented codes.
+        assert!(spectrum
+            .iter()
+            .any(|s| s.label() == "spec:btb--" && s.with_label("SS") == ProtocolSpec::SS));
+        assert!(spectrum
+            .iter()
+            .any(|s| s.label() == "spec:--rrn" && s.with_label("HS") == ProtocolSpec::HS));
+    }
+
+    #[test]
+    fn spec_spectrum_charts_every_coherent_point() {
+        let out = extended_registry()
+            .run("spec-spectrum", &bench_options())
+            .expect("registered");
+        let fig = out.as_figure().expect("figure");
+        assert_eq!(
+            fig.series.len(),
+            coherent_spectrum().len(),
+            "one series per coherent composition"
+        );
+        for (series, spec) in fig.series.iter().zip(coherent_spectrum()) {
+            assert_eq!(series.label, spec.label());
+            assert_eq!(series.len(), Sweep::refresh_timer().len());
+            for p in &series.points {
+                assert!((0.0..=1.0).contains(&p.x), "{}: I = {}", series.label, p.x);
+                assert!(
+                    p.y.is_finite() && p.y >= 0.0,
+                    "{}: M = {}",
+                    series.label,
+                    p.y
+                );
+            }
+        }
     }
 
     #[test]

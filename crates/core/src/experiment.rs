@@ -11,13 +11,14 @@
 use crate::compare::compare_session;
 use siganalytic::single_hop::protocol_transitions;
 use siganalytic::{
-    MultiHopModel, MultiHopParams, MultiHopSolution, ProtocolSpec, SingleHopModel, SingleHopParams,
-    SingleHopSolution,
+    MultiHopParams, MultiHopSolution, MultiHopSweepSession, ProtocolSpec, SingleHopParams,
+    SingleHopSolution, SingleHopSweepSession,
 };
 use sigproto::{LossModel, SessionConfig};
 use sigstats::{Point, Series, SeriesSet};
 use sigworkload::Sweep;
 use simcore::{Assignment, ExecutionPolicy, ReplicationEngine, TimerMode};
+use std::cell::RefCell;
 
 /// Options controlling the simulation-backed experiments.
 #[derive(Debug, Clone, PartialEq)]
@@ -333,34 +334,96 @@ impl Metric {
     }
 }
 
+thread_local! {
+    // Per-thread analytic sweep sessions (the rebuild-in-place fast path):
+    // matrices, LU workspace and state maps survive across every solve a
+    // worker performs, whether it is the main thread running a serial sweep
+    // or a `ReplicationEngine` worker draining the work-stealing queue.
+    static SINGLE_HOP_SESSION: RefCell<SingleHopSweepSession> =
+        RefCell::new(SingleHopSweepSession::new());
+    static MULTI_HOP_SESSION: RefCell<MultiHopSweepSession> =
+        RefCell::new(MultiHopSweepSession::new());
+}
+
 pub(crate) fn solve_single(protocol: ProtocolSpec, params: SingleHopParams) -> SingleHopSolution {
-    SingleHopModel::new(protocol, params)
+    SINGLE_HOP_SESSION
+        .with(|session| session.borrow_mut().solve(protocol, params))
         .expect("experiment parameters are validated before solving")
-        .solve()
-        .expect("single-hop chain solves")
 }
 
 pub(crate) fn solve_multi(protocol: ProtocolSpec, params: MultiHopParams) -> MultiHopSolution {
-    MultiHopModel::new(protocol, params)
+    MULTI_HOP_SESSION
+        .with(|session| session.borrow_mut().solve(protocol, params))
         .expect("experiment parameters are validated before solving")
-        .solve()
-        .expect("multi-hop chain solves")
 }
 
-/// Generic single-hop sweep: one series per protocol, analytic solutions.
+/// Solves the whole `(protocol × sweep value)` grid through the
+/// [`ReplicationEngine`] and returns the solutions protocol-major, in grid
+/// order.
+///
+/// Work stealing by default, like the fig11/fig12 simulation fan-out: per-
+/// point costs vary with the chain structure, and the dynamic assignment
+/// writes into index slots, so the grid is bit-identical to a serial loop
+/// under every policy.  Each worker thread reuses its own
+/// [`SingleHopSweepSession`], so the sweep is allocation-free past the first
+/// point per structure.
+pub(crate) fn solve_single_grid(
+    execution: ExecutionPolicy,
+    protocols: &[ProtocolSpec],
+    xs: &[f64],
+    make_params: &(impl Fn(f64) -> SingleHopParams + Sync),
+) -> Vec<SingleHopSolution> {
+    let jobs: Vec<(ProtocolSpec, f64)> = protocols
+        .iter()
+        .flat_map(|&p| xs.iter().map(move |&x| (p, x)))
+        .collect();
+    ReplicationEngine::new(execution)
+        .with_assignment(Assignment::WorkStealing)
+        .run(jobs.len(), &|i: u64| {
+            let (protocol, x) = jobs[i as usize];
+            solve_single(protocol, make_params(x))
+        })
+}
+
+/// The multi-hop analogue of [`solve_single_grid`].
+pub(crate) fn solve_multi_grid(
+    execution: ExecutionPolicy,
+    protocols: &[ProtocolSpec],
+    xs: &[f64],
+    make_params: &(impl Fn(f64) -> MultiHopParams + Sync),
+) -> Vec<MultiHopSolution> {
+    let jobs: Vec<(ProtocolSpec, f64)> = protocols
+        .iter()
+        .flat_map(|&p| xs.iter().map(move |&x| (p, x)))
+        .collect();
+    ReplicationEngine::new(execution)
+        .with_assignment(Assignment::WorkStealing)
+        .run(jobs.len(), &|i: u64| {
+            let (protocol, x) = jobs[i as usize];
+            solve_multi(protocol, make_params(x))
+        })
+}
+
+/// Generic single-hop sweep: one series per protocol, analytic solutions,
+/// fanned out through the engine at the sweep level.
 pub(crate) fn single_hop_sweep_over(
     title: &str,
     protocols: &[ProtocolSpec],
     sweep: &Sweep,
     metric: Metric,
-    make_params: impl Fn(f64) -> SingleHopParams,
+    execution: ExecutionPolicy,
+    make_params: impl Fn(f64) -> SingleHopParams + Sync,
 ) -> SeriesSet {
+    let solutions = solve_single_grid(execution, protocols, &sweep.values, &make_params);
     let mut set = SeriesSet::new(title, sweep.parameter.clone(), metric.label());
-    for &protocol in protocols {
+    // Indexed slicing (not `chunks`), so a degenerate empty sweep still
+    // yields one (empty) series per protocol like the historical loops.
+    let per = sweep.values.len();
+    for (i, &protocol) in protocols.iter().enumerate() {
+        let rows = &solutions[i * per..(i + 1) * per];
         let mut series = Series::new(protocol.label());
-        for &x in &sweep.values {
-            let solution = solve_single(protocol, make_params(x));
-            series.push(Point::new(x, metric.of_single_hop(&solution)));
+        for (solution, &x) in rows.iter().zip(&sweep.values) {
+            series.push(Point::new(x, metric.of_single_hop(solution)));
         }
         set.push(series);
     }
@@ -374,31 +437,37 @@ fn single_hop_sweep(
     options: &ExperimentOptions,
     sweep: &Sweep,
     metric: Metric,
-    make_params: impl Fn(f64) -> SingleHopParams,
+    make_params: impl Fn(f64) -> SingleHopParams + Sync,
 ) -> SeriesSet {
     single_hop_sweep_over(
         title,
         &options.protocol_set(&ProtocolSpec::PAPER),
         sweep,
         metric,
+        options.execution,
         make_params,
     )
 }
 
-/// Generic multi-hop sweep: one series per protocol, analytic solutions.
+/// Generic multi-hop sweep: one series per protocol, analytic solutions,
+/// fanned out through the engine at the sweep level.
 pub(crate) fn multi_hop_sweep_over(
     title: &str,
     protocols: &[ProtocolSpec],
     sweep: &Sweep,
     metric: Metric,
-    make_params: impl Fn(f64) -> MultiHopParams,
+    execution: ExecutionPolicy,
+    make_params: impl Fn(f64) -> MultiHopParams + Sync,
 ) -> SeriesSet {
+    let solutions = solve_multi_grid(execution, protocols, &sweep.values, &make_params);
     let mut set = SeriesSet::new(title, sweep.parameter.clone(), metric.label());
-    for &protocol in protocols {
+    // Indexed slicing (not `chunks`): see `single_hop_sweep_over`.
+    let per = sweep.values.len();
+    for (i, &protocol) in protocols.iter().enumerate() {
+        let rows = &solutions[i * per..(i + 1) * per];
         let mut series = Series::new(protocol.label());
-        for &x in &sweep.values {
-            let solution = solve_multi(protocol, make_params(x));
-            series.push(Point::new(x, metric.of_multi_hop(&solution)));
+        for (solution, &x) in rows.iter().zip(&sweep.values) {
+            series.push(Point::new(x, metric.of_multi_hop(solution)));
         }
         set.push(series);
     }
@@ -412,13 +481,14 @@ fn multi_hop_sweep(
     options: &ExperimentOptions,
     sweep: &Sweep,
     metric: Metric,
-    make_params: impl Fn(f64) -> MultiHopParams,
+    make_params: impl Fn(f64) -> MultiHopParams + Sync,
 ) -> SeriesSet {
     multi_hop_sweep_over(
         title,
         &options.protocol_set(&ProtocolSpec::PAPER_MULTI_HOP),
         sweep,
         metric,
+        options.execution,
         make_params,
     )
 }
@@ -501,18 +571,36 @@ fn fig6(metric: Metric, options: &ExperimentOptions) -> SeriesSet {
 }
 
 fn fig7(options: &ExperimentOptions) -> SeriesSet {
-    let sweep = Sweep::refresh_timer();
-    let mut set = SeriesSet::new(
+    integrated_cost_over(
         "Fig 7: integrated cost C = 10*I + M vs refresh timer",
-        sweep.parameter.clone(),
-        "integrated cost",
-    );
-    for protocol in options.protocol_set(&ProtocolSpec::PAPER) {
+        &options.protocol_set(&ProtocolSpec::PAPER),
+        &Sweep::refresh_timer(),
+        10.0,
+        options.execution,
+        |t| SingleHopParams::kazaa_defaults().with_refresh_timer_scaled_timeout(t),
+    )
+}
+
+/// Integrated-cost sweep `C = w·I + M`: one series per protocol, engine-
+/// fanned like every analytic sweep (shared by Figure 7 and the
+/// `IntegratedCost` spec kind).
+pub(crate) fn integrated_cost_over(
+    title: &str,
+    protocols: &[ProtocolSpec],
+    sweep: &Sweep,
+    weight: f64,
+    execution: ExecutionPolicy,
+    make_params: impl Fn(f64) -> SingleHopParams + Sync,
+) -> SeriesSet {
+    let solutions = solve_single_grid(execution, protocols, &sweep.values, &make_params);
+    let mut set = SeriesSet::new(title, sweep.parameter.clone(), "integrated cost");
+    // Indexed slicing (not `chunks`): see `single_hop_sweep_over`.
+    let per = sweep.values.len();
+    for (i, &protocol) in protocols.iter().enumerate() {
+        let rows = &solutions[i * per..(i + 1) * per];
         let mut series = Series::new(protocol.label());
-        for &t in &sweep.values {
-            let params = SingleHopParams::kazaa_defaults().with_refresh_timer_scaled_timeout(t);
-            let s = solve_single(protocol, params);
-            series.push(Point::new(t, s.integrated_cost(10.0)));
+        for (s, &x) in rows.iter().zip(&sweep.values) {
+            series.push(Point::new(x, s.integrated_cost(weight)));
         }
         set.push(series);
     }
@@ -548,18 +636,22 @@ fn fig8b(options: &ExperimentOptions) -> SeriesSet {
 }
 
 /// Tradeoff figures: x = inconsistency, y = normalized message overhead, one
-/// point per swept parameter value.
+/// point per swept parameter value, engine-fanned like every analytic sweep.
 pub(crate) fn tradeoff_over(
     title: &str,
     protocols: &[ProtocolSpec],
     sweep: &Sweep,
-    make_params: impl Fn(f64) -> SingleHopParams,
+    execution: ExecutionPolicy,
+    make_params: impl Fn(f64) -> SingleHopParams + Sync,
 ) -> SeriesSet {
+    let solutions = solve_single_grid(execution, protocols, &sweep.values, &make_params);
     let mut set = SeriesSet::new(title, "inconsistency ratio", "message overhead");
-    for &protocol in protocols {
+    // Indexed slicing (not `chunks`): see `single_hop_sweep_over`.
+    let per = sweep.values.len();
+    for (i, &protocol) in protocols.iter().enumerate() {
+        let rows = &solutions[i * per..(i + 1) * per];
         let mut series = Series::new(protocol.label());
-        for &v in &sweep.values {
-            let s = solve_single(protocol, make_params(v));
+        for s in rows {
             series.push(Point::new(s.inconsistency, s.normalized_message_rate));
         }
         set.push(series);
@@ -573,12 +665,13 @@ fn tradeoff(
     title: &str,
     options: &ExperimentOptions,
     sweep: &Sweep,
-    make_params: impl Fn(f64) -> SingleHopParams,
+    make_params: impl Fn(f64) -> SingleHopParams + Sync,
 ) -> SeriesSet {
     tradeoff_over(
         title,
         &options.protocol_set(&ProtocolSpec::PAPER),
         sweep,
+        options.execution,
         make_params,
     )
 }
@@ -636,11 +729,16 @@ pub(crate) fn analytic_vs_sim_over(
     make_params: impl Fn(f64) -> SingleHopParams + Sync,
 ) -> SeriesSet {
     let mut set = SeriesSet::new(title, x_label, metric.label());
-    for &protocol in protocols {
+    // The analytic curves are a sweep like any other: engine-fanned through
+    // the per-thread sweep sessions.
+    let analytic = solve_single_grid(options.execution, protocols, xs_analytic, &make_params);
+    // Indexed slicing (not `chunks`): see `single_hop_sweep_over`.
+    let per = xs_analytic.len();
+    for (i, &protocol) in protocols.iter().enumerate() {
+        let rows = &analytic[i * per..(i + 1) * per];
         let mut series = Series::new(protocol.label());
-        for &x in xs_analytic {
-            let s = solve_single(protocol, make_params(x));
-            series.push(Point::new(x, metric.of_single_hop(&s)));
+        for (s, &x) in rows.iter().zip(xs_analytic) {
+            series.push(Point::new(x, metric.of_single_hop(s)));
         }
         set.push(series);
     }
@@ -980,6 +1078,29 @@ mod tests {
         let ss20 = b.get("SS").unwrap().points.last().unwrap().y;
         let hs20 = b.get("HS").unwrap().points.last().unwrap().y;
         assert!(hs20 < 0.5 * ss20);
+    }
+
+    #[test]
+    fn analytic_sweeps_are_bit_identical_under_every_execution_policy() {
+        // The analytic fast path fans (protocol × point) grids out through
+        // the ReplicationEngine with the work-stealing assignment; every
+        // figure must be bit-identical to the serial loop: Serial ≡
+        // Threads(n) ≡ the WorkStealing default at any thread count.
+        for id in [
+            ExperimentId::Fig4a,  // single-hop sweep
+            ExperimentId::Fig7,   // integrated cost
+            ExperimentId::Fig9,   // tradeoff
+            ExperimentId::Fig18b, // multi-hop sweep
+        ] {
+            let serial =
+                id.run_with(&ExperimentOptions::quick().with_execution(ExecutionPolicy::Serial));
+            for n in [2, 8] {
+                let threaded = id.run_with(
+                    &ExperimentOptions::quick().with_execution(ExecutionPolicy::threads(n)),
+                );
+                assert_eq!(serial, threaded, "{} diverged at {n} threads", id.name());
+            }
+        }
     }
 
     #[test]

@@ -60,8 +60,9 @@ pub use report::{render_csv, render_json, render_table};
 pub use siganalytic::spec::SpecError as ProtocolSpecError;
 pub use siganalytic::{
     integrated_cost, solve_all, solve_all_multi_hop, ConfigError, CostWeights, Delivery,
-    MessageRates, ModelError, MultiHopModel, MultiHopParams, MultiHopSolution, Protocol,
-    ProtocolSpec, RefreshMode, Removal, SingleHopModel, SingleHopParams, SingleHopSolution,
+    MessageRates, ModelError, MultiHopModel, MultiHopParams, MultiHopSolution,
+    MultiHopSweepSession, Protocol, ProtocolSpec, RefreshMode, Removal, SingleHopModel,
+    SingleHopParams, SingleHopSolution, SingleHopSweepSession,
 };
 pub use sigproto::{
     Campaign, CampaignResult, LossModel, MultiHopCampaign, MultiHopCampaignResult, MultiHopSession,

@@ -40,12 +40,12 @@
 //! ```
 
 use crate::experiment::{
-    analytic_vs_sim_over, multi_hop_sweep_over, sim_grid, single_hop_sweep_over, solve_single,
-    tradeoff_over, ExperimentId, ExperimentOptions, ExperimentOutput, Metric,
+    analytic_vs_sim_over, integrated_cost_over, multi_hop_sweep_over, sim_grid,
+    single_hop_sweep_over, tradeoff_over, ExperimentId, ExperimentOptions, ExperimentOutput,
+    Metric,
 };
 use siganalytic::spec::SpecError as ProtocolSpecError;
 use siganalytic::{ConfigError, MultiHopParams, ProtocolSpec, SingleHopParams};
-use sigstats::{Point, Series, SeriesSet};
 use sigworkload::{MultiHopScenario, Scenario, Sweep};
 use simcore::TimerMode;
 use std::fmt;
@@ -825,35 +825,36 @@ impl Experiment for ExperimentSpec {
                 &protocols,
                 &self.sweep,
                 self.metric,
+                options.execution,
                 make_single,
             ),
             SpecKind::AnalyticMultiHop => {
                 let multi_base = self.multi_hop_scenario.params;
                 let multi = options.protocol_set(&self.multi_hop_protocols());
-                multi_hop_sweep_over(self.figure_title(), &multi, &self.sweep, self.metric, |x| {
-                    self.target.apply_multi(multi_base, x)
-                })
-            }
-            SpecKind::Tradeoff => {
-                tradeoff_over(self.figure_title(), &protocols, &self.sweep, make_single)
-            }
-            SpecKind::IntegratedCost => {
-                let weight = self.scenario.inconsistency_weight;
-                let mut set = SeriesSet::new(
+                multi_hop_sweep_over(
                     self.figure_title(),
-                    self.sweep.parameter.clone(),
-                    "integrated cost",
-                );
-                for &protocol in &protocols {
-                    let mut series = Series::new(protocol.label());
-                    for &x in &self.sweep.values {
-                        let s = solve_single(protocol, make_single(x));
-                        series.push(Point::new(x, s.integrated_cost(weight)));
-                    }
-                    set.push(series);
-                }
-                set
+                    &multi,
+                    &self.sweep,
+                    self.metric,
+                    options.execution,
+                    |x| self.target.apply_multi(multi_base, x),
+                )
             }
+            SpecKind::Tradeoff => tradeoff_over(
+                self.figure_title(),
+                &protocols,
+                &self.sweep,
+                options.execution,
+                make_single,
+            ),
+            SpecKind::IntegratedCost => integrated_cost_over(
+                self.figure_title(),
+                &protocols,
+                &self.sweep,
+                self.scenario.inconsistency_weight,
+                options.execution,
+                make_single,
+            ),
             SpecKind::AnalyticVsSim => {
                 let (lo, hi) = self.sim_range.unwrap_or_else(|| {
                     (

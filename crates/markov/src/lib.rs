@@ -6,9 +6,12 @@
 //! the machinery those models need, implemented from scratch:
 //!
 //! * [`matrix::DMatrix`] — a dense row-major `f64` matrix;
-//! * [`linalg`] — Gaussian elimination with partial pivoting for solving the
+//! * [`linalg`] — LU factorization with partial pivoting for solving the
 //!   linear systems that stationary distributions and absorption times reduce
-//!   to;
+//!   to; the reusable [`linalg::LuSolver`] factors in place into owned
+//!   buffers (`refactor` for same-shape rate updates, many right-hand sides
+//!   per factorization) and is the allocation-free core of the analytic
+//!   sweep fast path;
 //! * [`chain::Ctmc`] — the chain itself: generator matrix, stationary
 //!   distribution of a recurrent chain, expected time to absorption and
 //!   expected visit times for transient analysis;
@@ -34,4 +37,5 @@ pub mod matrix;
 pub use builder::CtmcBuilder;
 pub use chain::Ctmc;
 pub use error::CtmcError;
+pub use linalg::LuSolver;
 pub use matrix::DMatrix;

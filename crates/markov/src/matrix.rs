@@ -95,12 +95,29 @@ impl DMatrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// One full row as a mutable slice — the idiomatic way to fill or mutate
+    /// hot loops without per-element `(r, c)` bounds checks.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The whole matrix as one row-major slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The whole matrix as one mutable row-major slice (e.g. to zero it in
+    /// place between sweep points).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Transpose.
     pub fn transpose(&self) -> DMatrix {
         let mut t = DMatrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                t[(c, r)] = self[(r, c)];
+        for (r, row) in self.data.chunks_exact(self.cols).enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                t.data[c * self.rows + r] = v;
             }
         }
         t
@@ -136,8 +153,8 @@ impl DMatrix {
                 continue;
             }
             let row = self.row(r);
-            for c in 0..self.cols {
-                out[c] += xr * row[c];
+            for (o, &v) in out.iter_mut().zip(row.iter()) {
+                *o += xr * v;
             }
         }
         Ok(out)
@@ -157,8 +174,14 @@ impl DMatrix {
         let n = indices.len();
         let mut m = DMatrix::zeros(n, n);
         for (ri, &r) in indices.iter().enumerate() {
-            for (ci, &c) in indices.iter().enumerate() {
-                m[(ri, ci)] = self[(r, c)];
+            // Row slices instead of checked `(r, c)` indexing: the indices
+            // were range-checked above, so the inner loop carries only a
+            // debug assertion.
+            debug_assert!(r < self.rows);
+            let src = self.row(r);
+            let dst = m.row_mut(ri);
+            for (d, &c) in dst.iter_mut().zip(indices.iter()) {
+                *d = src[c];
             }
         }
         Ok(m)

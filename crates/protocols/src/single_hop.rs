@@ -742,7 +742,7 @@ mod tests {
 
     #[test]
     fn hard_state_sends_fewest_messages() {
-        let mut per_proto: Vec<(Protocol, f64)> = Vec::new();
+        let mut per_proto: Vec<(Protocol, f64)> = Vec::with_capacity(Protocol::ALL.len());
         for proto in Protocol::ALL {
             let mut total = 0u64;
             for seed in 0..10u64 {

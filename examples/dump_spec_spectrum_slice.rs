@@ -1,0 +1,17 @@
+//! Dumps the spec-spectrum golden slice JSON under fixed quick/serial
+//! options (golden capture for `tests/golden_spec_spectrum.rs`):
+//!
+//! ```text
+//! cargo run --release --example dump_spec_spectrum_slice \
+//!     > tests/golden/spec_spectrum_slice.json
+//! ```
+
+use signaling::experiment::ExperimentOptions;
+use signaling::report::render_json;
+use signaling::ExecutionPolicy;
+
+fn main() {
+    let options = ExperimentOptions::quick().with_execution(ExecutionPolicy::Serial);
+    let slice = sigbench::spec_spectrum_golden_slice(&options);
+    println!("{}", render_json(&slice));
+}

@@ -1,0 +1,49 @@
+//! Golden test pinning a slice of the `spec-spectrum` experiment
+//! byte-for-byte.
+//!
+//! The spectrum scan exercises the whole analytic fast path — coherent-spec
+//! enumeration, `protocol_transitions` for non-paper mechanism compositions,
+//! the rebuild-in-place `SweepSession`s, the engine-level sweep fan-out and
+//! the JSON renderer — so any unintended numeric or ordering change anywhere
+//! in that stack shows up here as a byte diff.  Regenerate the fixture (only
+//! after establishing the change is intended) with:
+//!
+//! ```text
+//! cargo run --release --example dump_spec_spectrum_slice \
+//!     > tests/golden/spec_spectrum_slice.json
+//! ```
+
+use signaling::experiment::ExperimentOptions;
+use signaling::report::render_json;
+use signaling::ExecutionPolicy;
+
+const GOLDEN: &str = include_str!("golden/spec_spectrum_slice.json");
+
+fn slice_json(execution: ExecutionPolicy) -> String {
+    let options = ExperimentOptions::quick().with_execution(execution);
+    render_json(&sigbench::spec_spectrum_golden_slice(&options))
+}
+
+#[test]
+fn spec_spectrum_slice_matches_the_committed_golden_json() {
+    // The example appends a trailing newline via println!.
+    let fresh = slice_json(ExecutionPolicy::Serial) + "\n";
+    assert_eq!(
+        fresh, GOLDEN,
+        "spec-spectrum output drifted from tests/golden/spec_spectrum_slice.json"
+    );
+}
+
+#[test]
+fn spec_spectrum_slice_is_bit_identical_under_every_execution_policy() {
+    // The analytic sweep fans out with the work-stealing assignment; the
+    // spectrum must be byte-identical to serial execution regardless.
+    let serial = slice_json(ExecutionPolicy::Serial);
+    for n in [2, 4, 16] {
+        assert_eq!(
+            serial,
+            slice_json(ExecutionPolicy::threads(n)),
+            "Threads({n}) diverged from Serial"
+        );
+    }
+}
