@@ -200,7 +200,10 @@ fn main() {
     } else {
         ExperimentOptions::default()
     }
-    .with_execution(args.execution);
+    .with_execution(args.execution)
+    // Experiments with internal phases (node-scale's schedule/fire/metrics
+    // split) report them to stderr under the same flag.
+    .with_timing(args.timing);
     if !args.protocols.is_empty() {
         let mut set = Vec::new();
         for csv in &args.protocols {

@@ -172,6 +172,7 @@ pub fn register_extras(registry: &mut Registry) -> Result<(), RegistryError> {
         .tag("analytic"),
     )?;
     registry.register(ScenarioCostSweep)?;
+    registry.register(signaling::NodeScaleExperiment)?;
     Ok(())
 }
 
@@ -288,7 +289,7 @@ mod tests {
     #[test]
     fn extended_registry_adds_user_level_experiments() {
         let registry = extended_registry();
-        assert_eq!(registry.len(), 27);
+        assert_eq!(registry.len(), 28);
         // Paper experiments still resolve...
         assert!(registry.get("fig11a").is_some());
         // ...and the extras are addressable by name and tag.
@@ -298,10 +299,11 @@ mod tests {
             "ss-rr-lifetime",
             "spec-spectrum",
             "scenario-cost-sweep",
+            "node-scale",
         ] {
             assert!(registry.get(name).is_some(), "{name} missing");
         }
-        assert_eq!(registry.with_tag("extra").len(), 5);
+        assert_eq!(registry.with_tag("extra").len(), 6);
         assert_eq!(registry.with_tag("paper").len(), 22);
     }
 

@@ -39,6 +39,11 @@ pub struct ExperimentOptions {
     /// that set with the given mechanism compositions, in order — this is
     /// how `repro --protocols` runs any figure over any design point.
     pub protocols: Option<Vec<ProtocolSpec>>,
+    /// Print per-phase wall-clock breakdowns to stderr while running
+    /// (`repro --timing`).  Experiments with internal phases — the
+    /// node-scale simulation's schedule/fire/metrics split — report them
+    /// under this flag; it never changes stdout output or any result.
+    pub timing: bool,
 }
 
 impl Default for ExperimentOptions {
@@ -49,6 +54,7 @@ impl Default for ExperimentOptions {
             seed: 2003,
             execution: ExecutionPolicy::auto(),
             protocols: None,
+            timing: false,
         }
     }
 }
@@ -73,6 +79,13 @@ impl ExperimentOptions {
     /// [`ExperimentOptions::protocols`]).
     pub fn with_protocols(mut self, protocols: Vec<ProtocolSpec>) -> Self {
         self.protocols = Some(protocols);
+        self
+    }
+
+    /// Enables per-phase wall-clock reporting on stderr (see
+    /// [`ExperimentOptions::timing`]).
+    pub fn with_timing(mut self, timing: bool) -> Self {
+        self.timing = timing;
         self
     }
 

@@ -43,6 +43,7 @@
 
 pub mod compare;
 pub mod experiment;
+pub mod node_scale;
 pub mod registry;
 pub mod report;
 
@@ -50,6 +51,7 @@ pub use compare::{
     compare_all, compare_session, compare_single_hop, compare_single_hop_with, ComparisonRow,
 };
 pub use experiment::{ExperimentId, ExperimentOptions, ExperimentOutput, Metric};
+pub use node_scale::NodeScaleExperiment;
 pub use registry::{
     check_protocol_set, Experiment, ExperimentSpec, ProtocolEntry, ProtocolRegistry,
     ProtocolSetError, Registry, RegistryError, SpecError, SpecKind, SweepTarget,
@@ -66,11 +68,14 @@ pub use siganalytic::{
 };
 pub use sigproto::{
     Campaign, CampaignResult, LossModel, MultiHopCampaign, MultiHopCampaignResult, MultiHopSession,
-    MultiHopSimConfig, SessionConfig, SessionMetrics, SingleHopSession,
+    MultiHopSimConfig, NodeCampaign, NodeCampaignResult, NodeConfig, NodeMetrics, NodeSim,
+    PhaseTimings, SessionConfig, SessionMetrics, SingleHopSession,
 };
 pub use sigstats::{ConfidenceInterval, OnlineStats, Point, Series, SeriesSet, Summary};
 pub use sigworkload::{MultiHopScenario, Scenario, Sweep};
-pub use simcore::{Assignment, ExecutionPolicy, Replicate, ReplicationEngine, SimRng, TimerMode};
+pub use simcore::{
+    Assignment, ExecutionPolicy, QueueKind, Replicate, ReplicationEngine, SimRng, TimerMode,
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,182 @@
+//! The `node-scale` experiment: population-scale aggregates per protocol.
+//!
+//! Every paper experiment measures *one* session (or one multi-hop path).
+//! This experiment runs [`NodeSim`](sigproto::NodeSim) — one event loop
+//! multiplexing thousands of concurrent sessions with churn — for each
+//! protocol in the selected set and tabulates the node-level aggregates the
+//! paper's per-session metrics imply at scale: signaling message rate and
+//! bandwidth, refresh rate, the population stale fraction (the
+//! inconsistency ratio weighted by session-time), the false-removal rate,
+//! and the node's own memory cost in bytes per session.
+//!
+//! The table is deterministic: aggregates are bit-identical across
+//! execution policies and event-queue kinds, so the output is stable for a
+//! fixed seed and the experiment golden-pins like any other.  Wall-clock
+//! phase breakdowns (schedule / fire / metrics) go to stderr when
+//! [`ExperimentOptions::timing`] is set (`repro --timing`), never into the
+//! result.
+
+use crate::experiment::{ExperimentOptions, ExperimentOutput};
+use crate::registry::Experiment;
+use siganalytic::{Protocol, ProtocolSpec, SingleHopParams};
+use sigproto::{NodeCampaign, NodeConfig};
+use std::fmt::Write as _;
+
+/// Sessions multiplexed onto the simulated node.  Big enough that the
+/// per-session fixed overheads have amortized (the bytes/session number is
+/// representative of the 10⁶ regime measured by the `node_throughput`
+/// bench), small enough that `repro` stays interactive.
+const SESSIONS: usize = 4096;
+
+/// Virtual-time horizon per replication (seconds).
+const HORIZON: f64 = 120.0;
+
+/// Mean session lifetime (seconds).  Shorter than the Kazaa default so the
+/// two-minute horizon sees real churn; vacancy keeps the default quarter
+/// lifetime (steady-state alive fraction 0.8).
+const MEAN_LIFETIME: f64 = 300.0;
+
+/// The population-scale node experiment (registered as `node-scale`).
+pub struct NodeScaleExperiment;
+
+impl NodeScaleExperiment {
+    /// The per-session parameters the node runs: Kazaa defaults with the
+    /// [`MEAN_LIFETIME`] churn override.
+    pub fn params() -> SingleHopParams {
+        SingleHopParams::kazaa_defaults().with_mean_lifetime(MEAN_LIFETIME)
+    }
+
+    /// The node configuration for one protocol (the heap-core default;
+    /// aggregates are queue-kind independent).
+    pub fn config(protocol: ProtocolSpec) -> NodeConfig {
+        NodeConfig::new(protocol, Self::params(), SESSIONS).with_horizon(HORIZON)
+    }
+
+    /// Replications for the given options: a fifth of the sweep-level
+    /// replication budget, clamped to `[1, 8]` (each replication is a whole
+    /// node, not a single session).
+    pub fn replications(options: &ExperimentOptions) -> usize {
+        (options.sim_replications / 5).clamp(1, 8)
+    }
+}
+
+impl Experiment for NodeScaleExperiment {
+    fn name(&self) -> &str {
+        "node-scale"
+    }
+
+    fn description(&self) -> &str {
+        "population-scale node: aggregate signaling rate, stale fraction and \
+         memory per session for N concurrent sessions under churn"
+    }
+
+    fn tags(&self) -> Vec<String> {
+        vec!["extra".into(), "simulation".into(), "node".into()]
+    }
+
+    fn run(&self, options: &ExperimentOptions) -> ExperimentOutput {
+        let default_set: Vec<ProtocolSpec> = Protocol::ALL.iter().map(|p| p.spec()).collect();
+        let protocols = options.protocol_set(&default_set);
+        let replications = Self::replications(options);
+        let mut text = String::new();
+        let _ = writeln!(
+            text,
+            "node-scale: N = {SESSIONS} sessions, horizon = {HORIZON} s, \
+             mean lifetime = {MEAN_LIFETIME} s, {replications} replication(s)"
+        );
+        let _ = writeln!(
+            text,
+            "{:<12} {:>10} {:>10} {:>12} {:>9} {:>12} {:>9} {:>10}",
+            "protocol",
+            "msg/s",
+            "refresh/s",
+            "bw B/s",
+            "stale %",
+            "false-rm/s",
+            "active",
+            "bytes/sess"
+        );
+        for &protocol in &protocols {
+            let campaign = NodeCampaign::new(Self::config(protocol), replications, options.seed)
+                .execution(options.execution);
+            let (result, phases, bytes_per_session) = campaign.run_with_phases();
+            let _ = writeln!(
+                text,
+                "{:<12} {:>10.2} {:>10.2} {:>12.1} {:>9.3} {:>12.6} {:>9.1} {:>10.1}",
+                protocol.label(),
+                result.message_rate.mean,
+                result.refresh_rate.mean,
+                result.bandwidth_bytes_per_sec.mean,
+                100.0 * result.stale_fraction.mean,
+                result.false_removal_rate.mean,
+                result.mean_active.mean,
+                bytes_per_session,
+            );
+            if options.timing {
+                eprintln!(
+                    "timing: node-scale[{:<10}] schedule {:>7.3} s   fire {:>7.3} s   \
+                     metrics {:>7.3} s   ({} events)",
+                    protocol.label(),
+                    phases.schedule,
+                    phases.fire,
+                    phases.metrics,
+                    result.events_processed,
+                );
+            }
+        }
+        ExperimentOutput::Text(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::ExecutionPolicy;
+
+    fn tiny_options() -> ExperimentOptions {
+        ExperimentOptions {
+            sim_replications: 5,
+            ..ExperimentOptions::quick()
+        }
+    }
+
+    #[test]
+    fn replication_budget_is_clamped() {
+        let mut o = ExperimentOptions::quick();
+        o.sim_replications = 0;
+        assert_eq!(NodeScaleExperiment::replications(&o), 1);
+        o.sim_replications = 40;
+        assert_eq!(NodeScaleExperiment::replications(&o), 8);
+        o.sim_replications = 1000;
+        assert_eq!(NodeScaleExperiment::replications(&o), 8);
+    }
+
+    #[test]
+    fn runs_every_paper_preset_into_one_table() {
+        let out = NodeScaleExperiment.run(&tiny_options());
+        let text = out.to_text();
+        for proto in Protocol::ALL {
+            assert!(text.contains(proto.label()), "{proto} missing:\n{text}");
+        }
+        assert!(text.contains("bytes/sess"));
+    }
+
+    #[test]
+    fn table_is_deterministic_across_execution_policies() {
+        let serial = NodeScaleExperiment
+            .run(&tiny_options().with_execution(ExecutionPolicy::Serial))
+            .to_text();
+        let threaded = NodeScaleExperiment
+            .run(&tiny_options().with_execution(ExecutionPolicy::threads(4)))
+            .to_text();
+        assert_eq!(serial, threaded);
+    }
+
+    #[test]
+    fn respects_protocol_override() {
+        let options = tiny_options().with_protocols(vec![ProtocolSpec::HS]);
+        let text = NodeScaleExperiment.run(&options).to_text();
+        assert!(text.contains("HS"));
+        assert!(!text.contains("SS+ER"));
+    }
+}

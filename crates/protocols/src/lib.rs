@@ -18,7 +18,11 @@
 //!   Section III-B with hop-by-hop forwarding, per-node state-timeout timers
 //!   and (for SS+RT/HS) hop-by-hop reliability;
 //! * [`campaign`] — many independent replications run (optionally in
-//!   parallel) and summarized with 95% confidence intervals.
+//!   parallel) and summarized with 95% confidence intervals;
+//! * [`node`] — the population-scale view: one node multiplexing up to 10⁶
+//!   concurrent sessions through a single event loop, with slab-packed
+//!   per-session state, churn, and streamed aggregate metrics — the
+//!   events/sec and bytes/session workload behind the headline benchmarks.
 //!
 //! The protocol logic lives here and nowhere else; the analytic crate knows
 //! nothing about message exchanges and the simulator knows nothing about
@@ -32,11 +36,13 @@ pub mod campaign;
 pub mod config;
 pub mod metrics;
 pub mod multi_hop;
+pub mod node;
 pub mod single_hop;
 
 pub use campaign::{Campaign, CampaignResult, MultiHopCampaign, MultiHopCampaignResult};
 pub use config::{MultiHopSimConfig, SessionConfig};
 pub use metrics::{MessageCounts, MultiHopRunMetrics, SessionMetrics};
 pub use multi_hop::MultiHopSession;
+pub use node::{NodeCampaign, NodeCampaignResult, NodeConfig, NodeMetrics, NodeSim, PhaseTimings};
 pub use signet::LossModel;
 pub use single_hop::SingleHopSession;

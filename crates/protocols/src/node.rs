@@ -1,0 +1,1144 @@
+//! Population-scale node simulation: one event loop, N concurrent sessions.
+//!
+//! The single-hop simulator ([`crate::single_hop`]) models *one* signaling
+//! session at a time — the paper's unit of analysis.  A production signaling
+//! node holds state for **millions** of sessions whose refresh, timeout and
+//! retransmission timers all share one event loop; at that scale the metrics
+//! that matter are per-node aggregates (refresh-message rate, stale-state
+//! fraction, signaling bandwidth, false-removal rate) and the node's own
+//! resource cost (events/sec, bytes/session).  [`NodeSim`] is that workload:
+//!
+//! * **N sessions, one queue.**  Every session's timers live in one
+//!   [`EventQueue`] (heap- or calendar-ordered, [`QueueKind`]); events carry
+//!   only a session index, and per-session state is packed into a flat slab
+//!   of 40-byte [`SessionSlot`]s — three generation-tagged [`EventId`]s, a
+//!   lazy state-timeout deadline and a flag byte.  Cancelling a timer that
+//!   already fired is an O(1) inert no-op, so slots store plain ids with no
+//!   `Option` boxing; refreshes never cancel at all (they bump the deadline
+//!   and the armed timer re-arms itself), so the queue carries no
+//!   cancelled-timer backlog even at 10⁶ sessions.
+//! * **Churn.**  Sessions alternate between alive (exponential lifetime
+//!   `1/λ_r`, the paper's removal process) and vacant (exponential vacancy,
+//!   [`NodeConfig::mean_vacancy`]); each departure schedules the next
+//!   arrival, so the alive population hovers at
+//!   `N · lifetime/(lifetime+vacancy)`.
+//! * **Streaming aggregates.**  No per-session metric state: population
+//!   counts (alive senders, holding receivers, stale entries) stream through
+//!   [`LevelMeter`]s, so metric memory is O(1) regardless of N and the
+//!   stale *fraction* is the exact population-time ratio
+//!   `∫stale dt / ∫held dt` — the paper's inconsistency ratio aggregated
+//!   over the whole node.
+//!
+//! The protocol behaviour is the single-hop machinery in aggregate form:
+//! triggers/refreshes install receiver state, state timeouts and (HS) false
+//! external signals remove it, explicit removals propagate departures,
+//! reliable variants ACK and retransmit, and removal notices repair false
+//! removals.  Consistency is *presence-based* (state held by both, one, or
+//! neither side); value updates — which do not change any of the node-level
+//! rates above — are not modeled.  Timers and delays are deterministic, as
+//! in deployed protocols; message sends draw one Bernoulli loss sample and
+//! deliver after the one-way delay.  Everything is driven by one seeded
+//! [`SimRng`], and because both queue kinds deliver the identical
+//! `(time, seq)` event order, every aggregate is **bit-identical across
+//! queue kinds** and across replication policies.
+
+use crate::metrics::MessageCounts;
+use crate::single_hop::RETRANS_SLACK;
+use siganalytic::{ConfigError, ProtocolSpec, SingleHopParams};
+use signet::MsgKind;
+use sigstats::{LevelMeter, OnlineStats, Summary};
+use simcore::{
+    Assignment, EventId, EventQueue, ExecutionPolicy, QueueKind, Replicate, ReplicationEngine,
+    SimRng, SimTime,
+};
+use std::time::Instant;
+
+/// Modeled wire size of one signaling message (bytes); the paper treats all
+/// signaling messages as small fixed-size datagrams.
+pub const MESSAGE_BYTES: f64 = 64.0;
+
+/// Configuration of a population-scale node simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeConfig {
+    /// The signaling protocol (mechanism composition) every session runs.
+    pub protocol: ProtocolSpec,
+    /// Per-session model parameters (same structure as the analytic model).
+    pub params: SingleHopParams,
+    /// Number of session slots N multiplexed onto the node's event loop.
+    pub sessions: usize,
+    /// Measurement horizon in seconds of virtual time.
+    pub horizon: f64,
+    /// Mean vacancy between a session's departure and the slot's next
+    /// arrival (seconds); the churn knob.
+    pub mean_vacancy: f64,
+    /// Which ordering core the shared event queue uses.
+    pub queue_kind: QueueKind,
+}
+
+impl NodeConfig {
+    /// A node with `sessions` slots, a two-minute horizon, and a default
+    /// vacancy of a quarter lifetime (steady-state alive fraction 0.8).
+    pub fn new(
+        protocol: impl Into<ProtocolSpec>,
+        params: SingleHopParams,
+        sessions: usize,
+    ) -> Self {
+        Self {
+            protocol: protocol.into(),
+            params,
+            sessions: sessions.max(1),
+            horizon: 120.0,
+            mean_vacancy: params.mean_lifetime() * 0.25,
+            queue_kind: QueueKind::Heap,
+        }
+    }
+
+    /// Overrides the measurement horizon.
+    pub fn with_horizon(mut self, seconds: f64) -> Self {
+        self.horizon = seconds;
+        self
+    }
+
+    /// Overrides the mean vacancy between departure and re-arrival.
+    pub fn with_mean_vacancy(mut self, seconds: f64) -> Self {
+        self.mean_vacancy = seconds;
+        self
+    }
+
+    /// Selects the event-queue ordering core.
+    pub fn with_queue_kind(mut self, kind: QueueKind) -> Self {
+        self.queue_kind = kind;
+        self
+    }
+
+    /// Validates parameters, horizon and vacancy.  (Spec *coherence* is the
+    /// spec builder's concern — see [`ProtocolSpec::validate`].)
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.params.validate()?;
+        // `!is_finite()` also rejects NaN, which `<= 0.0` would let through.
+        if self.horizon <= 0.0 || !self.horizon.is_finite() {
+            return Err(ConfigError::NonPositiveHorizon);
+        }
+        if self.mean_vacancy <= 0.0 || !self.mean_vacancy.is_finite() {
+            return Err(ConfigError::NonPositiveRemovalRate);
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic aggregate metrics of one node run.
+///
+/// Every field is a pure function of the event sequence, so for a fixed
+/// config and seed the struct is **bit-identical across queue kinds and
+/// replication policies** (the determinism goldens compare it with `==`).
+/// Wall-clock quantities live elsewhere: phase timings in [`PhaseTimings`],
+/// memory in [`NodeSim::memory_bytes`]/[`NodeSim::bytes_per_session`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeMetrics {
+    /// Session slots simulated.
+    pub sessions: usize,
+    /// Virtual-time horizon the aggregates cover (seconds).
+    pub horizon: f64,
+    /// Events processed by the loop within the horizon.
+    pub events_processed: u64,
+    /// Messages sent, by kind (node-wide totals).
+    pub messages: MessageCounts,
+    /// Refresh messages per second, node-wide.
+    pub refresh_rate: f64,
+    /// All signaling messages per second, node-wide.
+    pub message_rate: f64,
+    /// Signaling bandwidth at [`MESSAGE_BYTES`] per message (bytes/sec).
+    pub bandwidth_bytes_per_sec: f64,
+    /// `∫stale dt / ∫held dt`: the fraction of receiver-held session-time
+    /// during which the sender no longer held the state — the paper's
+    /// inconsistency ratio aggregated over the population.
+    pub stale_fraction: f64,
+    /// Times a receiver dropped state the sender still held.
+    pub false_removals: u64,
+    /// False removals per alive-session-second.
+    pub false_removal_rate: f64,
+    /// Time-average number of alive senders.
+    pub mean_active: f64,
+    /// Time-average number of holding receivers.
+    pub mean_held: f64,
+}
+
+/// Wall-clock breakdown of one node run (seconds): building the initial
+/// event population, firing the event loop, extracting metrics.  Printed by
+/// `repro --timing`; never part of metric equality.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Building the slab and scheduling the initial arrivals.
+    pub schedule: f64,
+    /// Popping and handling events up to the horizon.
+    pub fire: f64,
+    /// Evaluating the streamed aggregates.
+    pub metrics: f64,
+}
+
+impl PhaseTimings {
+    /// Accumulates another run's timings.
+    pub fn merge(&mut self, other: &PhaseTimings) {
+        self.schedule += other.schedule;
+        self.fire += other.fire;
+        self.metrics += other.metrics;
+    }
+
+    /// Total wall time across the three phases.
+    pub fn total(&self) -> f64 {
+        self.schedule + self.fire + self.metrics
+    }
+}
+
+/// Session flag bits.
+const ALIVE: u8 = 1 << 0; // sender holds the state
+const HELD: u8 = 1 << 1; // receiver holds the state
+const PENDING: u8 = 1 << 2; // install awaiting ACK (reliable variants)
+const PENDING_REMOVAL: u8 = 1 << 3; // removal awaiting ACK
+
+/// Packed per-session state: three timer ids, the lazy-timeout deadline and
+/// a flag byte (40 bytes).  The ids exploit generation tags — a "cleared"
+/// timer is just an id that will never match again, so no `Option` padding
+/// is needed.  `deadline` makes the state-timeout timer *lazy*: refreshes
+/// only bump the deadline, and the armed timer re-arms itself when it fires
+/// early — so the hot refresh path never cancels, keeping the event queue
+/// free of the ~τ/T stale keys per session that cancel-and-reschedule
+/// timeouts would strand there.
+#[derive(Debug, Clone, Copy)]
+struct SessionSlot {
+    refresh: EventId,
+    retrans: EventId,
+    timeout: EventId,
+    deadline: f64,
+    flags: u8,
+}
+
+/// One event of the node loop: what happened, and to which session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    /// A vacant slot's session (re-)arrives: the sender installs state.
+    Arrive(u32),
+    /// The sender's state lifetime expires: departure.
+    Depart(u32),
+    /// The periodic refresh timer fires at the sender.
+    RefreshFire(u32),
+    /// The retransmission timer fires at the sender.
+    RetransFire(u32),
+    /// A trigger message reaches the receiver.
+    TriggerArrive(u32),
+    /// A refresh message reaches the receiver.
+    RefreshArrive(u32),
+    /// An explicit removal message reaches the receiver.
+    RemovalArrive(u32),
+    /// The receiver's state-timeout timer — or, for external-detector
+    /// protocols (HS), the detector's false failure signal — fires.
+    Timeout(u32),
+}
+
+/// A population-scale node simulation (see the module docs).
+pub struct NodeSim {
+    cfg: NodeConfig,
+    rng: SimRng,
+    queue: EventQueue<Event>,
+    slots: Vec<SessionSlot>,
+    /// An id that fired before any session existed: permanently inert, used
+    /// as the "no timer armed" sentinel.
+    dead: EventId,
+    counts: MessageCounts,
+    active: LevelMeter,
+    held: LevelMeter,
+    stale: LevelMeter,
+    false_removals: u64,
+    events_processed: u64,
+    phase: PhaseTimings,
+}
+
+impl NodeSim {
+    /// Builds the node and schedules the initial arrival wave (staggered
+    /// uniformly over one refresh interval, so the periodic timers do not
+    /// fire in lockstep).
+    pub fn new(cfg: NodeConfig, seed: u64) -> Self {
+        Self::with_rng(cfg, SimRng::new(seed))
+    }
+
+    /// Like [`NodeSim::new`] with an explicit RNG (replication streams).
+    pub fn with_rng(cfg: NodeConfig, rng: SimRng) -> Self {
+        let t0 = Instant::now();
+        let n = cfg.sessions;
+        // Steady state holds roughly one lifecycle event, one refresh or
+        // detector timer, and one timeout per alive session, plus in-flight
+        // messages; 4N keeps the hot path reallocation free with room over.
+        let mut queue = EventQueue::with_capacity_and_kind(4 * n + 8, cfg.queue_kind);
+        let dead_probe = queue.schedule_at(SimTime::ZERO, Event::Arrive(u32::MAX));
+        queue.pop();
+        let mut sim = Self {
+            cfg,
+            rng,
+            queue,
+            slots: vec![
+                SessionSlot {
+                    refresh: dead_probe,
+                    retrans: dead_probe,
+                    timeout: dead_probe,
+                    deadline: 0.0,
+                    flags: 0,
+                };
+                n
+            ],
+            dead: dead_probe,
+            counts: MessageCounts::default(),
+            active: LevelMeter::new(0.0),
+            held: LevelMeter::new(0.0),
+            stale: LevelMeter::new(0.0),
+            false_removals: 0,
+            events_processed: 0,
+            phase: PhaseTimings::default(),
+        };
+        for i in 0..n as u32 {
+            let at = sim.rng.uniform_range(0.0, sim.cfg.params.refresh_timer);
+            sim.queue
+                .schedule_at(SimTime::from_secs(at), Event::Arrive(i));
+        }
+        sim.phase.schedule = t0.elapsed().as_secs_f64();
+        sim
+    }
+
+    /// Runs the event loop to the configured horizon and returns the
+    /// aggregate metrics.
+    pub fn run(&mut self) -> NodeMetrics {
+        let horizon = SimTime::from_secs(self.cfg.horizon);
+        let t0 = Instant::now();
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let scheduled = self.queue.pop().expect("peeked event exists");
+            self.events_processed += 1;
+            self.handle(scheduled.time, scheduled.id, scheduled.event);
+        }
+        self.phase.fire += t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let metrics = self.metrics();
+        self.phase.metrics += t1.elapsed().as_secs_f64();
+        metrics
+    }
+
+    /// Pops and handles up to `limit` events regardless of the horizon,
+    /// returning how many were processed (0 means the queue is empty).
+    /// This is the benchmark driver: the node's churn regenerates events
+    /// indefinitely, so a warmed `NodeSim` is a stationary events/sec
+    /// workload.
+    pub fn step_events(&mut self, limit: u64) -> u64 {
+        let mut n = 0;
+        while n < limit {
+            let Some(scheduled) = self.queue.pop() else {
+                break;
+            };
+            n += 1;
+            self.handle(scheduled.time, scheduled.id, scheduled.event);
+        }
+        self.events_processed += n;
+        n
+    }
+
+    /// The aggregate metrics as of the configured horizon.
+    pub fn metrics(&self) -> NodeMetrics {
+        let h = self.cfg.horizon;
+        let held_int = self.held.integral_until(h);
+        let active_int = self.active.integral_until(h);
+        let stale_int = self.stale.integral_until(h);
+        let message_rate = self.counts.signaling_total() as f64 / h;
+        NodeMetrics {
+            sessions: self.cfg.sessions,
+            horizon: h,
+            events_processed: self.events_processed,
+            messages: self.counts,
+            refresh_rate: self.counts.refresh as f64 / h,
+            message_rate,
+            bandwidth_bytes_per_sec: message_rate * MESSAGE_BYTES,
+            stale_fraction: if held_int > 0.0 {
+                stale_int / held_int
+            } else {
+                0.0
+            },
+            false_removals: self.false_removals,
+            false_removal_rate: if active_int > 0.0 {
+                self.false_removals as f64 / active_int
+            } else {
+                0.0
+            },
+            mean_active: self.active.average_until(h),
+            mean_held: self.held.average_until(h),
+        }
+    }
+
+    /// Wall-clock phase breakdown accumulated so far.
+    pub fn phase_timings(&self) -> PhaseTimings {
+        self.phase
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Bytes currently retained per session slot: the shared event queue
+    /// (keys + payload slab) plus the session slab, divided by N — the
+    /// measured quantity behind the documented bytes/session budget.
+    pub fn bytes_per_session(&self) -> f64 {
+        self.memory_bytes() as f64 / self.cfg.sessions as f64
+    }
+
+    /// Bytes currently retained by the queue and the session slab.
+    pub fn memory_bytes(&self) -> usize {
+        self.queue.memory_bytes() + self.slots.capacity() * std::mem::size_of::<SessionSlot>()
+    }
+
+    /// Live events currently pending in the shared queue.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling.
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, time: SimTime, id: EventId, event: Event) {
+        let t = time.as_secs();
+        match event {
+            Event::Arrive(i) => self.on_arrive(i as usize, t),
+            Event::Depart(i) => self.on_depart(i as usize, t),
+            Event::RefreshFire(i) => self.on_refresh_fire(i as usize, id),
+            Event::RetransFire(i) => self.on_retrans_fire(i as usize, id),
+            Event::TriggerArrive(i) => self.on_install_arrive(i as usize, t, true),
+            Event::RefreshArrive(i) => self.on_install_arrive(i as usize, t, false),
+            Event::RemovalArrive(i) => self.on_removal_arrive(i as usize, t),
+            Event::Timeout(i) => self.on_timeout(i as usize, id, t),
+        }
+    }
+
+    /// Schedules `event` after `dt` seconds, or returns the dead id when the
+    /// delay is infinite (a rate-zero exponential draw: "never").
+    fn schedule_after(&mut self, dt: f64, event: Event) -> EventId {
+        if dt.is_finite() {
+            self.queue.schedule_in(dt, event)
+        } else {
+            self.dead
+        }
+    }
+
+    /// Sends one message: counts it, draws its loss sample, and schedules
+    /// the arrival event after the one-way delay when delivered.
+    fn send(&mut self, kind: MsgKind, arrival: Event) {
+        self.counts.record(kind);
+        if !self.rng.bernoulli(self.cfg.params.loss) {
+            let delay = self.cfg.params.delay;
+            self.queue.schedule_in(delay, arrival);
+        }
+    }
+
+    fn spec(&self) -> ProtocolSpec {
+        self.cfg.protocol
+    }
+
+    fn on_arrive(&mut self, i: usize, t: f64) {
+        debug_assert_eq!(self.slots[i].flags & ALIVE, 0, "arrival on alive slot");
+        // Abandon any removal handshake of the previous incarnation: the new
+        // trigger supersedes it.
+        self.slots[i].flags &= !(PENDING | PENDING_REMOVAL);
+        self.queue.cancel(self.slots[i].retrans);
+        self.slots[i].retrans = self.dead;
+
+        self.slots[i].flags |= ALIVE;
+        self.active.inc(t);
+        if self.slots[i].flags & HELD != 0 {
+            // The receiver still holds the previous incarnation's entry; it
+            // is no longer stale (presence-based consistency).
+            self.stale.dec(t);
+        }
+        self.send_install(i, true);
+        if self.spec().uses_refresh() {
+            let d = self.cfg.params.refresh_timer;
+            self.slots[i].refresh = self.schedule_after(d, Event::RefreshFire(i as u32));
+        }
+        if self.spec().has_external_detector() && self.cfg.params.false_signal_rate > 0.0 {
+            let d = self.rng.exponential_rate(self.cfg.params.false_signal_rate);
+            self.slots[i].timeout = self.schedule_after(d, Event::Timeout(i as u32));
+        }
+        let lifetime = self.rng.exponential_rate(self.cfg.params.removal_rate);
+        self.schedule_after(lifetime, Event::Depart(i as u32));
+    }
+
+    /// Sends the state announcement (a trigger on arrival/repair, a refresh
+    /// resend inside the reliable-refresh loop) and arms the retransmission
+    /// cycle where the composition is reliable.
+    fn send_install(&mut self, i: usize, trigger: bool) {
+        let arrival = if trigger {
+            Event::TriggerArrive(i as u32)
+        } else {
+            Event::RefreshArrive(i as u32)
+        };
+        let kind = if trigger {
+            MsgKind::Trigger
+        } else {
+            MsgKind::Refresh
+        };
+        self.send(kind, arrival);
+        if self.spec().reliable_triggers() || self.spec().reliable_refresh() {
+            self.slots[i].flags |= PENDING;
+            if self.slots[i].retrans == self.dead {
+                let d = self.cfg.params.retrans_timer + RETRANS_SLACK;
+                self.slots[i].retrans = self.schedule_after(d, Event::RetransFire(i as u32));
+            }
+        }
+    }
+
+    fn on_depart(&mut self, i: usize, t: f64) {
+        debug_assert_ne!(self.slots[i].flags & ALIVE, 0, "departure on vacant slot");
+        self.slots[i].flags &= !(ALIVE | PENDING);
+        self.active.dec(t);
+        if self.slots[i].flags & HELD != 0 {
+            self.stale.inc(t);
+        }
+        self.queue.cancel(self.slots[i].refresh);
+        self.slots[i].refresh = self.dead;
+        self.queue.cancel(self.slots[i].retrans);
+        self.slots[i].retrans = self.dead;
+        if self.spec().has_external_detector() {
+            // The detector monitored this incarnation; it ends with it.
+            self.queue.cancel(self.slots[i].timeout);
+            self.slots[i].timeout = self.dead;
+        }
+        if self.spec().uses_explicit_removal() {
+            self.send(MsgKind::Removal, Event::RemovalArrive(i as u32));
+            if self.spec().reliable_removal() {
+                self.slots[i].flags |= PENDING_REMOVAL;
+                let d = self.cfg.params.retrans_timer + RETRANS_SLACK;
+                self.slots[i].retrans = self.schedule_after(d, Event::RetransFire(i as u32));
+            }
+        }
+        let vacancy = self.rng.exponential_mean(self.cfg.mean_vacancy);
+        self.schedule_after(vacancy, Event::Arrive(i as u32));
+    }
+
+    fn on_refresh_fire(&mut self, i: usize, id: EventId) {
+        if self.slots[i].refresh != id {
+            return;
+        }
+        self.slots[i].refresh = self.dead;
+        if self.slots[i].flags & ALIVE == 0 || !self.spec().uses_refresh() {
+            return;
+        }
+        self.send(MsgKind::Refresh, Event::RefreshArrive(i as u32));
+        if self.spec().reliable_refresh() {
+            self.slots[i].flags |= PENDING;
+            if self.slots[i].retrans == self.dead {
+                let d = self.cfg.params.retrans_timer + RETRANS_SLACK;
+                self.slots[i].retrans = self.schedule_after(d, Event::RetransFire(i as u32));
+            }
+        }
+        let d = self.cfg.params.refresh_timer;
+        self.slots[i].refresh = self.schedule_after(d, Event::RefreshFire(i as u32));
+    }
+
+    fn on_retrans_fire(&mut self, i: usize, id: EventId) {
+        if self.slots[i].retrans != id {
+            return;
+        }
+        self.slots[i].retrans = self.dead;
+        if self.slots[i].flags & PENDING_REMOVAL != 0 {
+            self.send(MsgKind::Removal, Event::RemovalArrive(i as u32));
+            let d = self.cfg.params.retrans_timer + RETRANS_SLACK;
+            self.slots[i].retrans = self.schedule_after(d, Event::RetransFire(i as u32));
+        } else if self.slots[i].flags & (PENDING | ALIVE) == PENDING | ALIVE {
+            // Resend the announcement: reliable triggers retransmit the
+            // trigger itself; the reliable-refresh loop repairs with
+            // refreshes.
+            let as_trigger = self.spec().reliable_triggers();
+            self.send_install(i, as_trigger);
+        }
+    }
+
+    fn on_install_arrive(&mut self, i: usize, t: f64, trigger: bool) {
+        if self.slots[i].flags & HELD == 0 {
+            self.slots[i].flags |= HELD;
+            self.held.inc(t);
+            if self.slots[i].flags & ALIVE == 0 {
+                // An in-flight announcement landed after the sender left:
+                // instantly stale state.
+                self.stale.inc(t);
+            }
+        }
+        if self.spec().uses_state_timeout() {
+            // Lazy timeout: installs and refreshes only bump the deadline.
+            // A timer is armed only when none is in flight; one that fires
+            // before the (since-extended) deadline re-arms itself there.
+            // The refresh hot path therefore never cancels, and the queue
+            // never accumulates cancelled-timeout backlog.
+            self.slots[i].deadline = t + self.cfg.params.timeout_timer;
+            if self.slots[i].timeout == self.dead {
+                let d = self.cfg.params.timeout_timer;
+                self.slots[i].timeout = self.schedule_after(d, Event::Timeout(i as u32));
+            }
+        }
+        // ACK path of the reliable variants, with the ACK's own loss draw.
+        // The ACK is modeled as retiring the retransmission cycle at arrival
+        // time (the backward delay ≪ the retransmission timer).
+        let ack = if trigger && self.spec().reliable_triggers() {
+            Some(MsgKind::TriggerAck)
+        } else if self.spec().reliable_refresh() {
+            Some(MsgKind::RefreshAck)
+        } else {
+            None
+        };
+        if let Some(kind) = ack {
+            self.counts.record(kind);
+            if !self.rng.bernoulli(self.cfg.params.loss) && self.slots[i].flags & PENDING != 0 {
+                self.slots[i].flags &= !PENDING;
+                if self.slots[i].flags & PENDING_REMOVAL == 0 {
+                    self.queue.cancel(self.slots[i].retrans);
+                    self.slots[i].retrans = self.dead;
+                }
+            }
+        }
+    }
+
+    fn on_removal_arrive(&mut self, i: usize, t: f64) {
+        if self.slots[i].flags & HELD != 0 {
+            self.slots[i].flags &= !HELD;
+            self.held.dec(t);
+            if self.slots[i].flags & ALIVE == 0 {
+                self.stale.dec(t);
+            }
+            self.queue.cancel(self.slots[i].timeout);
+            self.slots[i].timeout = self.dead;
+        }
+        if self.spec().reliable_removal() {
+            self.counts.record(MsgKind::RemovalAck);
+            if !self.rng.bernoulli(self.cfg.params.loss)
+                && self.slots[i].flags & PENDING_REMOVAL != 0
+            {
+                self.slots[i].flags &= !PENDING_REMOVAL;
+                self.queue.cancel(self.slots[i].retrans);
+                self.slots[i].retrans = self.dead;
+            }
+        }
+    }
+
+    fn on_timeout(&mut self, i: usize, id: EventId, t: f64) {
+        if self.slots[i].timeout != id {
+            return;
+        }
+        self.slots[i].timeout = self.dead;
+        if self.spec().has_external_detector() {
+            // The external failure detector (wrongly) reports this session's
+            // sender as crashed; the signal travels out of band.
+            self.counts.record(MsgKind::ExternalSignal);
+            if self.slots[i].flags & HELD != 0 {
+                self.remove_held(i, t);
+            }
+            if self.slots[i].flags & ALIVE != 0 && self.cfg.params.false_signal_rate > 0.0 {
+                let d = self.rng.exponential_rate(self.cfg.params.false_signal_rate);
+                self.slots[i].timeout = self.schedule_after(d, Event::Timeout(i as u32));
+            }
+        } else if self.slots[i].flags & HELD != 0 {
+            if t + 1e-9 < self.slots[i].deadline {
+                // A newer install pushed the deadline past this firing:
+                // re-arm there (the lazy-timeout second half).
+                let d = self.slots[i].deadline - t;
+                self.slots[i].timeout = self.schedule_after(d, Event::Timeout(i as u32));
+            } else {
+                self.remove_held(i, t);
+            }
+        }
+    }
+
+    /// Receiver-side removal by timeout or false signal, including the
+    /// false-removal accounting and the notify/re-trigger repair path.
+    fn remove_held(&mut self, i: usize, t: f64) {
+        self.slots[i].flags &= !HELD;
+        self.held.dec(t);
+        if self.slots[i].flags & ALIVE == 0 {
+            self.stale.dec(t);
+            return;
+        }
+        // The sender still holds the state: a false removal.
+        self.false_removals += 1;
+        if self.spec().notifies_on_removal() {
+            self.counts.record(MsgKind::RemovalNotice);
+            if !self.rng.bernoulli(self.cfg.params.loss) {
+                // The notice reaches the sender one delay from now; the
+                // repair trigger is sent from there, so its arrival draw is
+                // made now and it lands after two delays.
+                self.counts.record(MsgKind::Trigger);
+                if !self.rng.bernoulli(self.cfg.params.loss) {
+                    let d = 2.0 * self.cfg.params.delay;
+                    self.queue.schedule_in(d, Event::TriggerArrive(i as u32));
+                }
+                if self.spec().reliable_triggers() || self.spec().reliable_refresh() {
+                    self.slots[i].flags |= PENDING;
+                    if self.slots[i].retrans == self.dead {
+                        let d =
+                            self.cfg.params.delay + self.cfg.params.retrans_timer + RETRANS_SLACK;
+                        self.slots[i].retrans =
+                            self.schedule_after(d, Event::RetransFire(i as u32));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Replicated campaigns.
+// ----------------------------------------------------------------------
+
+/// Aggregated results of a node-scale campaign: per-replication summaries
+/// of every [`NodeMetrics`] rate plus node-wide totals.  Deterministic —
+/// bit-identical across execution policies and queue kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeCampaignResult {
+    /// Number of replications.
+    pub replications: usize,
+    /// Summary of the node-wide refresh-message rate (msgs/sec).
+    pub refresh_rate: Summary,
+    /// Summary of the node-wide signaling message rate (msgs/sec).
+    pub message_rate: Summary,
+    /// Summary of the signaling bandwidth (bytes/sec).
+    pub bandwidth_bytes_per_sec: Summary,
+    /// Summary of the population stale fraction.
+    pub stale_fraction: Summary,
+    /// Summary of the false-removal rate (per alive-session-second).
+    pub false_removal_rate: Summary,
+    /// Summary of the time-average alive-sender population.
+    pub mean_active: Summary,
+    /// Total events processed across replications.
+    pub events_processed: u64,
+    /// Total messages across replications, by kind.
+    pub messages: MessageCounts,
+    /// Total false removals across replications.
+    pub false_removals: u64,
+}
+
+/// A node-scale campaign: one [`NodeConfig`], many replications, fanned out
+/// through the shared [`ReplicationEngine`] (work stealing; outputs land in
+/// index order, so results are bit-identical under every policy).
+#[derive(Debug, Clone)]
+pub struct NodeCampaign {
+    config: NodeConfig,
+    replications: usize,
+    seed: u64,
+    policy: ExecutionPolicy,
+}
+
+/// One node replication, as seen by the [`ReplicationEngine`].
+struct NodeReplicate<'a> {
+    config: &'a NodeConfig,
+    seed: u64,
+}
+
+impl Replicate for NodeReplicate<'_> {
+    type Output = (NodeMetrics, PhaseTimings, f64);
+
+    fn replicate(&self, index: u64) -> Self::Output {
+        let rng = SimRng::for_replication(self.seed, index);
+        let mut sim = NodeSim::with_rng(*self.config, rng);
+        let metrics = sim.run();
+        (metrics, sim.phase_timings(), sim.bytes_per_session())
+    }
+}
+
+impl NodeCampaign {
+    /// Creates a campaign with the given number of replications.
+    pub fn new(config: NodeConfig, replications: usize, seed: u64) -> Self {
+        Self {
+            config,
+            replications: replications.max(1),
+            seed,
+            policy: ExecutionPolicy::Serial,
+        }
+    }
+
+    /// Sets the execution policy for the replication fan-out.
+    pub fn execution(mut self, policy: ExecutionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The configuration being replicated.
+    pub fn config(&self) -> &NodeConfig {
+        &self.config
+    }
+
+    /// Runs every replication and aggregates the results.
+    pub fn run(&self) -> NodeCampaignResult {
+        self.run_with_phases().0
+    }
+
+    /// Runs every replication, additionally returning the summed wall-clock
+    /// phase breakdown and the largest observed bytes/session (wall-clock
+    /// and memory stay out of [`NodeCampaignResult`] so that the result is
+    /// comparable across queue kinds).
+    pub fn run_with_phases(&self) -> (NodeCampaignResult, PhaseTimings, f64) {
+        let task = NodeReplicate {
+            config: &self.config,
+            seed: self.seed,
+        };
+        let outputs = ReplicationEngine::new(self.policy)
+            .with_assignment(Assignment::WorkStealing)
+            .run(self.replications, &task);
+        let mut refresh_rate = OnlineStats::new();
+        let mut message_rate = OnlineStats::new();
+        let mut bandwidth = OnlineStats::new();
+        let mut stale = OnlineStats::new();
+        let mut false_rate = OnlineStats::new();
+        let mut mean_active = OnlineStats::new();
+        let mut events = 0u64;
+        let mut messages = MessageCounts::default();
+        let mut false_removals = 0u64;
+        let mut phases = PhaseTimings::default();
+        let mut bytes_per_session = 0.0f64;
+        for (m, p, b) in &outputs {
+            refresh_rate.push(m.refresh_rate);
+            message_rate.push(m.message_rate);
+            bandwidth.push(m.bandwidth_bytes_per_sec);
+            stale.push(m.stale_fraction);
+            false_rate.push(m.false_removal_rate);
+            mean_active.push(m.mean_active);
+            events += m.events_processed;
+            messages.merge(&m.messages);
+            false_removals += m.false_removals;
+            phases.merge(p);
+            bytes_per_session = bytes_per_session.max(*b);
+        }
+        let result = NodeCampaignResult {
+            replications: outputs.len(),
+            refresh_rate: Summary::from_stats(&refresh_rate),
+            message_rate: Summary::from_stats(&message_rate),
+            bandwidth_bytes_per_sec: Summary::from_stats(&bandwidth),
+            stale_fraction: Summary::from_stats(&stale),
+            false_removal_rate: Summary::from_stats(&false_rate),
+            mean_active: Summary::from_stats(&mean_active),
+            events_processed: events,
+            messages,
+            false_removals,
+        };
+        (result, phases, bytes_per_session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siganalytic::Protocol;
+
+    /// Fast-churn parameters: short lifetimes so a two-minute horizon sees
+    /// plenty of arrivals, departures and (under loss) false removals.
+    fn churn_params() -> SingleHopParams {
+        SingleHopParams::kazaa_defaults().with_mean_lifetime(60.0)
+    }
+
+    fn quick_config(protocol: Protocol, sessions: usize) -> NodeConfig {
+        NodeConfig::new(protocol, churn_params(), sessions)
+            .with_horizon(90.0)
+            .with_mean_vacancy(15.0)
+    }
+
+    #[test]
+    fn config_validation() {
+        let cfg = quick_config(Protocol::Ss, 10);
+        cfg.validate().unwrap();
+        assert!(cfg.with_horizon(0.0).validate().is_err());
+        assert!(cfg.with_mean_vacancy(0.0).validate().is_err());
+        assert!(cfg.with_mean_vacancy(f64::INFINITY).validate().is_err());
+        // Sessions clamp to at least one.
+        assert_eq!(NodeConfig::new(Protocol::Ss, churn_params(), 0).sessions, 1);
+    }
+
+    #[test]
+    fn session_slot_stays_within_budget() {
+        // The packed per-session record is the bytes/session floor; keep it
+        // at (or under) 40 bytes = three 8-byte ids + deadline + flags,
+        // padded.
+        assert!(std::mem::size_of::<SessionSlot>() <= 40);
+    }
+
+    #[test]
+    fn all_presets_produce_sane_aggregates() {
+        for proto in Protocol::ALL {
+            let mut sim = NodeSim::new(quick_config(proto, 64), 11);
+            let m = sim.run();
+            assert_eq!(m.sessions, 64);
+            assert!(m.events_processed > 0, "{proto}");
+            assert!(m.mean_active > 0.0 && m.mean_active <= 64.0, "{proto}");
+            assert!(m.mean_held > 0.0 && m.mean_held <= 64.0, "{proto}");
+            assert!(
+                (0.0..=1.0).contains(&m.stale_fraction),
+                "{proto}: {}",
+                m.stale_fraction
+            );
+            assert!(m.message_rate > 0.0, "{proto}");
+            assert!(
+                (m.bandwidth_bytes_per_sec - m.message_rate * MESSAGE_BYTES).abs() < 1e-9,
+                "{proto}"
+            );
+            if proto.uses_refresh() {
+                assert!(m.refresh_rate > 0.0, "{proto}");
+            } else {
+                assert_eq!(m.messages.refresh, 0, "{proto}");
+            }
+            if proto.uses_explicit_removal() {
+                assert!(m.messages.removal > 0, "{proto}");
+            } else {
+                assert_eq!(m.messages.removal, 0, "{proto}");
+            }
+            assert!(sim.bytes_per_session() > 0.0);
+        }
+    }
+
+    #[test]
+    fn refresh_rate_tracks_population_over_refresh_timer() {
+        // ~mean_active/T refreshes per second for pure soft state.
+        let cfg = quick_config(Protocol::Ss, 200);
+        let m = NodeSim::new(cfg, 3).run();
+        let expected = m.mean_active / cfg.params.refresh_timer;
+        let ratio = m.refresh_rate / expected;
+        assert!(
+            (0.8..1.2).contains(&ratio),
+            "refresh rate {} vs population-predicted {expected}",
+            m.refresh_rate
+        );
+    }
+
+    #[test]
+    fn churn_keeps_alive_population_near_the_renewal_fraction() {
+        // lifetime 60 s, vacancy 15 s ⇒ alive fraction 0.8.
+        let m = NodeSim::new(quick_config(Protocol::SsEr, 400), 5).run();
+        let fraction = m.mean_active / 400.0;
+        assert!(
+            (0.65..0.95).contains(&fraction),
+            "alive fraction {fraction}"
+        );
+    }
+
+    #[test]
+    fn explicit_removal_cuts_the_stale_fraction() {
+        // SS holds orphans for ~τ after departure; SS+ER only for ~Δ.
+        let ss = NodeSim::new(quick_config(Protocol::Ss, 300), 9).run();
+        let er = NodeSim::new(quick_config(Protocol::SsEr, 300), 9).run();
+        assert!(
+            ss.stale_fraction > 3.0 * er.stale_fraction,
+            "SS {} vs SS+ER {}",
+            ss.stale_fraction,
+            er.stale_fraction
+        );
+        assert!(
+            ss.stale_fraction > 0.02,
+            "orphans must register: {}",
+            ss.stale_fraction
+        );
+    }
+
+    #[test]
+    fn loss_causes_false_removals_for_pure_soft_state() {
+        let mut params = churn_params();
+        params.loss = 0.5;
+        params.timeout_timer = 2.0 * params.refresh_timer;
+        let cfg = NodeConfig::new(Protocol::Ss, params, 300)
+            .with_horizon(90.0)
+            .with_mean_vacancy(15.0);
+        let m = NodeSim::new(cfg, 21).run();
+        assert!(m.false_removals > 0);
+        assert!(m.false_removal_rate > 0.0);
+        // Lossless runs must not report any.
+        let mut lossless = cfg;
+        lossless.params.loss = 0.0;
+        let m0 = NodeSim::new(lossless, 21).run();
+        assert_eq!(m0.false_removals, 0);
+    }
+
+    #[test]
+    fn reliable_refresh_repairs_under_loss() {
+        use siganalytic::RefreshMode;
+        let ss_rr: ProtocolSpec =
+            ProtocolSpec::soft_state("SS+RR").with_refresh(Some(RefreshMode::Reliable));
+        let mut params = churn_params();
+        params.loss = 0.4;
+        params.timeout_timer = 2.0 * params.refresh_timer;
+        let base = NodeConfig::new(Protocol::Ss, params, 200)
+            .with_horizon(90.0)
+            .with_mean_vacancy(15.0);
+        let rr = NodeConfig::new(ss_rr, params, 200)
+            .with_horizon(90.0)
+            .with_mean_vacancy(15.0);
+        let m_ss = NodeSim::new(base, 4).run();
+        let m_rr = NodeSim::new(rr, 4).run();
+        assert!(m_rr.messages.refresh_ack > 0, "ACKs must flow for SS+RR");
+        assert_eq!(m_ss.messages.refresh_ack, 0);
+        assert!(
+            m_rr.false_removal_rate < m_ss.false_removal_rate,
+            "retransmitted refreshes should cut false removals ({} vs {})",
+            m_rr.false_removal_rate,
+            m_ss.false_removal_rate
+        );
+    }
+
+    #[test]
+    fn hard_state_false_signals_are_repaired() {
+        let mut params = churn_params();
+        params.loss = 0.0;
+        params.false_signal_rate = 0.05; // several per session lifetime
+        let cfg = NodeConfig::new(Protocol::Hs, params, 100)
+            .with_horizon(90.0)
+            .with_mean_vacancy(15.0);
+        let m = NodeSim::new(cfg, 13).run();
+        assert!(m.messages.external_signal > 0);
+        assert!(m.false_removals > 0);
+        // The notify + re-trigger repair keeps stale/missing time small.
+        assert!(m.stale_fraction < 0.05, "stale {}", m.stale_fraction);
+    }
+
+    #[test]
+    fn aggregate_metrics_golden_pinned_for_pure_soft_state() {
+        // Exact-value pin for one spec (SS, 256 sessions, seed 2003): any
+        // behavior change in the node loop — event order, RNG consumption,
+        // metric accumulation — shows up here as a literal diff.  Asserted
+        // under both ordering cores and both execution policies, so the pin
+        // also certifies queue-kind and policy independence.
+        let cfg = quick_config(Protocol::Ss, 256);
+        for m in [
+            NodeSim::new(cfg, 2003).run(),
+            NodeSim::new(cfg.with_queue_kind(QueueKind::Calendar), 2003).run(),
+        ] {
+            assert_eq!(m.sessions, 256);
+            assert_eq!(m.horizon, 90.0);
+            assert_eq!(m.events_processed, 9992);
+            assert_eq!(m.messages.trigger, 494);
+            assert_eq!(m.messages.refresh, 3473);
+            assert_eq!(m.messages.signaling_total(), 3967);
+            assert_eq!(m.refresh_rate, 38.58888888888889);
+            assert_eq!(m.message_rate, 44.077777777777776);
+            assert_eq!(m.bandwidth_bytes_per_sec, 2820.9777777777776);
+            assert_eq!(m.stale_fraction, 0.1114549531037238);
+            assert_eq!(m.false_removals, 2);
+            assert_eq!(m.false_removal_rate, 0.00010734827258195877);
+            assert_eq!(m.mean_active, 207.01052460118436);
+            assert_eq!(m.mean_held, 232.51722387751562);
+        }
+        // The campaign path (through the ReplicationEngine) reproduces the
+        // same single-replication metrics regardless of policy.
+        let serial = NodeCampaign::new(cfg, 1, 2003).run();
+        let threaded = NodeCampaign::new(cfg, 1, 2003)
+            .execution(ExecutionPolicy::threads(2))
+            .run();
+        assert_eq!(serial, threaded);
+    }
+
+    #[test]
+    fn metrics_are_deterministic_for_fixed_seed() {
+        let cfg = quick_config(Protocol::SsRtr, 128);
+        let a = NodeSim::new(cfg, 77).run();
+        let b = NodeSim::new(cfg, 77).run();
+        assert_eq!(a, b);
+        let c = NodeSim::new(cfg, 78).run();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn metrics_identical_across_queue_kinds() {
+        // Both ordering cores deliver the identical (time, seq) sequence, so
+        // the RNG consumption — and every aggregate — matches bit for bit.
+        for proto in Protocol::ALL {
+            let heap_cfg = quick_config(proto, 96);
+            let cal_cfg = heap_cfg.with_queue_kind(QueueKind::Calendar);
+            let a = NodeSim::new(heap_cfg, 5).run();
+            let b = NodeSim::new(cal_cfg, 5).run();
+            assert_eq!(a, b, "{proto}: queue kinds diverged");
+        }
+    }
+
+    #[test]
+    fn campaign_bit_identical_across_policies_and_kinds() {
+        let cfg = quick_config(Protocol::SsEr, 64);
+        let serial = NodeCampaign::new(cfg, 8, 42).run();
+        for n in [2, 4] {
+            let threaded = NodeCampaign::new(cfg, 8, 42)
+                .execution(ExecutionPolicy::threads(n))
+                .run();
+            assert_eq!(serial, threaded, "Threads({n}) diverged from Serial");
+        }
+        let calendar = NodeCampaign::new(cfg.with_queue_kind(QueueKind::Calendar), 8, 42)
+            .execution(ExecutionPolicy::threads(4))
+            .run();
+        assert_eq!(serial, calendar, "calendar queue diverged");
+    }
+
+    #[test]
+    fn step_events_is_a_stationary_driver() {
+        let mut sim = NodeSim::new(quick_config(Protocol::Ss, 256), 1);
+        // Warm to steady state, then stepping keeps processing events
+        // (churn regenerates them indefinitely).
+        assert_eq!(sim.step_events(2000), 2000);
+        let pending_before = sim.pending_events();
+        assert_eq!(sim.step_events(1000), 1000);
+        let pending_after = sim.pending_events();
+        assert!(pending_before > 0 && pending_after > 0);
+        assert_eq!(sim.events_processed(), 3000);
+    }
+
+    #[test]
+    fn phase_timings_accumulate() {
+        let mut sim = NodeSim::new(quick_config(Protocol::Ss, 64), 2);
+        sim.run();
+        let p = sim.phase_timings();
+        assert!(p.schedule >= 0.0 && p.fire >= 0.0 && p.metrics >= 0.0);
+        assert!(p.total() > 0.0);
+        let mut sum = PhaseTimings::default();
+        sum.merge(&p);
+        sum.merge(&p);
+        assert!((sum.total() - 2.0 * p.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_stays_within_the_per_session_budget() {
+        // The documented budgets (docs/perf.md): ≤ 256 bytes/session on the
+        // heap core and ≤ 384 on the calendar core (whose short sorted
+        // buckets carry per-bucket `Vec` capacity slack), in steady state at
+        // populations where the fixed overheads have amortized.
+        let cfg = quick_config(Protocol::Ss, 4096);
+        let mut sim = NodeSim::new(cfg, 6);
+        sim.run();
+        let b = sim.bytes_per_session();
+        assert!(
+            b <= 256.0,
+            "bytes/session {b} exceeds the documented 256-byte budget"
+        );
+        let cal = cfg.with_queue_kind(QueueKind::Calendar);
+        let mut sim = NodeSim::new(cal, 6);
+        sim.run();
+        let b = sim.bytes_per_session();
+        assert!(
+            b <= 384.0,
+            "calendar bytes/session {b} exceeds the 384-byte budget"
+        );
+    }
+
+    /// One-million-session smoke: runs in release test suites (and by
+    /// request in debug via `--ignored`), pinning the bytes/session budget
+    /// at the headline population.
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "release-only: 10^6 sessions")]
+    fn million_sessions_within_budget() {
+        // Six seconds covers the full arrival stagger (one refresh interval)
+        // plus the first refresh wave: every session is live and the queue
+        // is at its steady-state occupancy.
+        let cfg = NodeConfig::new(Protocol::Ss, churn_params(), 1_000_000)
+            .with_horizon(6.0)
+            .with_mean_vacancy(15.0);
+        let mut sim = NodeSim::new(cfg, 1);
+        let m = sim.run();
+        assert!(m.events_processed > 1_000_000);
+        let b = sim.bytes_per_session();
+        assert!(b <= 256.0, "bytes/session {b} at N=10^6 exceeds budget");
+    }
+}

@@ -7,9 +7,10 @@
 //! * [`time::SimTime`] — virtual time as seconds in an `f64` newtype with a
 //!   total order;
 //! * [`queue::EventQueue`] — the future event list: a slab arena of event
-//!   slots ordered by an implicit 4-ary min-heap of `(time, sequence)` keys,
-//!   with O(log n) insertion, stable FIFO ordering for simultaneous events,
-//!   and O(1) generation-tagged cancellation;
+//!   slots ordered by `(time, sequence)` keys in one of two interchangeable
+//!   cores ([`queue::QueueKind`]: implicit 4-ary min-heap, or a calendar
+//!   queue for very large pending backlogs), with stable FIFO ordering for
+//!   simultaneous events and O(1) generation-tagged cancellation;
 //! * [`rng::SimRng`] — a seedable deterministic random number generator with
 //!   the handful of samplers the protocols need (exponential, Bernoulli,
 //!   uniform);
@@ -30,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calendar;
 pub mod dist;
 pub mod queue;
 pub mod rng;
@@ -39,7 +41,7 @@ pub mod timer;
 pub mod trace;
 
 pub use dist::{Dist, TimerMode};
-pub use queue::{EventId, EventQueue, ScheduledEvent};
+pub use queue::{EventId, EventQueue, QueueKind, ScheduledEvent};
 pub use rng::SimRng;
 pub use runner::{Assignment, ExecutionPolicy, Replicate, ReplicationEngine};
 pub use time::SimTime;

@@ -8,6 +8,9 @@
 //! * [`timeweighted::TimeWeighted`] — time-weighted averages of piecewise
 //!   constant signals, used to measure the *fraction of time* the sender and
 //!   receiver state disagree;
+//! * [`stream::LevelMeter`] — streaming time integral of an integer
+//!   population level, the O(1)-memory aggregate behind the node-scale
+//!   simulation's per-population metrics;
 //! * [`ci::ConfidenceInterval`] — Student-t confidence intervals used to
 //!   report simulation results with 95% error bars (paper Figures 11–12);
 //! * [`series::Series`] and [`series::SeriesSet`] — named `(x, y)` data
@@ -24,6 +27,7 @@ pub mod ci;
 pub mod online;
 pub mod ratio;
 pub mod series;
+pub mod stream;
 pub mod summary;
 pub mod timeweighted;
 
@@ -31,6 +35,7 @@ pub use ci::ConfidenceInterval;
 pub use online::OnlineStats;
 pub use ratio::RatioEstimator;
 pub use series::{Point, Series, SeriesSet};
+pub use stream::LevelMeter;
 pub use summary::Summary;
 pub use timeweighted::TimeWeighted;
 

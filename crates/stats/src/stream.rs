@@ -1,0 +1,217 @@
+//! Streaming population-level aggregates.
+//!
+//! The population-scale node simulation tracks, for N up to 10⁶ concurrent
+//! sessions, *how many* sessions are currently in some condition — alive,
+//! holding receiver state, stale (receiver holds state the sender dropped),
+//! missing (sender installed state the receiver lost).  Per-session
+//! [`TimeWeighted`](crate::TimeWeighted) signals would cost O(N) memory;
+//! [`LevelMeter`] instead integrates the *population count* itself: an
+//! integer level changed by `+1`/`-1` steps, with the time integral
+//! `∫ level dt` accumulated online in O(1) per step and O(1) memory.
+//!
+//! Dividing two level integrals gives population-time-weighted fractions
+//! (e.g. stale-session-time over held-session-time = the paper's
+//! inconsistency ratio aggregated over the whole population), and dividing
+//! an event count by a level integral gives per-session-time rates (e.g.
+//! false removals per session-second).
+
+/// Streaming time integral of an integer population level.
+///
+/// Feed it `(time, ±delta)` steps in non-decreasing time order; it keeps the
+/// current level exactly (integer arithmetic) and accumulates
+/// `∫ level(t) dt` online.  All arithmetic is deterministic: the same step
+/// sequence produces bit-identical integrals on every run, which the
+/// node-scale determinism goldens rely on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelMeter {
+    start: f64,
+    last_time: f64,
+    level: i64,
+    max_level: i64,
+    integral: f64,
+    steps: u64,
+}
+
+impl LevelMeter {
+    /// Starts integrating at `start_time` with level zero.
+    pub fn new(start_time: f64) -> Self {
+        Self {
+            start: start_time,
+            last_time: start_time,
+            level: 0,
+            max_level: 0,
+            integral: 0.0,
+            steps: 0,
+        }
+    }
+
+    /// Applies a level change of `delta` at time `t`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `t` is earlier than the previous step or
+    /// if the level would go negative — both indicate accounting bugs in the
+    /// caller, not valid states of a population count.
+    pub fn step(&mut self, t: f64, delta: i64) {
+        debug_assert!(
+            t + 1e-12 >= self.last_time,
+            "time went backwards: {} < {}",
+            t,
+            self.last_time
+        );
+        let dt = (t - self.last_time).max(0.0);
+        self.integral += self.level as f64 * dt;
+        self.last_time = t;
+        self.level += delta;
+        debug_assert!(self.level >= 0, "population level went negative");
+        if self.level > self.max_level {
+            self.max_level = self.level;
+        }
+        self.steps += 1;
+    }
+
+    /// One session entering the condition.
+    pub fn inc(&mut self, t: f64) {
+        self.step(t, 1);
+    }
+
+    /// One session leaving the condition.
+    pub fn dec(&mut self, t: f64) {
+        self.step(t, -1);
+    }
+
+    /// The current level.
+    pub fn level(&self) -> i64 {
+        self.level
+    }
+
+    /// The largest level seen so far.
+    pub fn max_level(&self) -> i64 {
+        self.max_level
+    }
+
+    /// Number of steps applied so far.
+    pub fn step_count(&self) -> u64 {
+        self.steps
+    }
+
+    /// `∫ level(t) dt` from the start time until `t` (units:
+    /// session-seconds).
+    pub fn integral_until(&self, t: f64) -> f64 {
+        let dt = (t - self.last_time).max(0.0);
+        self.integral + self.level as f64 * dt
+    }
+
+    /// Time-average level over `[start, t]`; `0.0` for an empty interval.
+    pub fn average_until(&self, t: f64) -> f64 {
+        let span = t - self.start;
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.integral_until(t) / span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_meter_is_zero() {
+        let m = LevelMeter::new(0.0);
+        assert_eq!(m.level(), 0);
+        assert_eq!(m.max_level(), 0);
+        assert_eq!(m.integral_until(10.0), 0.0);
+        assert_eq!(m.average_until(10.0), 0.0);
+    }
+
+    #[test]
+    fn rectangle_integral() {
+        // Level 3 over [1, 4): integral 9 session-seconds.
+        let mut m = LevelMeter::new(0.0);
+        m.step(1.0, 3);
+        m.step(4.0, -3);
+        assert!(approx_eq(m.integral_until(10.0), 9.0, 1e-12));
+        assert!(approx_eq(m.average_until(10.0), 0.9, 1e-12));
+        assert_eq!(m.level(), 0);
+        assert_eq!(m.max_level(), 3);
+        assert_eq!(m.step_count(), 2);
+    }
+
+    #[test]
+    fn staircase_integral() {
+        let mut m = LevelMeter::new(0.0);
+        m.inc(0.0); // level 1 on [0,2)
+        m.inc(2.0); // level 2 on [2,3)
+        m.dec(3.0); // level 1 on [3,5)
+        assert!(approx_eq(m.integral_until(5.0), 2.0 + 2.0 + 2.0, 1e-12));
+        assert_eq!(m.max_level(), 2);
+    }
+
+    #[test]
+    fn integral_extends_current_level_to_query_time() {
+        let mut m = LevelMeter::new(0.0);
+        m.inc(1.0);
+        assert!(approx_eq(m.integral_until(11.0), 10.0, 1e-12));
+        // Querying does not mutate: same answer twice.
+        assert!(approx_eq(m.integral_until(11.0), 10.0, 1e-12));
+    }
+
+    #[test]
+    fn nonzero_start_time() {
+        let mut m = LevelMeter::new(100.0);
+        m.inc(110.0);
+        assert!(approx_eq(m.integral_until(120.0), 10.0, 1e-12));
+        assert!(approx_eq(m.average_until(120.0), 0.5, 1e-12));
+        assert_eq!(m.average_until(100.0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_integral_matches_naive_sum(
+            raw in proptest::collection::vec((0.0f64..100.0, 0u8..3), 1..60),
+        ) {
+            // Random inc/dec walks (clamped to stay non-negative) must
+            // integrate to the same value as an explicit piecewise sum.
+            let mut steps: Vec<(f64, i64)> = Vec::new();
+            let mut level = 0i64;
+            let mut times: Vec<f64> = raw.iter().map(|&(t, _)| t).collect();
+            times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for (t, &(_, kind)) in times.iter().zip(raw.iter()) {
+                let delta = if kind == 0 && level > 0 { -1 } else { 1 };
+                level += delta;
+                steps.push((*t, delta));
+            }
+            let mut m = LevelMeter::new(0.0);
+            let mut naive = 0.0f64;
+            let mut last = 0.0f64;
+            let mut lvl = 0i64;
+            for &(t, d) in &steps {
+                naive += lvl as f64 * (t - last);
+                last = t;
+                lvl += d;
+                m.step(t, d);
+            }
+            let horizon = 150.0;
+            naive += lvl as f64 * (horizon - last);
+            prop_assert!(approx_eq(m.integral_until(horizon), naive, 1e-9));
+            prop_assert_eq!(m.level(), lvl);
+        }
+
+        #[test]
+        fn prop_average_bounded_by_max_level(
+            raw in proptest::collection::vec(0.0f64..50.0, 1..40),
+        ) {
+            let mut times = raw.clone();
+            times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut m = LevelMeter::new(0.0);
+            for t in times {
+                m.inc(t);
+            }
+            let avg = m.average_until(60.0);
+            prop_assert!(avg >= 0.0);
+            prop_assert!(avg <= m.max_level() as f64 + 1e-9);
+        }
+    }
+}
