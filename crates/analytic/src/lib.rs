@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod fsm;
 pub mod multi_hop;
 pub mod params;
 pub mod single_hop;
@@ -39,6 +40,7 @@ pub mod spec;
 pub mod sweep;
 
 pub use cost::{integrated_cost, CostWeights};
+pub use fsm::{FsmDispatch, MultiHopTransitionTable, TransitionTable};
 pub use multi_hop::{solve_all_multi_hop, MultiHopModel, MultiHopSolution};
 pub use params::{ConfigError, MultiHopParams, Protocol, SingleHopParams};
 pub use single_hop::{solve_all, MessageRates, ModelError, SingleHopModel, SingleHopSolution};

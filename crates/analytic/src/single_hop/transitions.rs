@@ -180,7 +180,49 @@ pub fn protocol_transitions(protocol: impl Into<ProtocolSpec>, p: &SingleHopPara
 
 /// [`protocol_transitions`] into a caller-owned table (entries cleared
 /// first), so sweep loops re-fill one allocation per point.
+///
+/// Since the state-machines-as-data refactor this builder consumes the
+/// declarative row generator in [`crate::fsm`]: each row's structural guard
+/// selects the transitions that exist, and its symbolic rate expression is
+/// evaluated through the same rate helpers as always, so the emitted entry
+/// stream is bit-identical to the historical predicate-derived builder
+/// (kept below as [`protocol_transitions_reference_into`] for the model
+/// checker's agreement property).
 pub fn protocol_transitions_into(
+    protocol: impl Into<ProtocolSpec>,
+    p: &SingleHopParams,
+    table: &mut RateTable,
+) {
+    let protocol: ProtocolSpec = protocol.into();
+    table.protocol = protocol;
+    table.entries.clear();
+    let entries = &mut table.entries;
+    crate::fsm::each_single_hop_row(protocol, &mut |from, _event, _guard, to, rate| {
+        let rate = rate.eval(protocol, p);
+        if rate > 0.0 {
+            entries.push(RateEntry { from, to, rate });
+        }
+    });
+}
+
+/// The historical predicate-derived builder, kept verbatim as the golden
+/// reference the table-driven path is checked against (exact equality, the
+/// way `LuSolver` is pinned to the Gaussian reference).
+pub fn protocol_transitions_reference(
+    protocol: impl Into<ProtocolSpec>,
+    p: &SingleHopParams,
+) -> RateTable {
+    let protocol: ProtocolSpec = protocol.into();
+    let mut table = RateTable {
+        protocol,
+        entries: Vec::new(),
+    };
+    protocol_transitions_reference_into(protocol, p, &mut table);
+    table
+}
+
+/// [`protocol_transitions_reference`] into a caller-owned table.
+pub fn protocol_transitions_reference_into(
     protocol: impl Into<ProtocolSpec>,
     p: &SingleHopParams,
     table: &mut RateTable,

@@ -15,6 +15,12 @@
 //! repro --protocols SS,HS # run experiments over this protocol set instead
 //!                         # of each experiment's default (any registered
 //!                         # label, including non-paper specs like SS+RR)
+//! repro check-specs     # model-check every coherent spec (reachability,
+//!                       # liveness, analytic/simulator agreement); exits
+//!                       # non-zero on any violation
+//! repro --list-transitions SS # render a protocol's single- and multi-hop
+//!                             # transition tables (any registered label or
+//!                             # spectrum label like spec:btb--)
 //! repro --serial        # disable the multi-core sweep fan-out
 //! repro --jobs N        # fan sweeps out across N threads
 //! repro --timing        # per-phase wall-clock (build/solve/report) per experiment
@@ -50,6 +56,8 @@ struct Args {
     list: bool,
     list_md: bool,
     list_protocols: bool,
+    list_transitions: Option<String>,
+    check_specs: bool,
     protocols: Vec<String>,
     execution: ExecutionPolicy,
     timing: bool,
@@ -64,6 +72,8 @@ fn parse_args() -> Result<Args, String> {
         list: false,
         list_md: false,
         list_protocols: false,
+        list_transitions: None,
+        check_specs: false,
         protocols: Vec::new(),
         execution: ExecutionPolicy::auto(),
         timing: false,
@@ -75,6 +85,13 @@ fn parse_args() -> Result<Args, String> {
             "--list" => args.list = true,
             "--list-md" => args.list_md = true,
             "--list-protocols" => args.list_protocols = true,
+            "--list-transitions" => {
+                let label = it
+                    .next()
+                    .ok_or("--list-transitions needs a protocol label")?;
+                args.list_transitions = Some(label);
+            }
+            "check-specs" => args.check_specs = true,
             "--protocols" => {
                 let set = it
                     .next()
@@ -106,8 +123,13 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "repro [--quick] [--fig NAME]... [--tag TAG]... [--csv DIR] \
                      [--protocols SS,HS,...] [--list | --list-md | --list-protocols] \
-                     [--serial | --jobs N] [--timing]\n\
+                     [--list-transitions LABEL] [--serial | --jobs N] [--timing]\n\
+                     repro check-specs\n\
                      Regenerates the paper's tables and figures and any registered extras.\n\
+                     check-specs model-checks every coherent spec (reachability, liveness, \
+                     agreement) and exits non-zero on any violation.\n\
+                     --list-transitions renders a protocol's single- and multi-hop \
+                     transition tables (registered or spec:<code> label).\n\
                      --timing prints per-phase wall-clock: build (registry construction, \
                      once), then solve/report per experiment."
                 );
@@ -155,6 +177,20 @@ fn main() {
         }
     };
 
+    if args.check_specs {
+        // Model-check the whole coherent spec space before (or instead of)
+        // regenerating anything: the CI gate that keeps the declarative
+        // tables, the analytic builders and the simulators in agreement.
+        let start = Instant::now();
+        let report = sigfsm::check_all();
+        print!("{}", report.render());
+        eprintln!(
+            "repro: check-specs in {:.2} s",
+            start.elapsed().as_secs_f64()
+        );
+        std::process::exit(if report.passed() { 0 } else { 1 });
+    }
+
     let build_start = Instant::now();
     let registry = sigbench::extended_registry();
     let protocol_registry = sigbench::protocol_registry();
@@ -164,6 +200,35 @@ fn main() {
             "timing: build {:>9.3} s   (experiment + protocol registries)",
             build_elapsed.as_secs_f64()
         );
+    }
+
+    if let Some(label) = &args.list_transitions {
+        // Resolve against the protocol registry first (SS, HS, SS+RR, ...),
+        // then the full coherent spectrum (spec:<code> labels).
+        let spec = protocol_registry
+            .iter()
+            .find(|entry| entry.spec.label() == label)
+            .map(|entry| entry.spec)
+            .or_else(|| {
+                sigbench::coherent_spectrum()
+                    .iter()
+                    .find(|spec| spec.label() == label)
+                    .copied()
+            });
+        let Some(spec) = spec else {
+            eprintln!(
+                "error: unknown protocol label '{label}' \
+                 (try --list-protocols, or a spectrum label like spec:btb--)"
+            );
+            std::process::exit(2);
+        };
+        print!("{}", siganalytic::TransitionTable::for_spec(spec).render());
+        println!();
+        print!(
+            "{}",
+            siganalytic::MultiHopTransitionTable::for_spec(spec, sigfsm::CHECK_HOPS).render()
+        );
+        return;
     }
 
     if args.list_protocols {

@@ -173,6 +173,7 @@ pub fn register_extras(registry: &mut Registry) -> Result<(), RegistryError> {
     )?;
     registry.register(ScenarioCostSweep)?;
     registry.register(signaling::NodeScaleExperiment)?;
+    registry.register(signaling::NodeStormExperiment)?;
     Ok(())
 }
 
@@ -289,7 +290,7 @@ mod tests {
     #[test]
     fn extended_registry_adds_user_level_experiments() {
         let registry = extended_registry();
-        assert_eq!(registry.len(), 28);
+        assert_eq!(registry.len(), 29);
         // Paper experiments still resolve...
         assert!(registry.get("fig11a").is_some());
         // ...and the extras are addressable by name and tag.
@@ -300,10 +301,11 @@ mod tests {
             "spec-spectrum",
             "scenario-cost-sweep",
             "node-scale",
+            "node-storm",
         ] {
             assert!(registry.get(name).is_some(), "{name} missing");
         }
-        assert_eq!(registry.with_tag("extra").len(), 6);
+        assert_eq!(registry.with_tag("extra").len(), 7);
         assert_eq!(registry.with_tag("paper").len(), 22);
     }
 
@@ -336,6 +338,65 @@ mod tests {
         assert!(spectrum
             .iter()
             .any(|s| s.label() == "spec:--rrn" && s.with_label("HS") == ProtocolSpec::HS));
+    }
+
+    #[test]
+    fn spectrum_label_order_is_pinned_and_matches_the_fsm_mechanism_code() {
+        // The spectrum's series order (and therefore the spec-spectrum
+        // golden fixture and its CSV column order) is the spec enumeration
+        // order.  That ordering used to be only implicitly stable; pin the
+        // full label sequence so any reordering of `enumerate_all` — or any
+        // drift in the label scheme — fails loudly rather than silently
+        // rewriting the golden.
+        let labels: Vec<&str> = coherent_spectrum().iter().map(|s| s.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "spec:--rrn",
+                "spec:b-br-",
+                "spec:b-brn",
+                "spec:b-rr-",
+                "spec:b-rrn",
+                "spec:btb--",
+                "spec:btb-n",
+                "spec:btbb-",
+                "spec:btbbn",
+                "spec:btbr-",
+                "spec:btbrn",
+                "spec:btr--",
+                "spec:btr-n",
+                "spec:btrb-",
+                "spec:btrbn",
+                "spec:btrr-",
+                "spec:btrrn",
+                "spec:r-br-",
+                "spec:r-brn",
+                "spec:r-rr-",
+                "spec:r-rrn",
+                "spec:rtb--",
+                "spec:rtb-n",
+                "spec:rtbb-",
+                "spec:rtbbn",
+                "spec:rtbr-",
+                "spec:rtbrn",
+                "spec:rtr--",
+                "spec:rtr-n",
+                "spec:rtrb-",
+                "spec:rtrbn",
+                "spec:rtrr-",
+                "spec:rtrrn",
+            ]
+        );
+        // The bench-local label encoder and the transition-table layer's
+        // mechanism code are independent implementations of the same
+        // scheme; they must agree on every point.
+        for spec in coherent_spectrum() {
+            assert_eq!(
+                spec.label(),
+                format!("spec:{}", siganalytic::fsm::mechanism_code(spec)),
+                "label scheme drifted from the fsm mechanism code"
+            );
+        }
     }
 
     #[test]

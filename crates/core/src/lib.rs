@@ -44,6 +44,7 @@
 pub mod compare;
 pub mod experiment;
 pub mod node_scale;
+pub mod node_storm;
 pub mod registry;
 pub mod report;
 
@@ -52,6 +53,7 @@ pub use compare::{
 };
 pub use experiment::{ExperimentId, ExperimentOptions, ExperimentOutput, Metric};
 pub use node_scale::NodeScaleExperiment;
+pub use node_storm::NodeStormExperiment;
 pub use registry::{
     check_protocol_set, Experiment, ExperimentSpec, ProtocolEntry, ProtocolRegistry,
     ProtocolSetError, Registry, RegistryError, SpecError, SpecKind, SweepTarget,
@@ -69,7 +71,7 @@ pub use siganalytic::{
 pub use sigproto::{
     Campaign, CampaignResult, LossModel, MultiHopCampaign, MultiHopCampaignResult, MultiHopSession,
     MultiHopSimConfig, NodeCampaign, NodeCampaignResult, NodeConfig, NodeMetrics, NodeSim,
-    PhaseTimings, SessionConfig, SessionMetrics, SingleHopSession,
+    PhaseTimings, RefreshPhase, SessionConfig, SessionMetrics, SingleHopSession,
 };
 pub use sigstats::{ConfidenceInterval, OnlineStats, Point, Series, SeriesSet, Summary};
 pub use sigworkload::{MultiHopScenario, Scenario, Sweep};

@@ -1,0 +1,187 @@
+//! The `node-storm` experiment: phase-aligned refresh storms on the node.
+//!
+//! `node-scale` reports *mean* signaling load, which hides soft state's one
+//! operational hazard: refresh timers are periodic, so if a population of
+//! sessions ever synchronizes (a node reboot, a failover re-install, a
+//! flash crowd arriving together) every session refreshes in the same
+//! instant, every period.  This experiment runs the same [`NodeSim`]
+//! population twice per protocol — once with the default per-session
+//! stagger ([`RefreshPhase::Staggered`]) and once with all sessions
+//! installed at t = 0 ([`RefreshPhase::Aligned`]) — and reports the
+//! *bandwidth envelope*: mean bytes/s next to the peak 1-second bin, and
+//! the aligned-to-staggered peak ratio that quantifies the storm.
+//!
+//! Hard state is immune by construction (no periodic refresh stream), so
+//! the table doubles as one more hard/soft trade-off exhibit: HS's peak
+//! column barely moves while pure soft state's multiplies by roughly
+//! `refresh_timer / bin`.
+
+use crate::experiment::{ExperimentOptions, ExperimentOutput};
+use crate::registry::Experiment;
+use siganalytic::{Protocol, ProtocolSpec, SingleHopParams};
+use sigproto::{NodeCampaign, NodeConfig, RefreshPhase};
+use std::fmt::Write as _;
+
+/// Sessions multiplexed onto the simulated node.  Smaller than
+/// `node-scale`'s population: the storm ratio is already unmistakable at
+/// this size and the experiment runs two campaigns per protocol.
+const SESSIONS: usize = 2048;
+
+/// Virtual-time horizon per replication (seconds) — several refresh
+/// periods, so an aligned population storms repeatedly, not just at t = 0.
+const HORIZON: f64 = 120.0;
+
+/// Mean session lifetime (seconds), matching `node-scale` so the two
+/// tables describe the same churn regime.
+const MEAN_LIFETIME: f64 = 300.0;
+
+/// The phase-aligned refresh-storm experiment (registered as `node-storm`).
+pub struct NodeStormExperiment;
+
+impl NodeStormExperiment {
+    /// Per-session parameters: Kazaa defaults with the churn override.
+    pub fn params() -> SingleHopParams {
+        SingleHopParams::kazaa_defaults().with_mean_lifetime(MEAN_LIFETIME)
+    }
+
+    /// The node configuration for one protocol and one refresh phasing.
+    pub fn config(protocol: ProtocolSpec, phase: RefreshPhase) -> NodeConfig {
+        NodeConfig::new(protocol, Self::params(), SESSIONS)
+            .with_horizon(HORIZON)
+            .with_refresh_phase(phase)
+    }
+
+    /// Replications: same budget rule as `node-scale`, shared so the two
+    /// node experiments stay comparable under `--quick`.
+    pub fn replications(options: &ExperimentOptions) -> usize {
+        (options.sim_replications / 5).clamp(1, 8)
+    }
+}
+
+impl Experiment for NodeStormExperiment {
+    fn name(&self) -> &str {
+        "node-storm"
+    }
+
+    fn description(&self) -> &str {
+        "refresh-storm envelope: peak vs mean node bandwidth when session \
+         refresh timers phase-align, against the default stagger"
+    }
+
+    fn tags(&self) -> Vec<String> {
+        vec!["extra".into(), "simulation".into(), "node".into()]
+    }
+
+    fn run(&self, options: &ExperimentOptions) -> ExperimentOutput {
+        let default_set: Vec<ProtocolSpec> = Protocol::ALL.iter().map(|p| p.spec()).collect();
+        let protocols = options.protocol_set(&default_set);
+        let replications = Self::replications(options);
+        let mut text = String::new();
+        let _ = writeln!(
+            text,
+            "node-storm: N = {SESSIONS} sessions, horizon = {HORIZON} s, \
+             mean lifetime = {MEAN_LIFETIME} s, {replications} replication(s), \
+             1 s envelope bins"
+        );
+        let _ = writeln!(
+            text,
+            "{:<12} {:>12} {:>12} {:>12} {:>12} {:>10}",
+            "protocol", "mean B/s", "stag peak", "aligned peak", "storm ratio", "peak/mean"
+        );
+        for &protocol in &protocols {
+            let mut peaks = [0.0_f64; 2];
+            let mut mean_bw = 0.0_f64;
+            for (slot, phase) in [RefreshPhase::Staggered, RefreshPhase::Aligned]
+                .into_iter()
+                .enumerate()
+            {
+                let campaign =
+                    NodeCampaign::new(Self::config(protocol, phase), replications, options.seed)
+                        .execution(options.execution);
+                let (result, phases, _) = campaign.run_with_phases();
+                peaks[slot] = result.peak_bandwidth_bytes_per_sec.mean;
+                if phase == RefreshPhase::Staggered {
+                    mean_bw = result.bandwidth_bytes_per_sec.mean;
+                }
+                if options.timing {
+                    eprintln!(
+                        "timing: node-storm[{:<10} {:>9}] schedule {:>7.3} s   \
+                         fire {:>7.3} s   metrics {:>7.3} s   ({} events)",
+                        protocol.label(),
+                        match phase {
+                            RefreshPhase::Staggered => "staggered",
+                            RefreshPhase::Aligned => "aligned",
+                        },
+                        phases.schedule,
+                        phases.fire,
+                        phases.metrics,
+                        result.events_processed,
+                    );
+                }
+            }
+            let [staggered_peak, aligned_peak] = peaks;
+            let _ = writeln!(
+                text,
+                "{:<12} {:>12.1} {:>12.1} {:>12.1} {:>11.2}x {:>9.2}x",
+                protocol.label(),
+                mean_bw,
+                staggered_peak,
+                aligned_peak,
+                aligned_peak / staggered_peak,
+                aligned_peak / mean_bw,
+            );
+        }
+        ExperimentOutput::Text(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::ExecutionPolicy;
+
+    fn tiny_options() -> ExperimentOptions {
+        ExperimentOptions {
+            sim_replications: 5,
+            ..ExperimentOptions::quick()
+        }
+    }
+
+    #[test]
+    fn soft_state_storms_and_hard_state_does_not() {
+        let options = tiny_options().with_protocols(vec![ProtocolSpec::SS, ProtocolSpec::HS]);
+        let text = NodeStormExperiment.run(&options).to_text();
+        let ratio = |label: &str| -> f64 {
+            let line = text
+                .lines()
+                .find(|l| l.starts_with(label))
+                .unwrap_or_else(|| panic!("{label} missing:\n{text}"));
+            let col = line.split_whitespace().nth(4).expect("storm ratio column");
+            col.trim_end_matches('x').parse().expect("ratio parses")
+        };
+        // A phase-aligned soft-state population storms: the peak envelope
+        // multiplies.  Hard state has no periodic refresh stream to align.
+        assert!(
+            ratio("SS") > 2.0,
+            "SS ratio {} too small:\n{text}",
+            ratio("SS")
+        );
+        assert!(
+            ratio("HS") < 2.0,
+            "HS ratio {} too large:\n{text}",
+            ratio("HS")
+        );
+    }
+
+    #[test]
+    fn table_is_deterministic_across_execution_policies() {
+        let options = tiny_options().with_protocols(vec![ProtocolSpec::SS]);
+        let serial = NodeStormExperiment
+            .run(&options.clone().with_execution(ExecutionPolicy::Serial))
+            .to_text();
+        let threaded = NodeStormExperiment
+            .run(&options.with_execution(ExecutionPolicy::threads(4)))
+            .to_text();
+        assert_eq!(serial, threaded);
+    }
+}

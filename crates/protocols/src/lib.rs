@@ -43,6 +43,8 @@ pub use campaign::{Campaign, CampaignResult, MultiHopCampaign, MultiHopCampaignR
 pub use config::{MultiHopSimConfig, SessionConfig};
 pub use metrics::{MessageCounts, MultiHopRunMetrics, SessionMetrics};
 pub use multi_hop::MultiHopSession;
-pub use node::{NodeCampaign, NodeCampaignResult, NodeConfig, NodeMetrics, NodeSim, PhaseTimings};
+pub use node::{
+    NodeCampaign, NodeCampaignResult, NodeConfig, NodeMetrics, NodeSim, PhaseTimings, RefreshPhase,
+};
 pub use signet::LossModel;
 pub use single_hop::SingleHopSession;

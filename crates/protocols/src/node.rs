@@ -44,7 +44,7 @@
 
 use crate::metrics::MessageCounts;
 use crate::single_hop::RETRANS_SLACK;
-use siganalytic::{ConfigError, ProtocolSpec, SingleHopParams};
+use siganalytic::{ConfigError, FsmDispatch, ProtocolSpec, SingleHopParams};
 use signet::MsgKind;
 use sigstats::{LevelMeter, OnlineStats, Summary};
 use simcore::{
@@ -56,6 +56,32 @@ use std::time::Instant;
 /// Modeled wire size of one signaling message (bytes); the paper treats all
 /// signaling messages as small fixed-size datagrams.
 pub const MESSAGE_BYTES: f64 = 64.0;
+
+/// Width of one bandwidth-envelope bin (seconds of virtual time).
+pub const ENVELOPE_BIN_SECS: f64 = 1.0;
+
+/// How the periodic refresh timers are phased across the session
+/// population.  Arrivals are staggered uniformly over one refresh interval
+/// in both disciplines (the RNG stream is identical, so everything except
+/// refresh timing is bit-comparable between the two).
+///
+/// The default [`RefreshPhase::Staggered`] fires each session's refresh one
+/// full interval after its own install, so the periodic timers inherit the
+/// arrival stagger, decorrelate, and the node's bandwidth is flat.
+/// [`RefreshPhase::Aligned`] snaps every refresh firing to the absolute
+/// `refresh_timer` grid — the classic operational hazard of refresh daemons
+/// scheduled on wall-clock boundaries: all refreshes fire in lockstep and
+/// the bandwidth envelope turns into periodic spikes (the `node-storm`
+/// experiment measures the ratio).  Protocols with no refresh stream (hard
+/// state) are unaffected by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshPhase {
+    /// Refresh timers inherit the per-session arrival stagger (default).
+    Staggered,
+    /// Refresh firings snap to the absolute refresh-interval grid: the
+    /// whole population refreshes in lockstep.
+    Aligned,
+}
 
 /// Configuration of a population-scale node simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,6 +99,9 @@ pub struct NodeConfig {
     pub mean_vacancy: f64,
     /// Which ordering core the shared event queue uses.
     pub queue_kind: QueueKind,
+    /// Refresh-phase discipline of the initial arrivals (see
+    /// [`RefreshPhase`]).
+    pub refresh_phase: RefreshPhase,
 }
 
 impl NodeConfig {
@@ -90,6 +119,7 @@ impl NodeConfig {
             horizon: 120.0,
             mean_vacancy: params.mean_lifetime() * 0.25,
             queue_kind: QueueKind::Heap,
+            refresh_phase: RefreshPhase::Staggered,
         }
     }
 
@@ -108,6 +138,12 @@ impl NodeConfig {
     /// Selects the event-queue ordering core.
     pub fn with_queue_kind(mut self, kind: QueueKind) -> Self {
         self.queue_kind = kind;
+        self
+    }
+
+    /// Selects the refresh-phase discipline (see [`RefreshPhase`]).
+    pub fn with_refresh_phase(mut self, phase: RefreshPhase) -> Self {
+        self.refresh_phase = phase;
         self
     }
 
@@ -149,6 +185,12 @@ pub struct NodeMetrics {
     pub message_rate: f64,
     /// Signaling bandwidth at [`MESSAGE_BYTES`] per message (bytes/sec).
     pub bandwidth_bytes_per_sec: f64,
+    /// Peak of the bandwidth envelope: the busiest
+    /// [`ENVELOPE_BIN_SECS`]-wide bin, in bytes/sec.  Equals roughly the
+    /// mean bandwidth when refreshes are staggered; under
+    /// [`RefreshPhase::Aligned`] the lockstep refresh storm concentrates a
+    /// whole interval's refreshes into a few bins and the peak shoots up.
+    pub peak_bandwidth_bytes_per_sec: f64,
     /// `∫stale dt / ∫held dt`: the fraction of receiver-held session-time
     /// during which the sender no longer held the state — the paper's
     /// inconsistency ratio aggregated over the population.
@@ -238,6 +280,10 @@ enum Event {
 /// A population-scale node simulation (see the module docs).
 pub struct NodeSim {
     cfg: NodeConfig,
+    /// Mechanism capability set derived from the generated transition
+    /// table ([`FsmDispatch::for_spec`]); every dispatch site branches on
+    /// these fields instead of re-querying the spec predicates.
+    dispatch: FsmDispatch,
     rng: SimRng,
     queue: EventQueue<Event>,
     slots: Vec<SessionSlot>,
@@ -245,6 +291,11 @@ pub struct NodeSim {
     /// as the "no timer armed" sentinel.
     dead: EventId,
     counts: MessageCounts,
+    /// Virtual time of the event being handled (drives envelope binning).
+    now: f64,
+    /// Signaling messages sent per [`ENVELOPE_BIN_SECS`]-wide bin of
+    /// virtual time — the bandwidth envelope behind `node-storm`.
+    envelope: Vec<u32>,
     active: LevelMeter,
     held: LevelMeter,
     stale: LevelMeter,
@@ -272,6 +323,7 @@ impl NodeSim {
         let dead_probe = queue.schedule_at(SimTime::ZERO, Event::Arrive(u32::MAX));
         queue.pop();
         let mut sim = Self {
+            dispatch: FsmDispatch::for_spec(cfg.protocol),
             cfg,
             rng,
             queue,
@@ -287,6 +339,8 @@ impl NodeSim {
             ],
             dead: dead_probe,
             counts: MessageCounts::default(),
+            now: 0.0,
+            envelope: vec![0; (cfg.horizon / ENVELOPE_BIN_SECS).ceil() as usize + 1],
             active: LevelMeter::new(0.0),
             held: LevelMeter::new(0.0),
             stale: LevelMeter::new(0.0),
@@ -356,6 +410,9 @@ impl NodeSim {
             refresh_rate: self.counts.refresh as f64 / h,
             message_rate,
             bandwidth_bytes_per_sec: message_rate * MESSAGE_BYTES,
+            peak_bandwidth_bytes_per_sec: self.envelope.iter().copied().max().unwrap_or(0) as f64
+                * MESSAGE_BYTES
+                / ENVELOPE_BIN_SECS,
             stale_fraction: if held_int > 0.0 {
                 stale_int / held_int
             } else {
@@ -405,6 +462,7 @@ impl NodeSim {
 
     fn handle(&mut self, time: SimTime, id: EventId, event: Event) {
         let t = time.as_secs();
+        self.now = t;
         match event {
             Event::Arrive(i) => self.on_arrive(i as usize, t),
             Event::Depart(i) => self.on_depart(i as usize, t),
@@ -427,18 +485,31 @@ impl NodeSim {
         }
     }
 
+    /// Counts one signaling message and adds it to the bandwidth-envelope
+    /// bin of the current virtual time (out-of-band external signals are
+    /// not wire messages and stay out of the envelope, matching
+    /// [`MessageCounts::signaling_total`]).
+    fn record_message(&mut self, kind: MsgKind) {
+        self.counts.record(kind);
+        if kind != MsgKind::ExternalSignal {
+            let bin = ((self.now / ENVELOPE_BIN_SECS) as usize).min(self.envelope.len() - 1);
+            self.envelope[bin] += 1;
+        }
+    }
+
     /// Sends one message: counts it, draws its loss sample, and schedules
     /// the arrival event after the one-way delay when delivered.
     fn send(&mut self, kind: MsgKind, arrival: Event) {
-        self.counts.record(kind);
+        self.record_message(kind);
         if !self.rng.bernoulli(self.cfg.params.loss) {
             let delay = self.cfg.params.delay;
             self.queue.schedule_in(delay, arrival);
         }
     }
 
-    fn spec(&self) -> ProtocolSpec {
-        self.cfg.protocol
+    /// The table-derived mechanism capability set this node runs on.
+    pub fn dispatch(&self) -> FsmDispatch {
+        self.dispatch
     }
 
     fn on_arrive(&mut self, i: usize, t: f64) {
@@ -457,11 +528,11 @@ impl NodeSim {
             self.stale.dec(t);
         }
         self.send_install(i, true);
-        if self.spec().uses_refresh() {
-            let d = self.cfg.params.refresh_timer;
+        if self.dispatch.uses_refresh {
+            let d = self.refresh_delay();
             self.slots[i].refresh = self.schedule_after(d, Event::RefreshFire(i as u32));
         }
-        if self.spec().has_external_detector() && self.cfg.params.false_signal_rate > 0.0 {
+        if self.dispatch.has_external_detector && self.cfg.params.false_signal_rate > 0.0 {
             let d = self.rng.exponential_rate(self.cfg.params.false_signal_rate);
             self.slots[i].timeout = self.schedule_after(d, Event::Timeout(i as u32));
         }
@@ -484,7 +555,7 @@ impl NodeSim {
             MsgKind::Refresh
         };
         self.send(kind, arrival);
-        if self.spec().reliable_triggers() || self.spec().reliable_refresh() {
+        if self.dispatch.reliable_triggers || self.dispatch.reliable_refresh {
             self.slots[i].flags |= PENDING;
             if self.slots[i].retrans == self.dead {
                 let d = self.cfg.params.retrans_timer + RETRANS_SLACK;
@@ -504,14 +575,14 @@ impl NodeSim {
         self.slots[i].refresh = self.dead;
         self.queue.cancel(self.slots[i].retrans);
         self.slots[i].retrans = self.dead;
-        if self.spec().has_external_detector() {
+        if self.dispatch.has_external_detector {
             // The detector monitored this incarnation; it ends with it.
             self.queue.cancel(self.slots[i].timeout);
             self.slots[i].timeout = self.dead;
         }
-        if self.spec().uses_explicit_removal() {
+        if self.dispatch.uses_explicit_removal {
             self.send(MsgKind::Removal, Event::RemovalArrive(i as u32));
-            if self.spec().reliable_removal() {
+            if self.dispatch.reliable_removal {
                 self.slots[i].flags |= PENDING_REMOVAL;
                 let d = self.cfg.params.retrans_timer + RETRANS_SLACK;
                 self.slots[i].retrans = self.schedule_after(d, Event::RetransFire(i as u32));
@@ -526,19 +597,40 @@ impl NodeSim {
             return;
         }
         self.slots[i].refresh = self.dead;
-        if self.slots[i].flags & ALIVE == 0 || !self.spec().uses_refresh() {
+        if self.slots[i].flags & ALIVE == 0 || !self.dispatch.uses_refresh {
             return;
         }
         self.send(MsgKind::Refresh, Event::RefreshArrive(i as u32));
-        if self.spec().reliable_refresh() {
+        if self.dispatch.reliable_refresh {
             self.slots[i].flags |= PENDING;
             if self.slots[i].retrans == self.dead {
                 let d = self.cfg.params.retrans_timer + RETRANS_SLACK;
                 self.slots[i].retrans = self.schedule_after(d, Event::RetransFire(i as u32));
             }
         }
-        let d = self.cfg.params.refresh_timer;
+        let d = self.refresh_delay();
         self.slots[i].refresh = self.schedule_after(d, Event::RefreshFire(i as u32));
+    }
+
+    /// Delay from now to this session's next refresh firing: one full
+    /// interval under the staggered default, or the distance to the next
+    /// absolute `refresh_timer` grid point under [`RefreshPhase::Aligned`]
+    /// (with a full-interval floor so a firing sitting exactly on the grid
+    /// never reschedules itself at zero delay).
+    fn refresh_delay(&self) -> f64 {
+        let interval = self.cfg.params.refresh_timer;
+        match self.cfg.refresh_phase {
+            RefreshPhase::Staggered => interval,
+            RefreshPhase::Aligned => {
+                let into_period = self.now % interval;
+                let to_grid = interval - into_period;
+                if to_grid < 1e-9 * interval {
+                    interval
+                } else {
+                    to_grid
+                }
+            }
+        }
     }
 
     fn on_retrans_fire(&mut self, i: usize, id: EventId) {
@@ -554,7 +646,7 @@ impl NodeSim {
             // Resend the announcement: reliable triggers retransmit the
             // trigger itself; the reliable-refresh loop repairs with
             // refreshes.
-            let as_trigger = self.spec().reliable_triggers();
+            let as_trigger = self.dispatch.reliable_triggers;
             self.send_install(i, as_trigger);
         }
     }
@@ -569,7 +661,7 @@ impl NodeSim {
                 self.stale.inc(t);
             }
         }
-        if self.spec().uses_state_timeout() {
+        if self.dispatch.uses_state_timeout {
             // Lazy timeout: installs and refreshes only bump the deadline.
             // A timer is armed only when none is in flight; one that fires
             // before the (since-extended) deadline re-arms itself there.
@@ -584,15 +676,15 @@ impl NodeSim {
         // ACK path of the reliable variants, with the ACK's own loss draw.
         // The ACK is modeled as retiring the retransmission cycle at arrival
         // time (the backward delay ≪ the retransmission timer).
-        let ack = if trigger && self.spec().reliable_triggers() {
+        let ack = if trigger && self.dispatch.reliable_triggers {
             Some(MsgKind::TriggerAck)
-        } else if self.spec().reliable_refresh() {
+        } else if self.dispatch.reliable_refresh {
             Some(MsgKind::RefreshAck)
         } else {
             None
         };
         if let Some(kind) = ack {
-            self.counts.record(kind);
+            self.record_message(kind);
             if !self.rng.bernoulli(self.cfg.params.loss) && self.slots[i].flags & PENDING != 0 {
                 self.slots[i].flags &= !PENDING;
                 if self.slots[i].flags & PENDING_REMOVAL == 0 {
@@ -613,8 +705,8 @@ impl NodeSim {
             self.queue.cancel(self.slots[i].timeout);
             self.slots[i].timeout = self.dead;
         }
-        if self.spec().reliable_removal() {
-            self.counts.record(MsgKind::RemovalAck);
+        if self.dispatch.reliable_removal {
+            self.record_message(MsgKind::RemovalAck);
             if !self.rng.bernoulli(self.cfg.params.loss)
                 && self.slots[i].flags & PENDING_REMOVAL != 0
             {
@@ -630,10 +722,10 @@ impl NodeSim {
             return;
         }
         self.slots[i].timeout = self.dead;
-        if self.spec().has_external_detector() {
+        if self.dispatch.has_external_detector {
             // The external failure detector (wrongly) reports this session's
             // sender as crashed; the signal travels out of band.
-            self.counts.record(MsgKind::ExternalSignal);
+            self.record_message(MsgKind::ExternalSignal);
             if self.slots[i].flags & HELD != 0 {
                 self.remove_held(i, t);
             }
@@ -664,18 +756,18 @@ impl NodeSim {
         }
         // The sender still holds the state: a false removal.
         self.false_removals += 1;
-        if self.spec().notifies_on_removal() {
-            self.counts.record(MsgKind::RemovalNotice);
+        if self.dispatch.notifies_on_removal {
+            self.record_message(MsgKind::RemovalNotice);
             if !self.rng.bernoulli(self.cfg.params.loss) {
                 // The notice reaches the sender one delay from now; the
                 // repair trigger is sent from there, so its arrival draw is
                 // made now and it lands after two delays.
-                self.counts.record(MsgKind::Trigger);
+                self.record_message(MsgKind::Trigger);
                 if !self.rng.bernoulli(self.cfg.params.loss) {
                     let d = 2.0 * self.cfg.params.delay;
                     self.queue.schedule_in(d, Event::TriggerArrive(i as u32));
                 }
-                if self.spec().reliable_triggers() || self.spec().reliable_refresh() {
+                if self.dispatch.reliable_triggers || self.dispatch.reliable_refresh {
                     self.slots[i].flags |= PENDING;
                     if self.slots[i].retrans == self.dead {
                         let d =
@@ -706,6 +798,9 @@ pub struct NodeCampaignResult {
     pub message_rate: Summary,
     /// Summary of the signaling bandwidth (bytes/sec).
     pub bandwidth_bytes_per_sec: Summary,
+    /// Summary of the peak of the per-second bandwidth envelope
+    /// (bytes/sec).
+    pub peak_bandwidth_bytes_per_sec: Summary,
     /// Summary of the population stale fraction.
     pub stale_fraction: Summary,
     /// Summary of the false-removal rate (per alive-session-second).
@@ -790,6 +885,7 @@ impl NodeCampaign {
         let mut refresh_rate = OnlineStats::new();
         let mut message_rate = OnlineStats::new();
         let mut bandwidth = OnlineStats::new();
+        let mut peak_bandwidth = OnlineStats::new();
         let mut stale = OnlineStats::new();
         let mut false_rate = OnlineStats::new();
         let mut mean_active = OnlineStats::new();
@@ -802,6 +898,7 @@ impl NodeCampaign {
             refresh_rate.push(m.refresh_rate);
             message_rate.push(m.message_rate);
             bandwidth.push(m.bandwidth_bytes_per_sec);
+            peak_bandwidth.push(m.peak_bandwidth_bytes_per_sec);
             stale.push(m.stale_fraction);
             false_rate.push(m.false_removal_rate);
             mean_active.push(m.mean_active);
@@ -816,6 +913,7 @@ impl NodeCampaign {
             refresh_rate: Summary::from_stats(&refresh_rate),
             message_rate: Summary::from_stats(&message_rate),
             bandwidth_bytes_per_sec: Summary::from_stats(&bandwidth),
+            peak_bandwidth_bytes_per_sec: Summary::from_stats(&peak_bandwidth),
             stale_fraction: Summary::from_stats(&stale),
             false_removal_rate: Summary::from_stats(&false_rate),
             mean_active: Summary::from_stats(&mean_active),
@@ -1024,6 +1122,7 @@ mod tests {
             assert_eq!(m.false_removal_rate, 0.00010734827258195877);
             assert_eq!(m.mean_active, 207.01052460118436);
             assert_eq!(m.mean_held, 232.51722387751562);
+            assert_eq!(m.peak_bandwidth_bytes_per_sec, 3712.0);
         }
         // The campaign path (through the ReplicationEngine) reproduces the
         // same single-replication metrics regardless of policy.
@@ -1032,6 +1131,39 @@ mod tests {
             .execution(ExecutionPolicy::threads(2))
             .run();
         assert_eq!(serial, threaded);
+    }
+
+    #[test]
+    fn aligned_refresh_phase_storms_the_bandwidth_envelope() {
+        // Staggered arrivals decorrelate the periodic refresh timers, so
+        // the envelope peak sits near the mean; phase-aligned arrivals put
+        // every refresh in the same per-second bin and the peak explodes
+        // while the mean barely moves (same message count, bursty shape).
+        let cfg = quick_config(Protocol::Ss, 256);
+        let staggered = NodeSim::new(cfg, 2003).run();
+        let aligned = NodeSim::new(cfg.with_refresh_phase(RefreshPhase::Aligned), 2003).run();
+        assert!(staggered.peak_bandwidth_bytes_per_sec >= staggered.bandwidth_bytes_per_sec);
+        assert!(
+            aligned.peak_bandwidth_bytes_per_sec > 3.0 * staggered.peak_bandwidth_bytes_per_sec,
+            "aligned peak {} vs staggered peak {}",
+            aligned.peak_bandwidth_bytes_per_sec,
+            staggered.peak_bandwidth_bytes_per_sec
+        );
+        let ratio = |m: &NodeMetrics| m.bandwidth_bytes_per_sec / m.message_rate;
+        assert_eq!(ratio(&staggered), MESSAGE_BYTES);
+        assert_eq!(ratio(&aligned), MESSAGE_BYTES);
+    }
+
+    #[test]
+    fn node_dispatch_is_table_derived_and_matches_predicates() {
+        for proto in Protocol::ALL {
+            let sim = NodeSim::new(quick_config(proto, 8), 7);
+            assert_eq!(
+                sim.dispatch(),
+                siganalytic::FsmDispatch::from_predicates(proto),
+                "{proto}"
+            );
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use crate::config::SessionConfig;
 use crate::metrics::{MessageCounts, SessionMetrics};
-use siganalytic::ProtocolSpec;
+use siganalytic::FsmDispatch;
 use signet::{Channel, DelayModel, MsgKind, SignalMessage, StateValue};
 
 use sigstats::TimeWeighted;
@@ -49,6 +49,10 @@ enum Event {
 /// A runnable single-hop signaling session.
 pub struct SingleHopSession<'a> {
     cfg: &'a SessionConfig,
+    /// Mechanism capability set derived from the generated transition
+    /// table ([`FsmDispatch::for_spec`]); every dispatch site branches on
+    /// these fields instead of re-querying the spec predicates.
+    dispatch: FsmDispatch,
     rng: &'a mut SimRng,
     queue: EventQueue<Event>,
     forward: Channel,
@@ -114,6 +118,7 @@ impl<'a> SingleHopSession<'a> {
         };
         Self {
             cfg,
+            dispatch: FsmDispatch::for_spec(cfg.protocol),
             rng,
             queue: EventQueue::new(),
             forward: Channel::new(cfg.effective_loss_model(), delay),
@@ -141,8 +146,9 @@ impl<'a> SingleHopSession<'a> {
         }
     }
 
-    fn protocol(&self) -> ProtocolSpec {
-        self.cfg.protocol
+    /// The table-derived mechanism capability set this session runs on.
+    pub fn dispatch(&self) -> FsmDispatch {
+        self.dispatch
     }
 
     fn start(&mut self) {
@@ -150,7 +156,7 @@ impl<'a> SingleHopSession<'a> {
         self.sender_value = Some(1);
         self.inconsistent = TimeWeighted::new(0.0, 1.0);
         self.send_trigger();
-        if self.protocol().uses_refresh() {
+        if self.dispatch.uses_refresh {
             let d = self.refresh_dist.sample(self.rng);
             self.refresh_timer
                 .arm(&mut self.queue, d, Event::RefreshTimer);
@@ -173,7 +179,7 @@ impl<'a> SingleHopSession<'a> {
     }
 
     fn schedule_next_false_signal(&mut self) {
-        if self.protocol().has_external_detector() && self.cfg.params.false_signal_rate > 0.0 {
+        if self.dispatch.has_external_detector && self.cfg.params.false_signal_rate > 0.0 {
             let dt = self.rng.exponential_rate(self.cfg.params.false_signal_rate);
             if dt.is_finite() {
                 self.queue.schedule_in(dt, Event::FalseSignal);
@@ -250,12 +256,12 @@ impl<'a> SingleHopSession<'a> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.send_to_receiver(MsgKind::Trigger, value, seq);
-        if self.protocol().reliable_triggers() {
+        if self.dispatch.reliable_triggers {
             self.pending_trigger = Some(seq);
             let d = self.retrans_dist.sample(self.rng) + RETRANS_SLACK;
             self.trigger_retrans
                 .arm(&mut self.queue, d, Event::TriggerRetrans);
-        } else if self.protocol().reliable_refresh() {
+        } else if self.dispatch.reliable_refresh {
             // With best-effort triggers, the reliable refresh loop is the
             // spec's only retransmission machinery, and it tracks the
             // *current* value: a trigger re-enters the loop, so until the
@@ -265,7 +271,7 @@ impl<'a> SingleHopSession<'a> {
             // reliable-refresh compositions.
             self.track_pending_refresh(seq);
         }
-        if self.protocol().uses_refresh() && self.refresh_timer.is_armed() {
+        if self.dispatch.uses_refresh && self.refresh_timer.is_armed() {
             // Sending an explicit trigger resets the refresh cycle.
             let d = self.refresh_dist.sample(self.rng);
             self.refresh_timer
@@ -277,7 +283,7 @@ impl<'a> SingleHopSession<'a> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.send_to_receiver(MsgKind::Removal, 0, seq);
-        if self.protocol().reliable_removal() {
+        if self.dispatch.reliable_removal {
             self.pending_removal = true;
             let d = self.retrans_dist.sample(self.rng) + RETRANS_SLACK;
             self.removal_retrans
@@ -300,7 +306,7 @@ impl<'a> SingleHopSession<'a> {
     }
 
     fn restart_receiver_timeout(&mut self) {
-        if self.protocol().uses_state_timeout() {
+        if self.dispatch.uses_state_timeout {
             let d = self.timeout_dist.sample(self.rng);
             self.receiver_timeout
                 .arm(&mut self.queue, d, Event::ReceiverTimeout);
@@ -354,7 +360,7 @@ impl<'a> SingleHopSession<'a> {
         self.trigger_retrans.cancel(&mut self.queue);
         self.refresh_retrans.cancel(&mut self.queue);
         self.trace.record(time, "sender", "state removed locally");
-        if self.protocol().uses_explicit_removal() {
+        if self.dispatch.uses_explicit_removal {
             self.send_removal();
         }
         self.update_consistency();
@@ -365,11 +371,11 @@ impl<'a> SingleHopSession<'a> {
             return;
         }
         if let Some(value) = self.sender_value {
-            if self.protocol().uses_refresh() {
+            if self.dispatch.uses_refresh {
                 let seq = self.next_seq;
                 self.next_seq += 1;
                 self.send_to_receiver(MsgKind::Refresh, value, seq);
-                if self.protocol().reliable_refresh() {
+                if self.dispatch.reliable_refresh {
                     self.track_pending_refresh(seq);
                 }
                 let d = self.refresh_dist.sample(self.rng);
@@ -437,7 +443,7 @@ impl<'a> SingleHopSession<'a> {
             .record(time, "timeout", "receiver state timed out");
         if self.sender_value.is_some() {
             self.false_removals += 1;
-            if self.protocol().notifies_on_removal() {
+            if self.dispatch.notifies_on_removal {
                 self.send_to_sender(MsgKind::RemovalNotice, 0, 0);
             }
         }
@@ -458,7 +464,7 @@ impl<'a> SingleHopSession<'a> {
             );
             if self.sender_value.is_some() {
                 self.false_removals += 1;
-                if self.protocol().notifies_on_removal() {
+                if self.dispatch.notifies_on_removal {
                     self.send_to_sender(MsgKind::RemovalNotice, 0, 0);
                 }
             }
@@ -473,9 +479,9 @@ impl<'a> SingleHopSession<'a> {
             MsgKind::Trigger | MsgKind::Refresh => {
                 self.receiver_value = Some(msg.value);
                 self.restart_receiver_timeout();
-                if msg.kind == MsgKind::Trigger && self.protocol().reliable_triggers() {
+                if msg.kind == MsgKind::Trigger && self.dispatch.reliable_triggers {
                     self.send_to_sender(MsgKind::TriggerAck, msg.value, msg.seq);
-                } else if self.protocol().reliable_refresh() {
+                } else if self.dispatch.reliable_refresh {
                     // Reliable refresh acknowledges the state stream: every
                     // delivered refresh and — when triggers have no ACK
                     // machinery of their own — every delivered trigger.
@@ -486,7 +492,7 @@ impl<'a> SingleHopSession<'a> {
             MsgKind::Removal => {
                 self.receiver_value = None;
                 self.receiver_timeout.cancel(&mut self.queue);
-                if self.protocol().reliable_removal() {
+                if self.dispatch.reliable_removal {
                     self.send_to_sender(MsgKind::RemovalAck, 0, msg.seq);
                 }
                 self.update_consistency();
@@ -542,7 +548,7 @@ impl<'a> SingleHopSession<'a> {
 #[cfg(test)]
 mod reliable_refresh_tests {
     use super::*;
-    use siganalytic::{Protocol, RefreshMode, SingleHopParams};
+    use siganalytic::{Protocol, ProtocolSpec, RefreshMode, SingleHopParams};
 
     const SS_RR: ProtocolSpec =
         ProtocolSpec::soft_state("SS+RR").with_refresh(Some(RefreshMode::Reliable));
@@ -657,6 +663,20 @@ mod tests {
         let cfg = SessionConfig::deterministic(protocol, params);
         let mut rng = SimRng::new(seed);
         SingleHopSession::run(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn session_dispatch_is_table_derived_and_matches_predicates() {
+        for proto in Protocol::ALL {
+            let cfg = SessionConfig::deterministic(proto, quick_params());
+            let mut rng = SimRng::new(1);
+            let session = SingleHopSession::new(&cfg, &mut rng, 0);
+            assert_eq!(
+                session.dispatch(),
+                FsmDispatch::from_predicates(proto),
+                "{proto}"
+            );
+        }
     }
 
     #[test]

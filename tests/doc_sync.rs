@@ -1,0 +1,36 @@
+//! Docs that claim to be generated must actually match the generator.
+//!
+//! `docs/protocols.md` embeds the mechanism matrix that
+//! `siganalytic::fsm::mechanism_matrix` renders from the declarative
+//! transition tables; this test pins the embedded block to the generator's
+//! output byte-for-byte.  Regenerate the doc block by pasting the test's
+//! expected output on mismatch.
+
+use siganalytic::ProtocolSpec;
+
+#[test]
+fn protocols_doc_embeds_the_generated_mechanism_matrix() {
+    let doc = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/docs/protocols.md"));
+    let matrix = siganalytic::fsm::mechanism_matrix(&ProtocolSpec::PAPER);
+    assert!(
+        doc.contains(&matrix),
+        "docs/protocols.md matrix is out of sync; regenerate it with:\n{matrix}"
+    );
+}
+
+#[test]
+fn protocols_doc_documents_the_label_scheme_anchors() {
+    let doc = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/docs/protocols.md"));
+    // The documented anchor codes really are the presets' codes.
+    for (preset, code) in [
+        (ProtocolSpec::SS, "spec:btb--"),
+        (ProtocolSpec::HS, "spec:--rrn"),
+        (ProtocolSpec::SS_RTR, "spec:btrrn"),
+    ] {
+        assert_eq!(
+            format!("spec:{}", siganalytic::fsm::mechanism_code(&preset)),
+            code
+        );
+        assert!(doc.contains(code), "{code} missing from docs/protocols.md");
+    }
+}

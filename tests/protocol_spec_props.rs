@@ -151,6 +151,56 @@ mod proptests {
             }
         }
 
+        /// The declarative transition tables (`siganalytic::fsm`) and the
+        /// historical predicate-derived reference builders enumerate the
+        /// same enabled transitions — same order, bitwise-equal rates — for
+        /// a random coherent spec under random parameters, single- and
+        /// multi-hop.
+        #[test]
+        fn prop_fsm_tables_match_predicate_derived_reference(
+            idx in 0usize..33,
+            loss in 0.0f64..0.9,
+            refresh in 0.5f64..30.0,
+            hops in 2usize..8,
+        ) {
+            let coherent: Vec<ProtocolSpec> = ProtocolSpec::enumerate_all("p")
+                .into_iter()
+                .filter(|s| s.validate().is_ok())
+                .collect();
+            prop_assert_eq!(coherent.len(), 33);
+            let spec = coherent[idx];
+            let params = {
+                let mut p = SingleHopParams::kazaa_defaults()
+                    .with_refresh_timer_scaled_timeout(refresh);
+                p.loss = loss;
+                p
+            };
+            let table = siganalytic::TransitionTable::for_spec(spec);
+            prop_assert_eq!(
+                table.enabled_entries(&params),
+                siganalytic::single_hop::transitions::protocol_transitions_reference(
+                    spec, &params
+                )
+                .entries,
+                "{:?} single-hop", spec
+            );
+            let mp = {
+                let mut p = MultiHopParams::reservation_defaults()
+                    .with_hops(hops)
+                    .with_refresh_timer_scaled_timeout(refresh);
+                p.loss = loss;
+                p
+            };
+            let mtable = siganalytic::MultiHopTransitionTable::for_spec(spec, hops);
+            prop_assert_eq!(
+                mtable.enabled_entries(&mp),
+                siganalytic::multi_hop::transitions::multi_hop_transitions_reference(
+                    spec, &mp
+                ),
+                "{:?} multi-hop", spec
+            );
+        }
+
         /// For every preset the mechanism-derived single-hop table equals
         /// the paper's Table I rates under random (coherent) parameters.
         #[test]
