@@ -40,6 +40,10 @@ pub enum ConfigError {
     NonPositiveHorizon,
     /// A scenario's inconsistency weight is not positive.
     NonPositiveWeight(f64),
+    /// A fault schedule attached to a simulation configuration failed its
+    /// own validation (the schedule's `validate` reports the typed detail —
+    /// the analytic layer has no dependency on the fault types).
+    InvalidFaultSchedule,
 }
 
 impl fmt::Display for ConfigError {
@@ -75,6 +79,12 @@ impl fmt::Display for ConfigError {
             ConfigError::NonPositiveHorizon => write!(f, "simulation horizon must be positive"),
             ConfigError::NonPositiveWeight(w) => {
                 write!(f, "inconsistency weight {w} must be positive")
+            }
+            ConfigError::InvalidFaultSchedule => {
+                write!(
+                    f,
+                    "fault schedule invalid (FaultSchedule::validate has the detail)"
+                )
             }
         }
     }

@@ -24,6 +24,8 @@
 //! repro --serial        # disable the multi-core sweep fan-out
 //! repro --jobs N        # fan sweeps out across N threads
 //! repro --timing        # per-phase wall-clock (build/solve/report) per experiment
+//! repro --loss gilbert  # bursty Gilbert–Elliott channel loss for the node
+//!                       # simulations (default: independent bernoulli)
 //! ```
 //!
 //! Experiments are resolved by name through [`sigbench::extended_registry`]:
@@ -41,7 +43,7 @@
 //! rendering) — record `--serial --timing` vs `--jobs N --timing` on a
 //! multi-core box and the solve column is the speedup table.
 
-use signaling::experiment::{ExperimentOptions, ExperimentOutput};
+use signaling::experiment::{ExperimentOptions, ExperimentOutput, LossKind};
 use signaling::registry::{Experiment, Registry};
 use signaling::report::render_csv;
 use signaling::ExecutionPolicy;
@@ -61,6 +63,7 @@ struct Args {
     protocols: Vec<String>,
     execution: ExecutionPolicy,
     timing: bool,
+    loss: LossKind,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -77,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
         protocols: Vec::new(),
         execution: ExecutionPolicy::auto(),
         timing: false,
+        loss: LossKind::Bernoulli,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -99,6 +103,18 @@ fn parse_args() -> Result<Args, String> {
                 args.protocols.push(set);
             }
             "--timing" => args.timing = true,
+            "--loss" => {
+                let kind = it.next().ok_or("--loss needs 'bernoulli' or 'gilbert'")?;
+                args.loss = match kind.as_str() {
+                    "bernoulli" => LossKind::Bernoulli,
+                    "gilbert" => LossKind::GilbertElliott,
+                    other => {
+                        return Err(format!(
+                            "--loss needs 'bernoulli' or 'gilbert', got '{other}'"
+                        ))
+                    }
+                };
+            }
             "--serial" => args.execution = ExecutionPolicy::Serial,
             "--jobs" => {
                 let n = it.next().ok_or("--jobs needs a thread count")?;
@@ -123,7 +139,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "repro [--quick] [--fig NAME]... [--tag TAG]... [--csv DIR] \
                      [--protocols SS,HS,...] [--list | --list-md | --list-protocols] \
-                     [--list-transitions LABEL] [--serial | --jobs N] [--timing]\n\
+                     [--list-transitions LABEL] [--serial | --jobs N] [--timing] \
+                     [--loss bernoulli|gilbert]\n\
                      repro check-specs\n\
                      Regenerates the paper's tables and figures and any registered extras.\n\
                      check-specs model-checks every coherent spec (reachability, liveness, \
@@ -268,7 +285,10 @@ fn main() {
     .with_execution(args.execution)
     // Experiments with internal phases (node-scale's schedule/fire/metrics
     // split) report them to stderr under the same flag.
-    .with_timing(args.timing);
+    .with_timing(args.timing)
+    // Channel loss process for the node simulations: independent Bernoulli
+    // (the paper's model) or the mean-preserving Gilbert–Elliott bursts.
+    .with_loss_kind(args.loss);
     if !args.protocols.is_empty() {
         let mut set = Vec::new();
         for csv in &args.protocols {

@@ -174,6 +174,9 @@ pub fn register_extras(registry: &mut Registry) -> Result<(), RegistryError> {
     registry.register(ScenarioCostSweep)?;
     registry.register(signaling::NodeScaleExperiment)?;
     registry.register(signaling::NodeStormExperiment)?;
+    registry.register(signaling::NodeOutageExperiment::new(
+        coherent_spectrum().to_vec(),
+    ))?;
     Ok(())
 }
 
@@ -290,7 +293,7 @@ mod tests {
     #[test]
     fn extended_registry_adds_user_level_experiments() {
         let registry = extended_registry();
-        assert_eq!(registry.len(), 29);
+        assert_eq!(registry.len(), 30);
         // Paper experiments still resolve...
         assert!(registry.get("fig11a").is_some());
         // ...and the extras are addressable by name and tag.
@@ -302,10 +305,11 @@ mod tests {
             "scenario-cost-sweep",
             "node-scale",
             "node-storm",
+            "node-outage",
         ] {
             assert!(registry.get(name).is_some(), "{name} missing");
         }
-        assert_eq!(registry.with_tag("extra").len(), 7);
+        assert_eq!(registry.with_tag("extra").len(), 8);
         assert_eq!(registry.with_tag("paper").len(), 22);
     }
 

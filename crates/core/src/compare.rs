@@ -115,6 +115,7 @@ pub fn compare_single_hop_with(
         timer_mode,
         delay_mode: timer_mode,
         loss_model: None,
+        faults: sigproto::FaultSchedule::none(),
     };
     compare_session(config, replications, seed, policy)
 }

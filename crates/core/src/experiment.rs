@@ -44,6 +44,55 @@ pub struct ExperimentOptions {
     /// node-scale simulation's schedule/fire/metrics split — report them
     /// under this flag; it never changes stdout output or any result.
     pub timing: bool,
+    /// Which loss process the node-scale simulations draw from
+    /// (`repro --loss`).  [`LossKind::Bernoulli`] is the paper's
+    /// independent-loss model; [`LossKind::GilbertElliott`] keeps the same
+    /// mean loss but correlates it into bursts (see
+    /// [`LossModel::bursty`](sigproto::LossModel::bursty)), probing how
+    /// much of the protocol comparison survives a harsher channel.
+    pub loss_kind: LossKind,
+}
+
+/// The loss process selected by [`ExperimentOptions::loss_kind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LossKind {
+    /// Independent Bernoulli loss at the parameter set's `loss` (default).
+    #[default]
+    Bernoulli,
+    /// Gilbert–Elliott bursty loss at the same mean: Bad-state loss
+    /// probability [`GE_P_BAD`], mean burst of [`GE_MEAN_BURST`] messages.
+    GilbertElliott,
+}
+
+/// Bad-state loss probability of the Gilbert–Elliott option.
+pub const GE_P_BAD: f64 = 0.5;
+
+/// Mean Bad-state burst length (messages) of the Gilbert–Elliott option.
+pub const GE_MEAN_BURST: f64 = 8.0;
+
+impl LossKind {
+    /// The node-simulator loss-model override this kind implies for a
+    /// parameter set with mean loss `loss`: `None` for Bernoulli (the
+    /// simulator's built-in default path), a mean-preserving bursty
+    /// process otherwise.
+    pub fn model_for(self, loss: f64) -> Option<sigproto::LossModel> {
+        match self {
+            LossKind::Bernoulli => None,
+            LossKind::GilbertElliott => Some(sigproto::LossModel::bursty(
+                loss.min(GE_P_BAD * 0.99),
+                GE_P_BAD,
+                GE_MEAN_BURST,
+            )),
+        }
+    }
+
+    /// The CLI token naming this kind (`repro --loss <token>`).
+    pub fn label(self) -> &'static str {
+        match self {
+            LossKind::Bernoulli => "bernoulli",
+            LossKind::GilbertElliott => "gilbert",
+        }
+    }
 }
 
 impl Default for ExperimentOptions {
@@ -55,6 +104,7 @@ impl Default for ExperimentOptions {
             execution: ExecutionPolicy::auto(),
             protocols: None,
             timing: false,
+            loss_kind: LossKind::default(),
         }
     }
 }
@@ -86,6 +136,12 @@ impl ExperimentOptions {
     /// [`ExperimentOptions::timing`]).
     pub fn with_timing(mut self, timing: bool) -> Self {
         self.timing = timing;
+        self
+    }
+
+    /// Selects the loss process (see [`ExperimentOptions::loss_kind`]).
+    pub fn with_loss_kind(mut self, kind: LossKind) -> Self {
+        self.loss_kind = kind;
         self
     }
 
@@ -776,6 +832,7 @@ pub(crate) fn analytic_vs_sim_over(
                     timer_mode,
                     delay_mode: timer_mode,
                     loss_model,
+                    faults: sigproto::FaultSchedule::none(),
                 },
                 options.sim_replications,
                 options.seed,

@@ -43,6 +43,7 @@
 
 pub mod compare;
 pub mod experiment;
+pub mod node_outage;
 pub mod node_scale;
 pub mod node_storm;
 pub mod registry;
@@ -51,7 +52,8 @@ pub mod report;
 pub use compare::{
     compare_all, compare_session, compare_single_hop, compare_single_hop_with, ComparisonRow,
 };
-pub use experiment::{ExperimentId, ExperimentOptions, ExperimentOutput, Metric};
+pub use experiment::{ExperimentId, ExperimentOptions, ExperimentOutput, LossKind, Metric};
+pub use node_outage::NodeOutageExperiment;
 pub use node_scale::NodeScaleExperiment;
 pub use node_storm::NodeStormExperiment;
 pub use registry::{
@@ -69,9 +71,10 @@ pub use siganalytic::{
     SingleHopParams, SingleHopSolution, SingleHopSweepSession,
 };
 pub use sigproto::{
-    Campaign, CampaignResult, LossModel, MultiHopCampaign, MultiHopCampaignResult, MultiHopSession,
-    MultiHopSimConfig, NodeCampaign, NodeCampaignResult, NodeConfig, NodeMetrics, NodeSim,
-    PhaseTimings, RefreshPhase, SessionConfig, SessionMetrics, SingleHopSession,
+    Campaign, CampaignResult, CrashStatePolicy, FaultError, FaultEvent, FaultSchedule, LinkEffect,
+    LossModel, MultiHopCampaign, MultiHopCampaignResult, MultiHopSession, MultiHopSimConfig,
+    NodeCampaign, NodeCampaignResult, NodeConfig, NodeMetrics, NodeSim, PhaseTimings,
+    RecoveryMetrics, RecoveryTrace, RefreshPhase, SessionConfig, SessionMetrics, SingleHopSession,
 };
 pub use sigstats::{ConfidenceInterval, OnlineStats, Point, Series, SeriesSet, Summary};
 pub use sigworkload::{MultiHopScenario, Scenario, Sweep};

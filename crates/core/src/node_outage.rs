@@ -1,0 +1,277 @@
+//! The `node-outage` experiment: the timeout-avalanche recovery transient.
+//!
+//! The paper's metrics are steady-state averages; operators fear the
+//! transient.  When a node's uplink blacks out for longer than the state
+//! timeout, every soft-state refresh stream is silenced at once and the
+//! receiver false-removes its whole population of entries in a burst — the
+//! timeout avalanche — then spends the first seconds after the outage
+//! re-installing everything.  Hard state never false-removes on silence,
+//! but every explicit removal that fell into the blackout leaves a stale
+//! orphan that nothing repairs.
+//!
+//! This experiment injects one scheduled [`Outage`](sigproto::FaultEvent)
+//! into a population-scale [`NodeSim`](sigproto::NodeSim) per protocol and
+//! tabulates the [`RecoveryMetrics`] of the transient: the steady-state
+//! false-removal rate, the avalanche peak, the spike amplification, the
+//! time for the population stale fraction to reconverge to its pre-fault
+//! baseline, and the signaling cost of the recovery burst.  Like every
+//! simulation table it is bit-identical across execution policies and
+//! queue kinds.
+//!
+//! The default protocol set is injected at construction (the `repro`
+//! registry passes the full coherent-spec spectrum, so the avalanche is
+//! charted for *every* mechanism composition), and `--protocols` overrides
+//! it like everywhere else.
+
+use crate::experiment::{ExperimentOptions, ExperimentOutput};
+use crate::registry::Experiment;
+use siganalytic::{ProtocolSpec, SingleHopParams};
+use sigproto::{FaultSchedule, NodeCampaign, NodeConfig, RecoveryMetrics};
+use std::fmt::Write as _;
+
+/// When the blackout starts (seconds of virtual time): late enough that the
+/// population and its per-second baseline rates are in steady state.
+pub const OUTAGE_START: f64 = 60.0;
+
+/// Blackout duration `D` (seconds): twice the Kazaa state timeout, so every
+/// soft-state timer expires inside the window.
+pub const OUTAGE_SECS: f64 = 30.0;
+
+/// Virtual-time horizon (seconds): a full minute of steady state, the
+/// outage, and ninety seconds of recovery.
+pub const HORIZON: f64 = 180.0;
+
+/// Mean session lifetime (seconds), matching the other node experiments.
+pub const MEAN_LIFETIME: f64 = 300.0;
+
+/// Channel loss: raised above the Kazaa default so the *steady-state*
+/// false-removal rate is nonzero at the full population and the spike
+/// amplification is a finite ratio rather than a divide-by-zero.
+pub const LOSS: f64 = 0.05;
+
+/// Stale-fraction reconvergence tolerance (absolute).
+pub const EPSILON: f64 = 0.02;
+
+/// Sessions at the full (default) replication budget — the headline
+/// population regime.
+pub const SESSIONS_FULL: usize = 100_000;
+
+/// Sessions under `--quick` (small budgets): keeps CI interactive.
+pub const SESSIONS_QUICK: usize = 4096;
+
+/// The scheduled-outage recovery experiment (registered as `node-outage`).
+pub struct NodeOutageExperiment {
+    default_set: Vec<ProtocolSpec>,
+}
+
+impl NodeOutageExperiment {
+    /// Creates the experiment with the default protocol set run when no
+    /// `--protocols` override is given.
+    pub fn new(default_set: Vec<ProtocolSpec>) -> Self {
+        Self { default_set }
+    }
+
+    /// Per-session parameters: Kazaa defaults with the churn and loss
+    /// overrides above.  The external false-signal process is disabled so
+    /// the false-removal columns isolate the *timeout* avalanche — with it
+    /// on, hard state's detector noise would blur the "HS never
+    /// false-removes on silence" contrast the table exists to show.
+    pub fn params() -> SingleHopParams {
+        let mut p = SingleHopParams::kazaa_defaults().with_mean_lifetime(MEAN_LIFETIME);
+        p.loss = LOSS;
+        p.false_signal_rate = 0.0;
+        p
+    }
+
+    /// Sessions for the given options: the headline population at the full
+    /// replication budget, a CI-sized node under `--quick`.
+    pub fn sessions(options: &ExperimentOptions) -> usize {
+        if options.sim_replications >= 20 {
+            SESSIONS_FULL
+        } else {
+            SESSIONS_QUICK
+        }
+    }
+
+    /// The node configuration for one protocol under the canonical outage.
+    pub fn config(protocol: ProtocolSpec, options: &ExperimentOptions) -> NodeConfig {
+        let faults = FaultSchedule::outage(OUTAGE_START, OUTAGE_SECS)
+            .expect("the canonical outage window is valid");
+        let mut config = NodeConfig::new(protocol, Self::params(), Self::sessions(options))
+            .with_horizon(HORIZON)
+            .with_fault_schedule(faults);
+        if let Some(model) = options.loss_kind.model_for(config.params.loss) {
+            config = config.with_loss_model(model);
+        }
+        config
+    }
+}
+
+impl Experiment for NodeOutageExperiment {
+    fn name(&self) -> &str {
+        "node-outage"
+    }
+
+    fn description(&self) -> &str {
+        "timeout-avalanche recovery: false-removal spike, stale-fraction \
+         reconvergence time and recovery message cost after a scheduled \
+         link outage, per mechanism composition"
+    }
+
+    fn tags(&self) -> Vec<String> {
+        vec![
+            "extra".into(),
+            "simulation".into(),
+            "node".into(),
+            "fault".into(),
+        ]
+    }
+
+    fn run(&self, options: &ExperimentOptions) -> ExperimentOutput {
+        let protocols = options.protocol_set(&self.default_set);
+        let sessions = Self::sessions(options);
+        let outage_end = OUTAGE_START + OUTAGE_SECS;
+        let mut text = String::new();
+        let _ = writeln!(
+            text,
+            "node-outage: N = {sessions} sessions, horizon = {HORIZON} s, loss = {LOSS}, \
+             blackout [{OUTAGE_START}, {outage_end}) s, epsilon = {EPSILON}"
+        );
+        let _ = writeln!(
+            text,
+            "{:<12} {:>12} {:>12} {:>9} {:>12} {:>13} {:>12}",
+            "protocol",
+            "base fr/s",
+            "peak fr/s",
+            "amplif",
+            "reconverge s",
+            "recovery msg",
+            "drops inj"
+        );
+        for &protocol in &protocols {
+            let campaign = NodeCampaign::new(Self::config(protocol, options), 1, options.seed)
+                .execution(options.execution);
+            let (result, phases, _, trace) = campaign.run_traced();
+            let m = RecoveryMetrics::derive(&trace, OUTAGE_START, outage_end, EPSILON);
+            let _ = writeln!(
+                text,
+                "{:<12} {:>12.4} {:>12.1} {:>8.1}x {:>12.1} {:>13.0} {:>12}",
+                protocol.label(),
+                m.baseline_false_removal_rate,
+                m.peak_false_removal_rate,
+                m.spike_amplification,
+                m.reconverge_secs,
+                m.recovery_messages,
+                result.drops_injected,
+            );
+            if options.timing {
+                eprintln!(
+                    "timing: node-outage[{:<10}] schedule {:>7.3} s   fire {:>7.3} s   \
+                     metrics {:>7.3} s   ({} events)",
+                    protocol.label(),
+                    phases.schedule,
+                    phases.fire,
+                    phases.metrics,
+                    result.events_processed,
+                );
+            }
+        }
+        ExperimentOutput::Text(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siganalytic::Protocol;
+    use simcore::{ExecutionPolicy, QueueKind};
+
+    fn tiny_options() -> ExperimentOptions {
+        ExperimentOptions {
+            sim_replications: 5,
+            ..ExperimentOptions::quick()
+        }
+    }
+
+    fn row<'a>(text: &'a str, label: &str) -> Vec<&'a str> {
+        text.lines()
+            .find(|l| l.starts_with(&format!("{label} ")))
+            .unwrap_or_else(|| panic!("{label} missing:\n{text}"))
+            .split_whitespace()
+            .collect()
+    }
+
+    #[test]
+    fn session_budget_tracks_the_replication_budget() {
+        assert_eq!(
+            NodeOutageExperiment::sessions(&ExperimentOptions::default()),
+            SESSIONS_FULL
+        );
+        assert_eq!(
+            NodeOutageExperiment::sessions(&ExperimentOptions::quick()),
+            SESSIONS_QUICK
+        );
+    }
+
+    #[test]
+    fn soft_state_avalanches_and_hard_state_does_not() {
+        let exp = NodeOutageExperiment::new(vec![Protocol::Ss.spec(), Protocol::Hs.spec()]);
+        let text = exp.run(&tiny_options()).to_text();
+        let ss = row(&text, "SS");
+        let hs = row(&text, "HS");
+        // Columns: protocol, base fr/s, peak fr/s, amplif, reconverge,
+        // recovery msg, drops inj.
+        let peak_ss: f64 = ss[2].parse().unwrap();
+        let peak_hs: f64 = hs[2].parse().unwrap();
+        assert!(
+            peak_ss > 100.0,
+            "SS avalanche peak {peak_ss} too small:\n{text}"
+        );
+        assert_eq!(peak_hs, 0.0, "HS must not false-remove on silence:\n{text}");
+        let drops_ss: u64 = ss[6].parse().unwrap();
+        let drops_hs: u64 = hs[6].parse().unwrap();
+        assert!(drops_ss > 1000 && drops_hs > 100, "{text}");
+    }
+
+    #[test]
+    fn table_is_bit_identical_across_policies_and_queue_kinds() {
+        let exp = NodeOutageExperiment::new(vec![Protocol::Ss.spec()]);
+        let serial = exp
+            .run(&tiny_options().with_execution(ExecutionPolicy::Serial))
+            .to_text();
+        let threaded = exp
+            .run(&tiny_options().with_execution(ExecutionPolicy::threads(4)))
+            .to_text();
+        assert_eq!(serial, threaded);
+        // Queue kinds: the config builder pins the heap core; rebuild the
+        // same campaign on the calendar core and compare the raw results.
+        let options = tiny_options();
+        let heap_cfg = NodeOutageExperiment::config(Protocol::Ss.spec(), &options);
+        let cal_cfg = heap_cfg.with_queue_kind(QueueKind::Calendar);
+        let (a, _, _, ta) = NodeCampaign::new(heap_cfg, 1, options.seed).run_traced();
+        let (b, _, _, tb) = NodeCampaign::new(cal_cfg, 1, options.seed).run_traced();
+        assert_eq!(a, b, "calendar queue diverged");
+        assert_eq!(ta, tb, "calendar trace diverged");
+    }
+
+    #[test]
+    fn gilbert_elliott_option_changes_the_table_but_not_determinism() {
+        use crate::experiment::LossKind;
+        let exp = NodeOutageExperiment::new(vec![Protocol::Ss.spec()]);
+        let bernoulli = exp.run(&tiny_options()).to_text();
+        let gilbert_options = tiny_options().with_loss_kind(LossKind::GilbertElliott);
+        let gilbert = exp.run(&gilbert_options).to_text();
+        assert_ne!(bernoulli, gilbert, "bursty loss must change the transient");
+        let again = exp.run(&gilbert_options).to_text();
+        assert_eq!(gilbert, again);
+    }
+
+    #[test]
+    fn respects_protocol_override() {
+        let exp = NodeOutageExperiment::new(vec![Protocol::Ss.spec()]);
+        let options = tiny_options().with_protocols(vec![ProtocolSpec::HS]);
+        let text = exp.run(&options).to_text();
+        assert!(text.contains("HS"));
+        assert!(!text.lines().any(|l| l.starts_with("SS ")));
+    }
+}

@@ -97,8 +97,12 @@ impl Experiment for NodeScaleExperiment {
             "bytes/sess"
         );
         for &protocol in &protocols {
-            let campaign = NodeCampaign::new(Self::config(protocol), replications, options.seed)
-                .execution(options.execution);
+            let mut config = Self::config(protocol);
+            if let Some(model) = options.loss_kind.model_for(config.params.loss) {
+                config = config.with_loss_model(model);
+            }
+            let campaign =
+                NodeCampaign::new(config, replications, options.seed).execution(options.execution);
             let (result, phases, bytes_per_session) = campaign.run_with_phases();
             let _ = writeln!(
                 text,

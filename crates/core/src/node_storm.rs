@@ -95,9 +95,12 @@ impl Experiment for NodeStormExperiment {
                 .into_iter()
                 .enumerate()
             {
-                let campaign =
-                    NodeCampaign::new(Self::config(protocol, phase), replications, options.seed)
-                        .execution(options.execution);
+                let mut config = Self::config(protocol, phase);
+                if let Some(model) = options.loss_kind.model_for(config.params.loss) {
+                    config = config.with_loss_model(model);
+                }
+                let campaign = NodeCampaign::new(config, replications, options.seed)
+                    .execution(options.execution);
                 let (result, phases, _) = campaign.run_with_phases();
                 peaks[slot] = result.peak_bandwidth_bytes_per_sec.mean;
                 if phase == RefreshPhase::Staggered {

@@ -1,6 +1,7 @@
 //! A single logical signaling hop.
 
 use crate::delay::DelayModel;
+use crate::fault::{FaultClock, FaultSchedule, LinkEffect};
 use crate::loss::{LossModel, LossState};
 use crate::message::MsgKind;
 use simcore::SimRng;
@@ -33,11 +34,19 @@ impl TransmitOutcome {
 }
 
 /// Per-channel transmission statistics, broken down by message kind.
+///
+/// `dropped` counts every loss regardless of cause; `dropped_injected` is
+/// the subset attributable to an active [`FaultEvent`](crate::FaultEvent)
+/// (an outage blackout, or the extra drop of a degraded episode), so
+/// `dropped - dropped_injected` is the channel's own random loss.  The
+/// existing totals keep their meaning: a fault-free run reports exactly what
+/// it did before the fault layer existed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ChannelStats {
     sent: [u64; MsgKind::ALL.len()],
     delivered: [u64; MsgKind::ALL.len()],
     dropped: [u64; MsgKind::ALL.len()],
+    dropped_injected: [u64; MsgKind::ALL.len()],
 }
 
 impl ChannelStats {
@@ -78,6 +87,27 @@ impl ChannelStats {
         self.dropped[Self::kind_index(kind)]
     }
 
+    /// Messages of one kind dropped by an injected fault (outage blackout or
+    /// degraded-episode extra loss).
+    pub fn dropped_to_fault(&self, kind: MsgKind) -> u64 {
+        self.dropped_injected[Self::kind_index(kind)]
+    }
+
+    /// Messages of one kind dropped by the channel's own random loss process.
+    pub fn dropped_to_loss(&self, kind: MsgKind) -> u64 {
+        self.dropped(kind) - self.dropped_to_fault(kind)
+    }
+
+    /// Total messages dropped by injected faults, all kinds.
+    pub fn total_dropped_to_fault(&self) -> u64 {
+        self.dropped_injected.iter().sum()
+    }
+
+    /// Total messages dropped by the random loss process, all kinds.
+    pub fn total_dropped_to_loss(&self) -> u64 {
+        self.total_dropped() - self.total_dropped_to_fault()
+    }
+
     /// Total messages that count toward the signaling-overhead metric
     /// (excludes the external failure-detection signal, per the paper).
     pub fn total_signaling_sent(&self) -> u64 {
@@ -104,6 +134,7 @@ impl ChannelStats {
             self.sent[i] += other.sent[i];
             self.delivered[i] += other.delivered[i];
             self.dropped[i] += other.dropped[i];
+            self.dropped_injected[i] += other.dropped_injected[i];
         }
     }
 }
@@ -115,6 +146,7 @@ pub struct Channel {
     loss: LossModel,
     loss_state: LossState,
     delay: DelayModel,
+    faults: FaultClock,
     stats: ChannelStats,
     last_arrival: f64,
 }
@@ -126,9 +158,18 @@ impl Channel {
             loss,
             loss_state: LossState::default(),
             delay,
+            faults: FaultClock::default(),
             stats: ChannelStats::default(),
             last_arrival: 0.0,
         }
+    }
+
+    /// Attaches a fault schedule; the channel consults it on every transmit.
+    /// An empty schedule leaves behavior (and the RNG stream) bit-identical
+    /// to a channel without one.
+    pub fn with_fault_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.faults = FaultClock::new(schedule);
+        self
     }
 
     /// The paper's default channel: independent Bernoulli loss `p_l` and a
@@ -157,12 +198,31 @@ impl Channel {
     /// The returned outcome is either `Lost` or `Delivered { arrival }` where
     /// `arrival >= now` and arrivals are non-decreasing across calls (FIFO —
     /// the channel never reorders messages, as assumed in Section III).
+    ///
+    /// The attached [`FaultSchedule`] is consulted first: during an outage
+    /// the message is dropped without consuming randomness; during a
+    /// degraded episode the base loss process draws as usual and survivors
+    /// face one extra independent drop.  Both injected causes are counted
+    /// separately in [`ChannelStats`].
     pub fn transmit(&mut self, rng: &mut SimRng, now: f64, kind: MsgKind) -> TransmitOutcome {
         let idx = ChannelStats::kind_index(kind);
         self.stats.sent[idx] += 1;
+        let effect = self.faults.link_effect(now);
+        if matches!(effect, LinkEffect::Blackout) {
+            self.stats.dropped[idx] += 1;
+            self.stats.dropped_injected[idx] += 1;
+            return TransmitOutcome::Lost;
+        }
         if self.loss_state.is_lost(&self.loss, rng) {
             self.stats.dropped[idx] += 1;
             return TransmitOutcome::Lost;
+        }
+        if let LinkEffect::Degraded(extra) = effect {
+            if rng.bernoulli(extra) {
+                self.stats.dropped[idx] += 1;
+                self.stats.dropped_injected[idx] += 1;
+                return TransmitOutcome::Lost;
+            }
         }
         let d = self.delay.sample(rng);
         let arrival = (now + d).max(self.last_arrival).max(now);
@@ -263,6 +323,76 @@ mod tests {
         let ch = Channel::bernoulli(0.07, DelayModel::fixed(0.25));
         assert_eq!(ch.loss_probability(), 0.07);
         assert_eq!(ch.mean_delay(), 0.25);
+    }
+
+    #[test]
+    fn outage_blacks_out_without_consuming_randomness() {
+        // Two identical channels, one with a schedule whose outage covers
+        // the first half of the sends: outside the outage the RNG streams
+        // must stay in lockstep, so post-outage outcomes are identical to a
+        // fault-free channel that skipped the blacked-out sends.
+        let schedule = crate::FaultSchedule::outage(0.0, 10.0).unwrap();
+        let mut faulty =
+            Channel::bernoulli(0.3, DelayModel::fixed(0.01)).with_fault_schedule(schedule);
+        let mut plain = Channel::bernoulli(0.3, DelayModel::fixed(0.01));
+        let mut rng_f = SimRng::new(77);
+        let mut rng_p = SimRng::new(77);
+        for i in 0..20 {
+            let now = 5.0 + i as f64; // first 5 sends inside [0, 10)
+            let out_f = faulty.transmit(&mut rng_f, now, MsgKind::Refresh);
+            if now < 10.0 {
+                assert!(out_f.is_lost(), "t = {now} should be blacked out");
+            } else {
+                let out_p = plain.transmit(&mut rng_p, now, MsgKind::Refresh);
+                assert_eq!(out_f.is_lost(), out_p.is_lost(), "diverged at t = {now}");
+            }
+        }
+        assert_eq!(faulty.stats().total_dropped_to_fault(), 5);
+        assert_eq!(
+            faulty.stats().total_dropped(),
+            faulty.stats().total_dropped_to_fault() + faulty.stats().total_dropped_to_loss()
+        );
+        assert_eq!(plain.stats().total_dropped_to_fault(), 0);
+    }
+
+    #[test]
+    fn empty_schedule_is_bit_identical() {
+        let mut with = Channel::bernoulli(0.25, DelayModel::exponential(0.05))
+            .with_fault_schedule(crate::FaultSchedule::none());
+        let mut without = Channel::bernoulli(0.25, DelayModel::exponential(0.05));
+        let mut rng_a = SimRng::new(9);
+        let mut rng_b = SimRng::new(9);
+        for i in 0..2000 {
+            let now = i as f64 * 0.01;
+            assert_eq!(
+                with.transmit(&mut rng_a, now, MsgKind::Refresh),
+                without.transmit(&mut rng_b, now, MsgKind::Refresh)
+            );
+        }
+        assert_eq!(with.stats(), without.stats());
+    }
+
+    #[test]
+    fn degrade_adds_attributed_extra_loss() {
+        let schedule = crate::FaultSchedule::none()
+            .with(crate::FaultEvent::Degrade {
+                start: 0.0,
+                duration: 1e9,
+                loss: 0.5,
+            })
+            .unwrap();
+        let mut ch = Channel::bernoulli(0.1, DelayModel::fixed(0.01)).with_fault_schedule(schedule);
+        let mut rng = SimRng::new(11);
+        for _ in 0..50_000 {
+            ch.transmit(&mut rng, 0.0, MsgKind::Refresh);
+        }
+        let stats = *ch.stats();
+        // Total loss = 1 - (1 - 0.1)(1 - 0.5) = 0.55, of which 0.45 injected.
+        let total = stats.total_dropped() as f64 / stats.total_sent() as f64;
+        let injected = stats.total_dropped_to_fault() as f64 / stats.total_sent() as f64;
+        assert!((total - 0.55).abs() < 0.01, "total = {total}");
+        assert!((injected - 0.45).abs() < 0.01, "injected = {injected}");
+        assert!(stats.dropped_to_loss(MsgKind::Refresh) > 0);
     }
 
     proptest! {

@@ -13,7 +13,9 @@
 //!   reordered;
 //! * [`channel`] — one logical hop combining a loss and a delay process and
 //!   keeping transmission statistics;
-//! * [`path`] — a chain of hops for the multi-hop scenario of Section III-B.
+//! * [`path`] — a chain of hops for the multi-hop scenario of Section III-B;
+//! * [`fault`] — deterministic fault injection (scheduled outages, degraded
+//!   episodes, crash–restart) consulted by channels on every transmit.
 //!
 //! The channel does not own the event queue; it *decides* the fate of a
 //! transmission (lost, or delivered after `d` seconds) and the protocol layer
@@ -25,12 +27,17 @@
 
 pub mod channel;
 pub mod delay;
+pub mod fault;
 pub mod loss;
 pub mod message;
 pub mod path;
 
 pub use channel::{Channel, ChannelStats, TransmitOutcome};
 pub use delay::DelayModel;
-pub use loss::LossModel;
+pub use fault::{
+    CrashStatePolicy, FaultClock, FaultError, FaultEvent, FaultSchedule, LinkEffect,
+    MAX_FAULT_EVENTS,
+};
+pub use loss::{LossModel, LossState};
 pub use message::{MsgKind, SignalMessage, StateValue};
 pub use path::Path;

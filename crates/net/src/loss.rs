@@ -40,6 +40,46 @@ impl LossModel {
         }
     }
 
+    /// A Gilbert–Elliott process with the given long-run `mean` loss, loss
+    /// probability `p_bad` while in the Bad state, and mean Bad-state burst
+    /// length of `mean_burst` transmissions.
+    ///
+    /// The Good state is lossless; the stationary Bad probability is then
+    /// `mean / p_bad`, and the transition probabilities follow from
+    /// `p_b2g = 1 / mean_burst` and the stationary balance
+    /// `pi_bad = p_g2b / (p_g2b + p_b2g)`.  This is the canonical way to
+    /// compare bursty loss against [`LossModel::Bernoulli`] at the *same*
+    /// average loss rate: the mean matches, only the correlation structure
+    /// differs.
+    ///
+    /// # Panics
+    /// Panics if the parameters are out of range (`p_bad` in `(0, 1]`,
+    /// `mean` in `[0, p_bad)` so that `pi_bad < 1`, `mean_burst >= 1`).
+    pub fn bursty(mean: f64, p_bad: f64, mean_burst: f64) -> Self {
+        assert!(
+            p_bad > 0.0 && p_bad <= 1.0,
+            "p_bad must be in (0, 1], got {p_bad}"
+        );
+        assert!(
+            (0.0..p_bad).contains(&mean),
+            "mean loss must be in [0, p_bad = {p_bad}), got {mean}"
+        );
+        assert!(
+            mean_burst >= 1.0,
+            "mean burst must be >= 1, got {mean_burst}"
+        );
+        let pi_bad = mean / p_bad;
+        let p_b2g = 1.0 / mean_burst;
+        // pi_bad = p_g2b / (p_g2b + p_b2g)  =>  p_g2b = pi_bad * p_b2g / (1 - pi_bad)
+        let p_g2b = pi_bad * p_b2g / (1.0 - pi_bad);
+        LossModel::GilbertElliott {
+            p_good: 0.0,
+            p_bad,
+            p_g2b,
+            p_b2g,
+        }
+    }
+
     /// Long-run average loss probability of the process.
     pub fn mean_loss(&self) -> f64 {
         match *self {
@@ -163,5 +203,55 @@ mod tests {
         let mut state = LossState::default();
         let mut rng = SimRng::new(5);
         assert!((0..1000).all(|_| state.is_lost(&model, &mut rng)));
+    }
+
+    #[test]
+    fn bursty_constructor_hits_requested_mean() {
+        let model = LossModel::bursty(0.02, 0.5, 20.0);
+        assert!((model.mean_loss() - 0.02).abs() < 1e-12);
+        let LossModel::GilbertElliott { p_good, p_b2g, .. } = model else {
+            panic!("bursty must build a Gilbert–Elliott model");
+        };
+        assert_eq!(p_good, 0.0);
+        assert!((p_b2g - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean loss must be in")]
+    fn bursty_rejects_mean_at_or_above_p_bad() {
+        let _ = LossModel::bursty(0.5, 0.5, 10.0);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        // Satellite guarantee: the *empirical* loss rate of any reasonable
+        // Gilbert–Elliott process converges to `mean_loss()`.  Burst
+        // correlation inflates the variance of the empirical mean, so the
+        // tolerance scales with the burst length.
+        #[test]
+        fn prop_gilbert_elliott_empirical_matches_mean_loss(
+            mean in 0.005f64..0.2,
+            p_bad_scale in 2.0f64..10.0,
+            mean_burst in 2.0f64..30.0,
+            seed in 0u64..1000,
+        ) {
+            let p_bad = (mean * p_bad_scale).min(1.0);
+            let model = LossModel::bursty(mean, p_bad, mean_burst);
+            let mut state = LossState::default();
+            let mut rng = SimRng::new(seed);
+            let n = 200_000;
+            let lost = (0..n).filter(|_| state.is_lost(&model, &mut rng)).count();
+            let rate = lost as f64 / n as f64;
+            let expect = model.mean_loss();
+            // Std. error of a two-state chain's mean grows ~sqrt(burst);
+            // 6 sigma with a generous constant keeps this deterministic-safe.
+            let tol = 6.0 * (expect * (1.0 - expect) * mean_burst / n as f64).sqrt() + 0.002;
+            prop_assert!(
+                (rate - expect).abs() < tol,
+                "rate = {}, expect = {}, tol = {}", rate, expect, tol
+            );
+        }
     }
 }

@@ -32,6 +32,19 @@ impl Path {
         }
     }
 
+    /// Attaches the same fault schedule to every hop: a node-side fault
+    /// (access-link outage, provider brown-out) blacks out or degrades the
+    /// whole path at once.  Heterogeneous per-hop schedules can be built via
+    /// [`Path::new`] with individually configured channels.
+    pub fn with_fault_schedule(mut self, schedule: crate::FaultSchedule) -> Self {
+        self.hops = self
+            .hops
+            .into_iter()
+            .map(|hop| hop.with_fault_schedule(schedule))
+            .collect();
+        self
+    }
+
     /// Number of hops.
     pub fn len(&self) -> usize {
         self.hops.len()
@@ -132,6 +145,20 @@ mod tests {
         assert_eq!(stats[0].total_delivered(), 1);
         assert_eq!(stats[1].total_dropped(), 1);
         assert_eq!(p.total_stats().total_sent(), 2);
+    }
+
+    #[test]
+    fn fault_schedule_applies_to_every_hop() {
+        let schedule = crate::FaultSchedule::outage(0.0, 10.0).unwrap();
+        let mut p =
+            Path::homogeneous(3, 0.0, DelayModel::fixed(0.01)).with_fault_schedule(schedule);
+        let mut rng = SimRng::new(1);
+        for i in 0..3 {
+            assert!(p.transmit(i, &mut rng, 5.0, MsgKind::Trigger).is_lost());
+            assert!(!p.transmit(i, &mut rng, 15.0, MsgKind::Trigger).is_lost());
+        }
+        assert_eq!(p.total_stats().total_dropped_to_fault(), 3);
+        assert_eq!(p.total_stats().total_dropped_to_loss(), 0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
 use siganalytic::{ConfigError, MultiHopParams, ProtocolSpec, SingleHopParams};
-use signet::LossModel;
+use signet::{FaultSchedule, LossModel};
 use sigworkload::Scenario;
 use simcore::TimerMode;
 
@@ -32,6 +32,10 @@ pub struct SessionConfig {
     /// ablation benches and tests probe how *bursty* loss — which defeats the
     /// "some refresh will get through" assumption — changes the comparison.
     pub loss_model: Option<LossModel>,
+    /// Scheduled faults: outages and degraded episodes apply to both channel
+    /// directions; crash–restart events wipe (or preserve) the receiver's
+    /// held state.  Empty by default — bit-identical to a fault-free run.
+    pub faults: FaultSchedule,
 }
 
 impl SessionConfig {
@@ -43,6 +47,7 @@ impl SessionConfig {
             timer_mode: TimerMode::Deterministic,
             delay_mode: TimerMode::Deterministic,
             loss_model: None,
+            faults: FaultSchedule::none(),
         }
     }
 
@@ -55,6 +60,7 @@ impl SessionConfig {
             timer_mode: TimerMode::Exponential,
             delay_mode: TimerMode::Exponential,
             loss_model: None,
+            faults: FaultSchedule::none(),
         }
     }
 
@@ -76,12 +82,19 @@ impl SessionConfig {
             timer_mode,
             delay_mode: timer_mode,
             loss_model: scenario.loss_model,
+            faults: FaultSchedule::none(),
         }
     }
 
     /// Overrides the channel loss process (see [`SessionConfig::loss_model`]).
     pub fn with_loss_model(mut self, model: LossModel) -> Self {
         self.loss_model = Some(model);
+        self
+    }
+
+    /// Attaches a fault schedule (see [`SessionConfig::faults`]).
+    pub fn with_fault_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.faults = schedule;
         self
     }
 
@@ -104,7 +117,9 @@ impl SessionConfig {
                 return Err(ConfigError::LossModelMeanOutOfRange(p));
             }
         }
-        Ok(())
+        self.faults
+            .validate()
+            .map_err(|_| ConfigError::InvalidFaultSchedule)
     }
 }
 
@@ -122,6 +137,11 @@ pub struct MultiHopSimConfig {
     pub delay_mode: TimerMode,
     /// Simulated horizon in seconds over which metrics are measured.
     pub horizon: f64,
+    /// Scheduled link faults, applied to every hop of both the forward and
+    /// the reverse path (a node-side blackout severs the whole path).
+    /// Crash–restart events are ignored by the multi-hop simulator — its
+    /// nodes model relay state, not a restartable process.
+    pub faults: FaultSchedule,
 }
 
 impl MultiHopSimConfig {
@@ -133,6 +153,7 @@ impl MultiHopSimConfig {
             timer_mode: TimerMode::Deterministic,
             delay_mode: TimerMode::Deterministic,
             horizon: 7200.0,
+            faults: FaultSchedule::none(),
         }
     }
 
@@ -151,13 +172,21 @@ impl MultiHopSimConfig {
         self
     }
 
+    /// Attaches a fault schedule (see [`MultiHopSimConfig::faults`]).
+    pub fn with_fault_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.faults = schedule;
+        self
+    }
+
     /// Validates the embedded parameters and the horizon.
     pub fn validate(&self) -> Result<(), ConfigError> {
         self.params.validate()?;
         if self.horizon <= 0.0 {
             return Err(ConfigError::NonPositiveHorizon);
         }
-        Ok(())
+        self.faults
+            .validate()
+            .map_err(|_| ConfigError::InvalidFaultSchedule)
     }
 }
 

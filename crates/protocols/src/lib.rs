@@ -22,7 +22,11 @@
 //! * [`node`] — the population-scale view: one node multiplexing up to 10⁶
 //!   concurrent sessions through a single event loop, with slab-packed
 //!   per-session state, churn, and streamed aggregate metrics — the
-//!   events/sec and bytes/session workload behind the headline benchmarks.
+//!   events/sec and bytes/session workload behind the headline benchmarks;
+//! * [`recovery`] — fault-recovery instrumentation: one-second-binned time
+//!   series of a node run ([`RecoveryTrace`]) and the derived
+//!   timeout-avalanche numbers ([`RecoveryMetrics`]) behind the
+//!   `node-outage` experiment.
 //!
 //! The protocol logic lives here and nowhere else; the analytic crate knows
 //! nothing about message exchanges and the simulator knows nothing about
@@ -37,6 +41,7 @@ pub mod config;
 pub mod metrics;
 pub mod multi_hop;
 pub mod node;
+pub mod recovery;
 pub mod single_hop;
 
 pub use campaign::{Campaign, CampaignResult, MultiHopCampaign, MultiHopCampaignResult};
@@ -46,5 +51,6 @@ pub use multi_hop::MultiHopSession;
 pub use node::{
     NodeCampaign, NodeCampaignResult, NodeConfig, NodeMetrics, NodeSim, PhaseTimings, RefreshPhase,
 };
-pub use signet::LossModel;
+pub use recovery::{RecoveryMetrics, RecoveryTrace};
+pub use signet::{CrashStatePolicy, FaultError, FaultEvent, FaultSchedule, LinkEffect, LossModel};
 pub use single_hop::SingleHopSession;

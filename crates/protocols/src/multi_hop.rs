@@ -101,8 +101,8 @@ impl<'a> MultiHopSession<'a> {
             cfg,
             rng,
             queue: EventQueue::new(),
-            forward: Path::homogeneous(k, cfg.params.loss, delay),
-            backward: Path::homogeneous(k, cfg.params.loss, delay),
+            forward: Path::homogeneous(k, cfg.params.loss, delay).with_fault_schedule(cfg.faults),
+            backward: Path::homogeneous(k, cfg.params.loss, delay).with_fault_schedule(cfg.faults),
             refresh_dist: cfg.timer_mode.dist(cfg.params.refresh_timer),
             timeout_dist: cfg.timer_mode.dist(cfg.params.timeout_timer),
             retrans_dist: cfg.timer_mode.dist(cfg.params.retrans_timer),
@@ -493,6 +493,41 @@ mod tests {
         let a = run(Protocol::SsRt, quick_params(4), 300.0, 42);
         let b = run(Protocol::SsRt, quick_params(4), 300.0, 42);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_bit_identical() {
+        let base =
+            MultiHopSimConfig::deterministic(Protocol::Ss, quick_params(4)).with_horizon(300.0);
+        let scheduled = base.with_fault_schedule(signet::FaultSchedule::none());
+        let mut rng_a = SimRng::new(3);
+        let mut rng_b = SimRng::new(3);
+        assert_eq!(
+            MultiHopSession::run(&base, &mut rng_a),
+            MultiHopSession::run(&scheduled, &mut rng_b)
+        );
+    }
+
+    #[test]
+    fn path_outage_cascades_timeouts_down_the_chain() {
+        // Blacking out every hop for several timeout periods must push the
+        // whole soft-state chain into timeout (the avalanche), making the
+        // run far more inconsistent than the fault-free control.
+        let mut p = quick_params(5);
+        p.loss = 0.0;
+        let schedule = signet::FaultSchedule::outage(100.0, 60.0).unwrap();
+        let base = MultiHopSimConfig::deterministic(Protocol::Ss, p).with_horizon(400.0);
+        let faulty = base.with_fault_schedule(schedule);
+        let mut rng = SimRng::new(11);
+        let control = MultiHopSession::run(&base, &mut rng);
+        let mut rng = SimRng::new(11);
+        let outaged = MultiHopSession::run(&faulty, &mut rng);
+        assert!(
+            outaged.end_to_end_inconsistency > control.end_to_end_inconsistency + 0.05,
+            "outage should add inconsistency: {} vs control {}",
+            outaged.end_to_end_inconsistency,
+            control.end_to_end_inconsistency
+        );
     }
 
     #[test]

@@ -43,10 +43,13 @@
 //! queue kinds** and across replication policies.
 
 use crate::metrics::MessageCounts;
+use crate::recovery::RecoveryTrace;
 use crate::single_hop::RETRANS_SLACK;
 use siganalytic::{ConfigError, FsmDispatch, ProtocolSpec, SingleHopParams};
-use signet::MsgKind;
-use sigstats::{LevelMeter, OnlineStats, Summary};
+use signet::{
+    CrashStatePolicy, FaultClock, FaultSchedule, LinkEffect, LossModel, LossState, MsgKind,
+};
+use sigstats::{BinnedMeter, LevelMeter, OnlineStats, Summary};
 use simcore::{
     Assignment, EventId, EventQueue, ExecutionPolicy, QueueKind, Replicate, ReplicationEngine,
     SimRng, SimTime,
@@ -102,6 +105,19 @@ pub struct NodeConfig {
     /// Refresh-phase discipline of the initial arrivals (see
     /// [`RefreshPhase`]).
     pub refresh_phase: RefreshPhase,
+    /// Optional loss-model override for every message the node sends.
+    /// `None` draws independent Bernoulli loss at `params.loss` (the
+    /// paper's model); `Some` routes every loss decision through the given
+    /// [`LossModel`] with one node-wide [`LossState`] — e.g. a
+    /// Gilbert–Elliott process built by [`LossModel::bursty`] at the same
+    /// mean loss.
+    pub loss_model: Option<LossModel>,
+    /// Deterministic fault schedule: link outages and degrade episodes
+    /// apply to every message the node sends or receives (one node, one
+    /// uplink); crash–restart events hit the receiver side's installed
+    /// state per [`CrashStatePolicy`].  Blackout drops consume no
+    /// randomness, so an empty schedule is bit-identical to no schedule.
+    pub faults: FaultSchedule,
 }
 
 impl NodeConfig {
@@ -120,6 +136,8 @@ impl NodeConfig {
             mean_vacancy: params.mean_lifetime() * 0.25,
             queue_kind: QueueKind::Heap,
             refresh_phase: RefreshPhase::Staggered,
+            loss_model: None,
+            faults: FaultSchedule::none(),
         }
     }
 
@@ -147,8 +165,21 @@ impl NodeConfig {
         self
     }
 
-    /// Validates parameters, horizon and vacancy.  (Spec *coherence* is the
-    /// spec builder's concern — see [`ProtocolSpec::validate`].)
+    /// Overrides the loss model (see [`NodeConfig::loss_model`]).
+    pub fn with_loss_model(mut self, model: LossModel) -> Self {
+        self.loss_model = Some(model);
+        self
+    }
+
+    /// Installs a fault schedule (see [`NodeConfig::faults`]).
+    pub fn with_fault_schedule(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Validates parameters, horizon, vacancy and the fault schedule.
+    /// (Spec *coherence* is the spec builder's concern — see
+    /// [`ProtocolSpec::validate`].)
     pub fn validate(&self) -> Result<(), ConfigError> {
         self.params.validate()?;
         // `!is_finite()` also rejects NaN, which `<= 0.0` would let through.
@@ -158,6 +189,9 @@ impl NodeConfig {
         if self.mean_vacancy <= 0.0 || !self.mean_vacancy.is_finite() {
             return Err(ConfigError::NonPositiveRemovalRate);
         }
+        self.faults
+            .validate()
+            .map_err(|_| ConfigError::InvalidFaultSchedule)?;
         Ok(())
     }
 }
@@ -203,6 +237,15 @@ pub struct NodeMetrics {
     pub mean_active: f64,
     /// Time-average number of holding receivers.
     pub mean_held: f64,
+    /// Messages dropped by the base (random) loss process.
+    pub drops_random: u64,
+    /// Messages dropped by an injected fault episode: a blackout during an
+    /// [`Outage`](signet::FaultEvent::Outage), or the extra loss of a
+    /// [`Degrade`](signet::FaultEvent::Degrade) window.
+    pub drops_injected: u64,
+    /// Receiver-held entries wiped by injected crash–restart events.  Not
+    /// false removals: the protocol took no action, the process died.
+    pub crash_wipes: u64,
 }
 
 /// Wall-clock breakdown of one node run (seconds): building the initial
@@ -275,6 +318,9 @@ enum Event {
     /// The receiver's state-timeout timer — or, for external-detector
     /// protocols (HS), the detector's false failure signal — fires.
     Timeout(u32),
+    /// An injected crash–restart of the receiver process (from the fault
+    /// schedule): installed state is wiped or preserved per the policy.
+    Crash(CrashStatePolicy),
 }
 
 /// A population-scale node simulation (see the module docs).
@@ -299,7 +345,24 @@ pub struct NodeSim {
     active: LevelMeter,
     held: LevelMeter,
     stale: LevelMeter,
+    /// Per-bin companions of the three level meters, feeding the
+    /// [`RecoveryTrace`] (the scalar aggregates keep coming from the
+    /// [`LevelMeter`]s so their accumulation order — and the golden pins —
+    /// never move).
+    active_bins: BinnedMeter,
+    held_bins: BinnedMeter,
+    stale_bins: BinnedMeter,
+    /// The fault schedule indexed by time; consulted on every send.
+    faults: FaultClock,
+    /// Node-wide state of the loss process when a [`NodeConfig::loss_model`]
+    /// override is installed.
+    loss_state: LossState,
+    /// False removals per envelope bin (the avalanche time series).
+    false_removal_bins: Vec<u32>,
     false_removals: u64,
+    drops_random: u64,
+    drops_injected: u64,
+    crash_wipes: u64,
     events_processed: u64,
     phase: PhaseTimings,
 }
@@ -344,7 +407,16 @@ impl NodeSim {
             active: LevelMeter::new(0.0),
             held: LevelMeter::new(0.0),
             stale: LevelMeter::new(0.0),
+            active_bins: BinnedMeter::new(0.0, ENVELOPE_BIN_SECS),
+            held_bins: BinnedMeter::new(0.0, ENVELOPE_BIN_SECS),
+            stale_bins: BinnedMeter::new(0.0, ENVELOPE_BIN_SECS),
+            faults: FaultClock::new(cfg.faults),
+            loss_state: LossState::default(),
+            false_removal_bins: vec![0; (cfg.horizon / ENVELOPE_BIN_SECS).ceil() as usize + 1],
             false_removals: 0,
+            drops_random: 0,
+            drops_injected: 0,
+            crash_wipes: 0,
             events_processed: 0,
             phase: PhaseTimings::default(),
         };
@@ -352,6 +424,11 @@ impl NodeSim {
             let at = sim.rng.uniform_range(0.0, sim.cfg.params.refresh_timer);
             sim.queue
                 .schedule_at(SimTime::from_secs(at), Event::Arrive(i));
+        }
+        let clock = sim.faults;
+        for (at, policy) in clock.crashes() {
+            sim.queue
+                .schedule_at(SimTime::from_secs(at), Event::Crash(policy));
         }
         sim.phase.schedule = t0.elapsed().as_secs_f64();
         sim
@@ -426,6 +503,31 @@ impl NodeSim {
             },
             mean_active: self.active.average_until(h),
             mean_held: self.held.average_until(h),
+            drops_random: self.drops_random,
+            drops_injected: self.drops_injected,
+            crash_wipes: self.crash_wipes,
+        }
+    }
+
+    /// The one-second-binned time series of this run (see
+    /// [`RecoveryTrace`]): false removals and signaling messages per bin,
+    /// and the time-average stale/held/active population levels — the raw
+    /// material of [`RecoveryMetrics`](crate::recovery::RecoveryMetrics).
+    pub fn recovery_trace(&self) -> RecoveryTrace {
+        let h = self.cfg.horizon;
+        let stale = self.stale_bins.averages_until(h);
+        let held = self.held_bins.averages_until(h);
+        let active = self.active_bins.averages_until(h);
+        let bins = stale.len().min(held.len()).min(active.len());
+        RecoveryTrace {
+            bin_secs: ENVELOPE_BIN_SECS,
+            horizon: h,
+            false_removals: self.false_removal_bins[..bins.min(self.false_removal_bins.len())]
+                .to_vec(),
+            messages: self.envelope[..bins.min(self.envelope.len())].to_vec(),
+            stale,
+            held,
+            active,
         }
     }
 
@@ -472,6 +574,40 @@ impl NodeSim {
             Event::RefreshArrive(i) => self.on_install_arrive(i as usize, t, false),
             Event::RemovalArrive(i) => self.on_removal_arrive(i as usize, t),
             Event::Timeout(i) => self.on_timeout(i as usize, id, t),
+            Event::Crash(policy) => self.on_crash(policy, t),
+        }
+    }
+
+    /// An injected crash–restart of the receiver process.  The restart
+    /// itself is instantaneous; the policy decides what the reborn process
+    /// finds.  [`CrashStatePolicy::Preserve`] models state written through
+    /// to stable storage: nothing changes (the control arm).
+    /// [`CrashStatePolicy::Wipe`] loses every installed entry and every
+    /// receiver-side timer with the process — silently, so these are *not*
+    /// false removals (no notice, no protocol action; they are counted
+    /// separately as `crash_wipes`).  Soft state heals by itself: the next
+    /// refresh re-installs each live session within one refresh interval.
+    /// Hard state has no periodic stream, so a wiped entry stays missing
+    /// until its sender departs and a fresh arrival re-triggers the slot.
+    fn on_crash(&mut self, policy: CrashStatePolicy, t: f64) {
+        if policy == CrashStatePolicy::Preserve {
+            return;
+        }
+        for i in 0..self.slots.len() {
+            if self.slots[i].flags & HELD == 0 {
+                continue;
+            }
+            self.slots[i].flags &= !HELD;
+            self.held_dec(t);
+            if self.slots[i].flags & ALIVE == 0 {
+                self.stale_dec(t);
+            }
+            // Receiver-side timers (state timeouts, and the external
+            // detector's pending signal for HS) die with the process; a
+            // later arrival arms fresh ones.
+            self.queue.cancel(self.slots[i].timeout);
+            self.slots[i].timeout = self.dead;
+            self.crash_wipes += 1;
         }
     }
 
@@ -497,14 +633,80 @@ impl NodeSim {
         }
     }
 
-    /// Sends one message: counts it, draws its loss sample, and schedules
+    /// Sends one message: counts it, draws its loss decision, and schedules
     /// the arrival event after the one-way delay when delivered.
     fn send(&mut self, kind: MsgKind, arrival: Event) {
         self.record_message(kind);
-        if !self.rng.bernoulli(self.cfg.params.loss) {
+        if !self.message_lost() {
             let delay = self.cfg.params.delay;
             self.queue.schedule_in(delay, arrival);
         }
+    }
+
+    /// One message-loss decision at the current virtual time, with
+    /// dropped-by-cause attribution.  Fault episodes come first — a
+    /// blackout drops deterministically *without consuming randomness*, so
+    /// an empty schedule leaves the RNG stream bit-identical to a build
+    /// without fault support.  Then the base loss process (the
+    /// [`NodeConfig::loss_model`] override through the node-wide
+    /// [`LossState`], or independent Bernoulli at `params.loss`), and last
+    /// a degrade episode's extra independent loss — ordered so the base
+    /// process advances identically inside and outside degrade windows.
+    fn message_lost(&mut self) -> bool {
+        let effect = self.faults.link_effect(self.now);
+        if matches!(effect, LinkEffect::Blackout) {
+            self.drops_injected += 1;
+            return true;
+        }
+        let base = match self.cfg.loss_model {
+            Some(model) => self.loss_state.is_lost(&model, &mut self.rng),
+            None => self.rng.bernoulli(self.cfg.params.loss),
+        };
+        if base {
+            self.drops_random += 1;
+            return true;
+        }
+        if let LinkEffect::Degraded(extra) = effect {
+            if self.rng.bernoulli(extra) {
+                self.drops_injected += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    // Level-meter steps mirrored into the per-bin meters feeding the
+    // recovery trace.  The scalar aggregates still come from the
+    // `LevelMeter`s alone, so their accumulation order never changes.
+
+    fn active_inc(&mut self, t: f64) {
+        self.active.inc(t);
+        self.active_bins.inc(t);
+    }
+
+    fn active_dec(&mut self, t: f64) {
+        self.active.dec(t);
+        self.active_bins.dec(t);
+    }
+
+    fn held_inc(&mut self, t: f64) {
+        self.held.inc(t);
+        self.held_bins.inc(t);
+    }
+
+    fn held_dec(&mut self, t: f64) {
+        self.held.dec(t);
+        self.held_bins.dec(t);
+    }
+
+    fn stale_inc(&mut self, t: f64) {
+        self.stale.inc(t);
+        self.stale_bins.inc(t);
+    }
+
+    fn stale_dec(&mut self, t: f64) {
+        self.stale.dec(t);
+        self.stale_bins.dec(t);
     }
 
     /// The table-derived mechanism capability set this node runs on.
@@ -521,11 +723,11 @@ impl NodeSim {
         self.slots[i].retrans = self.dead;
 
         self.slots[i].flags |= ALIVE;
-        self.active.inc(t);
+        self.active_inc(t);
         if self.slots[i].flags & HELD != 0 {
             // The receiver still holds the previous incarnation's entry; it
             // is no longer stale (presence-based consistency).
-            self.stale.dec(t);
+            self.stale_dec(t);
         }
         self.send_install(i, true);
         if self.dispatch.uses_refresh {
@@ -567,9 +769,9 @@ impl NodeSim {
     fn on_depart(&mut self, i: usize, t: f64) {
         debug_assert_ne!(self.slots[i].flags & ALIVE, 0, "departure on vacant slot");
         self.slots[i].flags &= !(ALIVE | PENDING);
-        self.active.dec(t);
+        self.active_dec(t);
         if self.slots[i].flags & HELD != 0 {
-            self.stale.inc(t);
+            self.stale_inc(t);
         }
         self.queue.cancel(self.slots[i].refresh);
         self.slots[i].refresh = self.dead;
@@ -654,11 +856,11 @@ impl NodeSim {
     fn on_install_arrive(&mut self, i: usize, t: f64, trigger: bool) {
         if self.slots[i].flags & HELD == 0 {
             self.slots[i].flags |= HELD;
-            self.held.inc(t);
+            self.held_inc(t);
             if self.slots[i].flags & ALIVE == 0 {
                 // An in-flight announcement landed after the sender left:
                 // instantly stale state.
-                self.stale.inc(t);
+                self.stale_inc(t);
             }
         }
         if self.dispatch.uses_state_timeout {
@@ -685,7 +887,7 @@ impl NodeSim {
         };
         if let Some(kind) = ack {
             self.record_message(kind);
-            if !self.rng.bernoulli(self.cfg.params.loss) && self.slots[i].flags & PENDING != 0 {
+            if !self.message_lost() && self.slots[i].flags & PENDING != 0 {
                 self.slots[i].flags &= !PENDING;
                 if self.slots[i].flags & PENDING_REMOVAL == 0 {
                     self.queue.cancel(self.slots[i].retrans);
@@ -698,18 +900,16 @@ impl NodeSim {
     fn on_removal_arrive(&mut self, i: usize, t: f64) {
         if self.slots[i].flags & HELD != 0 {
             self.slots[i].flags &= !HELD;
-            self.held.dec(t);
+            self.held_dec(t);
             if self.slots[i].flags & ALIVE == 0 {
-                self.stale.dec(t);
+                self.stale_dec(t);
             }
             self.queue.cancel(self.slots[i].timeout);
             self.slots[i].timeout = self.dead;
         }
         if self.dispatch.reliable_removal {
             self.record_message(MsgKind::RemovalAck);
-            if !self.rng.bernoulli(self.cfg.params.loss)
-                && self.slots[i].flags & PENDING_REMOVAL != 0
-            {
+            if !self.message_lost() && self.slots[i].flags & PENDING_REMOVAL != 0 {
                 self.slots[i].flags &= !PENDING_REMOVAL;
                 self.queue.cancel(self.slots[i].retrans);
                 self.slots[i].retrans = self.dead;
@@ -749,21 +949,23 @@ impl NodeSim {
     /// false-removal accounting and the notify/re-trigger repair path.
     fn remove_held(&mut self, i: usize, t: f64) {
         self.slots[i].flags &= !HELD;
-        self.held.dec(t);
+        self.held_dec(t);
         if self.slots[i].flags & ALIVE == 0 {
-            self.stale.dec(t);
+            self.stale_dec(t);
             return;
         }
         // The sender still holds the state: a false removal.
         self.false_removals += 1;
+        let bin = ((t / ENVELOPE_BIN_SECS) as usize).min(self.false_removal_bins.len() - 1);
+        self.false_removal_bins[bin] += 1;
         if self.dispatch.notifies_on_removal {
             self.record_message(MsgKind::RemovalNotice);
-            if !self.rng.bernoulli(self.cfg.params.loss) {
+            if !self.message_lost() {
                 // The notice reaches the sender one delay from now; the
                 // repair trigger is sent from there, so its arrival draw is
                 // made now and it lands after two delays.
                 self.record_message(MsgKind::Trigger);
-                if !self.rng.bernoulli(self.cfg.params.loss) {
+                if !self.message_lost() {
                     let d = 2.0 * self.cfg.params.delay;
                     self.queue.schedule_in(d, Event::TriggerArrive(i as u32));
                 }
@@ -813,6 +1015,12 @@ pub struct NodeCampaignResult {
     pub messages: MessageCounts,
     /// Total false removals across replications.
     pub false_removals: u64,
+    /// Total messages dropped by the base loss process.
+    pub drops_random: u64,
+    /// Total messages dropped by injected fault episodes.
+    pub drops_injected: u64,
+    /// Total receiver entries wiped by injected crash–restarts.
+    pub crash_wipes: u64,
 }
 
 /// A node-scale campaign: one [`NodeConfig`], many replications, fanned out
@@ -840,6 +1048,24 @@ impl Replicate for NodeReplicate<'_> {
         let mut sim = NodeSim::with_rng(*self.config, rng);
         let metrics = sim.run();
         (metrics, sim.phase_timings(), sim.bytes_per_session())
+    }
+}
+
+/// One node replication that also extracts the recovery trace.
+struct NodeTracedReplicate<'a> {
+    config: &'a NodeConfig,
+    seed: u64,
+}
+
+impl Replicate for NodeTracedReplicate<'_> {
+    type Output = (NodeMetrics, PhaseTimings, f64, RecoveryTrace);
+
+    fn replicate(&self, index: u64) -> Self::Output {
+        let rng = SimRng::for_replication(self.seed, index);
+        let mut sim = NodeSim::with_rng(*self.config, rng);
+        let metrics = sim.run();
+        let trace = sim.recovery_trace();
+        (metrics, sim.phase_timings(), sim.bytes_per_session(), trace)
     }
 }
 
@@ -882,6 +1108,36 @@ impl NodeCampaign {
         let outputs = ReplicationEngine::new(self.policy)
             .with_assignment(Assignment::WorkStealing)
             .run(self.replications, &task);
+        Self::summarize(&outputs)
+    }
+
+    /// Like [`NodeCampaign::run_with_phases`], additionally returning the
+    /// replication traces pooled into one population-aggregate
+    /// [`RecoveryTrace`] (element-wise sums: the pool behaves like one node
+    /// holding every replication's sessions).  The scalar result is
+    /// bit-identical to [`NodeCampaign::run_with_phases`] — tracing reads
+    /// the same event sequence, it does not perturb it.
+    pub fn run_traced(&self) -> (NodeCampaignResult, PhaseTimings, f64, RecoveryTrace) {
+        let task = NodeTracedReplicate {
+            config: &self.config,
+            seed: self.seed,
+        };
+        let outputs = ReplicationEngine::new(self.policy)
+            .with_assignment(Assignment::WorkStealing)
+            .run(self.replications, &task);
+        let traces: Vec<RecoveryTrace> = outputs.iter().map(|o| o.3.clone()).collect();
+        let plain: Vec<(NodeMetrics, PhaseTimings, f64)> =
+            outputs.into_iter().map(|(m, p, b, _)| (m, p, b)).collect();
+        let (result, phases, bytes) = Self::summarize(&plain);
+        let trace = RecoveryTrace::pool(&traces).expect("campaigns run at least one replication");
+        (result, phases, bytes, trace)
+    }
+
+    /// Aggregates replication outputs into the campaign result (shared by
+    /// the plain and traced run paths so both stay bit-identical).
+    fn summarize(
+        outputs: &[(NodeMetrics, PhaseTimings, f64)],
+    ) -> (NodeCampaignResult, PhaseTimings, f64) {
         let mut refresh_rate = OnlineStats::new();
         let mut message_rate = OnlineStats::new();
         let mut bandwidth = OnlineStats::new();
@@ -892,9 +1148,12 @@ impl NodeCampaign {
         let mut events = 0u64;
         let mut messages = MessageCounts::default();
         let mut false_removals = 0u64;
+        let mut drops_random = 0u64;
+        let mut drops_injected = 0u64;
+        let mut crash_wipes = 0u64;
         let mut phases = PhaseTimings::default();
         let mut bytes_per_session = 0.0f64;
-        for (m, p, b) in &outputs {
+        for (m, p, b) in outputs {
             refresh_rate.push(m.refresh_rate);
             message_rate.push(m.message_rate);
             bandwidth.push(m.bandwidth_bytes_per_sec);
@@ -905,6 +1164,9 @@ impl NodeCampaign {
             events += m.events_processed;
             messages.merge(&m.messages);
             false_removals += m.false_removals;
+            drops_random += m.drops_random;
+            drops_injected += m.drops_injected;
+            crash_wipes += m.crash_wipes;
             phases.merge(p);
             bytes_per_session = bytes_per_session.max(*b);
         }
@@ -920,6 +1182,9 @@ impl NodeCampaign {
             events_processed: events,
             messages,
             false_removals,
+            drops_random,
+            drops_injected,
+            crash_wipes,
         };
         (result, phases, bytes_per_session)
     }
@@ -1272,5 +1537,226 @@ mod tests {
         assert!(m.events_processed > 1_000_000);
         let b = sim.bytes_per_session();
         assert!(b <= 256.0, "bytes/session {b} at N=10^6 exceeds budget");
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection.
+    // ------------------------------------------------------------------
+
+    use signet::{FaultEvent, FaultSchedule, LossModel};
+
+    /// Churn parameters with every random process except timers silenced:
+    /// no loss, no false detector signals.  Whatever the fault schedule
+    /// causes is then cleanly attributable.
+    fn quiet_params() -> SingleHopParams {
+        let mut p = churn_params();
+        p.loss = 0.0;
+        p.false_signal_rate = 0.0;
+        p
+    }
+
+    fn faulted_config(protocol: impl Into<ProtocolSpec>, faults: FaultSchedule) -> NodeConfig {
+        NodeConfig::new(protocol, quiet_params(), 256)
+            .with_horizon(90.0)
+            .with_mean_vacancy(15.0)
+            .with_fault_schedule(faults)
+    }
+
+    #[test]
+    fn outage_avalanches_soft_state_and_not_hard_state() {
+        // A 30 s blackout (longer than the 15 s state timeout) silences the
+        // refresh stream: every soft-state receiver entry whose sender is
+        // still alive times out — the avalanche.  Hard state removes only
+        // on explicit signals, so it false-removes nothing; its failure
+        // mode is the dual (removals lost during the outage leave stale
+        // orphans behind).
+        let faults = FaultSchedule::outage(30.0, 30.0).unwrap();
+        let ss = NodeSim::new(faulted_config(Protocol::Ss, faults), 17).run();
+        let hs = NodeSim::new(faulted_config(Protocol::Hs, faults), 17).run();
+        assert!(
+            ss.false_removals > 100,
+            "SS avalanche: {}",
+            ss.false_removals
+        );
+        assert_eq!(hs.false_removals, 0);
+        assert!(ss.drops_injected > 500 && hs.drops_injected > 50);
+        assert_eq!(ss.drops_random, 0, "loss is zero: every drop is injected");
+        assert_eq!(hs.drops_random, 0);
+        // HS's failure mode is the dual: departures whose removal message
+        // fell into the blackout leave orphans a lossless control never
+        // shows.
+        let hs_control =
+            NodeSim::new(faulted_config(Protocol::Hs, FaultSchedule::none()), 17).run();
+        assert!(
+            hs_control.stale_fraction < 0.01,
+            "lossless HS control should hold almost no stale state: {}",
+            hs_control.stale_fraction
+        );
+        assert!(
+            hs.stale_fraction > 3.0 * hs_control.stale_fraction.max(0.01),
+            "lost removals must orphan HS entries (outage {} vs control {})",
+            hs.stale_fraction,
+            hs_control.stale_fraction
+        );
+    }
+
+    #[test]
+    fn recovery_trace_shows_spike_and_reconvergence() {
+        use crate::recovery::RecoveryMetrics;
+        // Pool eight replications: a 256-session node's per-bin stale
+        // fraction is too noisy for a tight reconvergence tolerance, the
+        // ~2000-session pool is not.
+        let faults = FaultSchedule::outage(30.0, 30.0).unwrap();
+        let (_, _, _, trace) =
+            NodeCampaign::new(faulted_config(Protocol::Ss, faults), 8, 17).run_traced();
+        let m = RecoveryMetrics::derive(&trace, 30.0, 60.0, 0.05);
+        // No loss ⇒ a zero pre-fault baseline, so the avalanche spike is
+        // the pure injected signal.
+        assert_eq!(m.baseline_false_removal_rate, 0.0);
+        assert!(m.peak_false_removal_rate > 100.0, "{m:?}");
+        assert!(m.spike_amplification.is_infinite());
+        // The refresh stream re-installs everything shortly after the
+        // outage clears: finite, small reconvergence time.
+        assert!(m.reconverge_secs.is_finite(), "{m:?}");
+        assert!(m.reconverge_secs < 30.0, "{m:?}");
+        // Pure SS refreshes unconditionally, so its recovery costs no
+        // *extra* messages; the reliable-trigger variant pays for the
+        // outage in retransmissions.
+        let (_, _, _, rtr_trace) =
+            NodeCampaign::new(faulted_config(Protocol::SsRtr, faults), 8, 17).run_traced();
+        let rtr = RecoveryMetrics::derive(&rtr_trace, 30.0, 60.0, 0.05);
+        assert!(rtr.recovery_messages > 100.0, "{rtr:?}");
+    }
+
+    #[test]
+    fn crash_wipe_heals_soft_state_and_orphans_hard_state() {
+        let faults = FaultSchedule::from_events(&[FaultEvent::CrashRestart {
+            at: 45.0,
+            state_policy: signet::CrashStatePolicy::Wipe,
+        }])
+        .unwrap();
+        let run = |proto: Protocol| {
+            let mut sim = NodeSim::new(faulted_config(proto, faults), 23);
+            let m = sim.run();
+            (m, sim.recovery_trace())
+        };
+        let (ss, ss_t) = run(Protocol::Ss);
+        let (hs, hs_t) = run(Protocol::Hs);
+        assert!(ss.crash_wipes > 100 && hs.crash_wipes > 100);
+        // The wipe is silent: no protocol removal happened.
+        assert_eq!(ss.false_removals, 0);
+        assert_eq!(hs.false_removals, 0);
+        // Ten seconds after the crash (two refresh intervals), soft state
+        // has re-installed every live session; hard state is still missing
+        // almost everything, because nothing re-announces until churn
+        // replaces the sessions.
+        let ratio = |t: &RecoveryTrace| t.held[54] / t.active[54];
+        assert!(ratio(&ss_t) > 0.9, "SS held/active {}", ratio(&ss_t));
+        assert!(ratio(&hs_t) < 0.5, "HS held/active {}", ratio(&hs_t));
+    }
+
+    #[test]
+    fn crash_preserve_changes_nothing_but_the_event_count() {
+        let faults = FaultSchedule::from_events(&[FaultEvent::CrashRestart {
+            at: 45.0,
+            state_policy: signet::CrashStatePolicy::Preserve,
+        }])
+        .unwrap();
+        let preserved = NodeSim::new(faulted_config(Protocol::SsEr, faults), 29).run();
+        let control = NodeSim::new(faulted_config(Protocol::SsEr, FaultSchedule::none()), 29).run();
+        assert_eq!(preserved.events_processed, control.events_processed + 1);
+        assert_eq!(preserved.messages, control.messages);
+        assert_eq!(preserved.stale_fraction, control.stale_fraction);
+        assert_eq!(preserved.mean_held, control.mean_held);
+        assert_eq!(preserved.mean_active, control.mean_active);
+        assert_eq!(preserved.crash_wipes, 0);
+    }
+
+    #[test]
+    fn faulted_campaign_bit_identical_across_policies_and_queue_kinds() {
+        // The determinism contract must survive a full schedule: outage,
+        // degrade episode and crash–restart together.
+        let faults = FaultSchedule::from_events(&[
+            FaultEvent::Outage {
+                start: 20.0,
+                duration: 10.0,
+            },
+            FaultEvent::Degrade {
+                start: 50.0,
+                duration: 15.0,
+                loss: 0.3,
+            },
+            FaultEvent::CrashRestart {
+                at: 75.0,
+                state_policy: signet::CrashStatePolicy::Wipe,
+            },
+        ])
+        .unwrap();
+        let cfg = NodeConfig::new(Protocol::SsRtr, churn_params(), 96)
+            .with_horizon(90.0)
+            .with_mean_vacancy(15.0)
+            .with_fault_schedule(faults);
+        let (serial, _, _, serial_trace) = NodeCampaign::new(cfg, 6, 99).run_traced();
+        assert!(serial.drops_injected > 0 && serial.crash_wipes > 0);
+        for n in [2, 4] {
+            let (threaded, _, _, threaded_trace) = NodeCampaign::new(cfg, 6, 99)
+                .execution(ExecutionPolicy::threads(n))
+                .run_traced();
+            assert_eq!(serial, threaded, "Threads({n}) diverged from Serial");
+            assert_eq!(
+                serial_trace, threaded_trace,
+                "trace diverged at Threads({n})"
+            );
+        }
+        let (calendar, _, _, calendar_trace) =
+            NodeCampaign::new(cfg.with_queue_kind(QueueKind::Calendar), 6, 99)
+                .execution(ExecutionPolicy::threads(4))
+                .run_traced();
+        assert_eq!(serial, calendar, "calendar queue diverged");
+        assert_eq!(serial_trace, calendar_trace, "calendar trace diverged");
+    }
+
+    #[test]
+    fn traced_run_matches_plain_run_bit_for_bit() {
+        let cfg = quick_config(Protocol::SsEr, 64);
+        let plain = NodeCampaign::new(cfg, 4, 42).run();
+        let (traced, _, _, trace) = NodeCampaign::new(cfg, 4, 42).run_traced();
+        assert_eq!(plain, traced);
+        // The pooled trace is consistent with the scalar totals.
+        assert_eq!(
+            trace.false_removals.iter().map(|&c| c as u64).sum::<u64>(),
+            traced.false_removals
+        );
+        assert_eq!(
+            trace.messages.iter().map(|&c| c as u64).sum::<u64>(),
+            traced.messages.signaling_total()
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_override_keeps_the_mean_but_changes_the_stream() {
+        let mut params = churn_params();
+        params.loss = 0.05;
+        let base = NodeConfig::new(Protocol::Ss, params, 256)
+            .with_horizon(90.0)
+            .with_mean_vacancy(15.0);
+        let bursty = base.with_loss_model(LossModel::bursty(0.05, 0.5, 8.0));
+        let a = NodeSim::new(base, 31).run();
+        let b = NodeSim::new(bursty, 31).run();
+        assert!(a.drops_random > 0 && b.drops_random > 0);
+        assert_ne!(a, b, "the override must change the event sequence");
+        // Same mean loss: the drop totals stay within a factor of two.
+        let (lo, hi) = (
+            a.drops_random.min(b.drops_random) as f64,
+            a.drops_random.max(b.drops_random) as f64,
+        );
+        assert!(
+            hi / lo < 2.0,
+            "bernoulli {} vs bursty {}",
+            a.drops_random,
+            b.drops_random
+        );
+        assert_eq!(a.drops_injected, 0);
+        assert_eq!(b.drops_injected, 0);
     }
 }

@@ -1,0 +1,292 @@
+//! Fault-recovery instrumentation: per-second time series of a node run and
+//! the derived recovery metrics.
+//!
+//! The paper's steady-state metrics (inconsistency ratio, message rate)
+//! average away the most operationally interesting moments: what happens in
+//! the seconds *after* a fault.  A link outage silences every refresh
+//! stream at once, so when it lifts, the receiver has already false-removed
+//! a whole population of entries and the senders spend a burst of signaling
+//! re-installing them — the timeout avalanche.  [`RecoveryTrace`] is the
+//! raw material for studying that transient: one-second-binned time series
+//! of false removals, signaling messages, and the stale/held/active
+//! population levels, recorded by
+//! [`NodeSim`](crate::node::NodeSim) alongside its scalar aggregates.
+//! [`RecoveryMetrics`] condenses a trace into the numbers the `node-outage`
+//! experiment tabulates: how much the false-removal rate spikes over its
+//! steady-state baseline, how long the population stale fraction takes to
+//! come back within a tolerance of that baseline, and how many extra
+//! messages the recovery burst costs.
+//!
+//! Everything here is a pure function of the event sequence, so traces and
+//! derived metrics inherit the node simulator's bit-identical determinism
+//! across execution policies and queue kinds.
+
+/// One-second-binned time series of a node run (see the module docs).
+///
+/// All vectors cover `[0, horizon)` with `bin_secs`-wide bins and have the
+/// same length.  Count series (`false_removals`, `messages`) hold per-bin
+/// totals; level series (`stale`, `held`, `active`) hold per-bin
+/// *time-average* population levels, so `stale[i] / held[i]` is the exact
+/// stale fraction of bin `i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryTrace {
+    /// Width of one bin (seconds of virtual time).
+    pub bin_secs: f64,
+    /// Horizon the trace covers (seconds).
+    pub horizon: f64,
+    /// False removals per bin.
+    pub false_removals: Vec<u32>,
+    /// Signaling messages sent per bin (the bandwidth envelope).
+    pub messages: Vec<u32>,
+    /// Time-average stale-entry population per bin.
+    pub stale: Vec<f64>,
+    /// Time-average receiver-held population per bin.
+    pub held: Vec<f64>,
+    /// Time-average alive-sender population per bin.
+    pub active: Vec<f64>,
+}
+
+impl RecoveryTrace {
+    /// Number of bins common to every series.
+    pub fn bins(&self) -> usize {
+        self.false_removals
+            .len()
+            .min(self.messages.len())
+            .min(self.stale.len())
+            .min(self.held.len())
+            .min(self.active.len())
+    }
+
+    /// The stale *fraction* of bin `i` (`0` where nothing is held).
+    pub fn stale_fraction(&self, i: usize) -> f64 {
+        if self.held[i] > 0.0 {
+            self.stale[i] / self.held[i]
+        } else {
+            0.0
+        }
+    }
+
+    /// Pools replication traces into one population-aggregate trace by
+    /// element-wise summation (counts *and* levels: the pool behaves like
+    /// one node holding every replication's sessions).  Returns `None` for
+    /// an empty slice.  All traces must share `bin_secs` and `horizon`.
+    pub fn pool(traces: &[RecoveryTrace]) -> Option<RecoveryTrace> {
+        let first = traces.first()?;
+        let mut pooled = first.clone();
+        for t in &traces[1..] {
+            assert_eq!(t.bin_secs, pooled.bin_secs, "bin widths differ");
+            assert_eq!(t.horizon, pooled.horizon, "horizons differ");
+            let n = pooled.bins().min(t.bins());
+            pooled.false_removals.truncate(n);
+            pooled.messages.truncate(n);
+            pooled.stale.truncate(n);
+            pooled.held.truncate(n);
+            pooled.active.truncate(n);
+            for i in 0..n {
+                pooled.false_removals[i] += t.false_removals[i];
+                pooled.messages[i] += t.messages[i];
+                pooled.stale[i] += t.stale[i];
+                pooled.held[i] += t.held[i];
+                pooled.active[i] += t.active[i];
+            }
+        }
+        Some(pooled)
+    }
+}
+
+/// Recovery numbers derived from one [`RecoveryTrace`] and one fault
+/// window, by [`RecoveryMetrics::derive`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryMetrics {
+    /// Mean false removals per second over the pre-fault bins.
+    pub baseline_false_removal_rate: f64,
+    /// Busiest false-removal bin from the fault start onward (per second).
+    pub peak_false_removal_rate: f64,
+    /// `peak / baseline`.  `1.0` when both are zero (nothing spiked), and
+    /// `+∞` when a spike rises from a zero baseline — hard state under a
+    /// pure link fault has no false-removal stream at all, so its
+    /// amplification under an outage is identically `1.0`.
+    pub spike_amplification: f64,
+    /// Mean stale fraction over the pre-fault bins.
+    pub baseline_stale_fraction: f64,
+    /// Seconds after the fault clears until the per-bin stale fraction
+    /// returns — and stays — within `epsilon` of the baseline.  `0` if it
+    /// never left, `+∞` if it has not reconverged by the end of the trace.
+    pub reconverge_secs: f64,
+    /// Signaling messages above the pre-fault baseline rate, summed from
+    /// the fault start through reconvergence (clamped at zero): the message
+    /// cost of the recovery burst.
+    pub recovery_messages: f64,
+}
+
+impl RecoveryMetrics {
+    /// Derives the recovery metrics for the fault window
+    /// `[fault_start, fault_end)` with stale-fraction tolerance `epsilon`.
+    ///
+    /// Baselines are averaged over the bins that end at or before
+    /// `fault_start`; the spike scan starts at the bin containing
+    /// `fault_start`; the reconvergence scan starts at the first bin that
+    /// begins at or after `fault_end`.
+    pub fn derive(
+        trace: &RecoveryTrace,
+        fault_start: f64,
+        fault_end: f64,
+        epsilon: f64,
+    ) -> RecoveryMetrics {
+        let w = trace.bin_secs;
+        let n = trace.bins();
+        let pre = ((fault_start / w).floor() as usize).min(n);
+        let from = pre;
+        let resume = ((fault_end / w).ceil() as usize).min(n);
+
+        let mean_count = |series: &[u32], range: std::ops::Range<usize>| -> f64 {
+            let len = range.len();
+            if len == 0 {
+                return 0.0;
+            }
+            series[range].iter().map(|&c| c as f64).sum::<f64>() / (len as f64 * w)
+        };
+        let baseline_false = mean_count(&trace.false_removals, 0..pre);
+        let baseline_msgs = mean_count(&trace.messages, 0..pre);
+        let peak_false = trace.false_removals[from..n]
+            .iter()
+            .map(|&c| c as f64 / w)
+            .fold(0.0, f64::max);
+        let spike_amplification = if baseline_false > 0.0 {
+            peak_false / baseline_false
+        } else if peak_false > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        };
+
+        let baseline_stale = if pre > 0 {
+            (0..pre).map(|i| trace.stale_fraction(i)).sum::<f64>() / pre as f64
+        } else {
+            0.0
+        };
+        // Last post-fault bin whose stale fraction strays beyond epsilon;
+        // reconvergence is the end of that bin.  A violation in the final
+        // bin means the trace ends unconverged.
+        let mut last_violation: Option<usize> = None;
+        for i in resume..n {
+            if (trace.stale_fraction(i) - baseline_stale).abs() > epsilon {
+                last_violation = Some(i);
+            }
+        }
+        let reconverge_secs = match last_violation {
+            None => 0.0,
+            Some(i) if i + 1 == n => f64::INFINITY,
+            Some(i) => ((i + 1) as f64 * w - fault_end).max(0.0),
+        };
+
+        // Message cost: everything above the baseline rate from the fault
+        // start through the reconvergence bin (the whole remaining trace if
+        // unconverged).
+        let cost_end = match last_violation {
+            None => resume,
+            Some(i) => (i + 1).min(n),
+        };
+        let recovery_messages = trace.messages[from..cost_end]
+            .iter()
+            .map(|&c| c as f64 - baseline_msgs * w)
+            .sum::<f64>()
+            .max(0.0);
+
+        RecoveryMetrics {
+            baseline_false_removal_rate: baseline_false,
+            peak_false_removal_rate: peak_false,
+            spike_amplification,
+            baseline_stale_fraction: baseline_stale,
+            reconverge_secs,
+            recovery_messages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-built trace: steady 2 false removals and 10 messages per
+    /// second for 10 s, an outage over [10, 13), a spike bin right after,
+    /// then recovery.
+    fn synthetic() -> RecoveryTrace {
+        let mut false_removals = vec![2u32; 20];
+        let mut messages = vec![10u32; 20];
+        let mut stale = vec![1.0f64; 20];
+        let held = vec![10.0f64; 20];
+        // During the outage nothing is sent; right after, the avalanche.
+        for i in 10..13 {
+            messages[i] = 0;
+            false_removals[i] = 0;
+            stale[i] = 4.0;
+        }
+        false_removals[13] = 40;
+        messages[13] = 90;
+        stale[13] = 4.0;
+        stale[14] = 2.0;
+        RecoveryTrace {
+            bin_secs: 1.0,
+            horizon: 20.0,
+            false_removals,
+            messages,
+            stale,
+            held,
+            active: vec![10.0f64; 20],
+        }
+    }
+
+    #[test]
+    fn derives_spike_and_reconvergence() {
+        let m = RecoveryMetrics::derive(&synthetic(), 10.0, 13.0, 0.05);
+        assert_eq!(m.baseline_false_removal_rate, 2.0);
+        assert_eq!(m.peak_false_removal_rate, 40.0);
+        assert_eq!(m.spike_amplification, 20.0);
+        assert!((m.baseline_stale_fraction - 0.1).abs() < 1e-12);
+        // Bins 13 (0.4) and 14 (0.2) violate; bin 15 is back at 0.1, so
+        // reconvergence is the end of bin 14 = t = 15, i.e. 2 s after the
+        // fault cleared at 13.
+        assert_eq!(m.reconverge_secs, 2.0);
+        // Messages above baseline over bins 10..15: (0-10)*3 + 80 + 0.
+        assert_eq!(m.recovery_messages, 50.0);
+    }
+
+    #[test]
+    fn zero_baseline_spike_is_infinite_and_flat_trace_is_one() {
+        let mut t = synthetic();
+        for b in t.false_removals[0..10].iter_mut() {
+            *b = 0;
+        }
+        let m = RecoveryMetrics::derive(&t, 10.0, 13.0, 0.05);
+        assert!(m.spike_amplification.is_infinite());
+        for b in t.false_removals.iter_mut() {
+            *b = 0;
+        }
+        let m = RecoveryMetrics::derive(&t, 10.0, 13.0, 0.05);
+        assert_eq!(m.spike_amplification, 1.0);
+    }
+
+    #[test]
+    fn unconverged_trace_reports_infinite_reconvergence() {
+        let mut t = synthetic();
+        let n = t.stale.len();
+        for b in t.stale[13..n].iter_mut() {
+            *b = 5.0;
+        }
+        let m = RecoveryMetrics::derive(&t, 10.0, 13.0, 0.05);
+        assert!(m.reconverge_secs.is_infinite());
+    }
+
+    #[test]
+    fn pool_sums_counts_and_levels() {
+        let a = synthetic();
+        let pooled = RecoveryTrace::pool(&[a.clone(), a.clone()]).unwrap();
+        assert_eq!(pooled.false_removals[0], 4);
+        assert_eq!(pooled.messages[13], 180);
+        assert_eq!(pooled.held[0], 20.0);
+        // Stale fractions are scale-invariant under pooling.
+        assert!((pooled.stale_fraction(0) - a.stale_fraction(0)).abs() < 1e-12);
+        assert!(RecoveryTrace::pool(&[]).is_none());
+    }
+}

@@ -14,7 +14,9 @@
 use crate::config::SessionConfig;
 use crate::metrics::{MessageCounts, SessionMetrics};
 use siganalytic::FsmDispatch;
-use signet::{Channel, DelayModel, MsgKind, SignalMessage, StateValue};
+use signet::{
+    Channel, CrashStatePolicy, DelayModel, FaultClock, MsgKind, SignalMessage, StateValue,
+};
 
 use sigstats::TimeWeighted;
 use simcore::{Dist, EventId, EventQueue, SimRng, SimTime, Timer, Trace};
@@ -44,6 +46,8 @@ enum Event {
     SenderUpdate,
     SenderRemoval,
     FalseSignal,
+    /// A scheduled [`signet::FaultEvent::CrashRestart`] of the receiver node.
+    ReceiverCrash(CrashStatePolicy),
 }
 
 /// A runnable single-hop signaling session.
@@ -121,8 +125,10 @@ impl<'a> SingleHopSession<'a> {
             dispatch: FsmDispatch::for_spec(cfg.protocol),
             rng,
             queue: EventQueue::new(),
-            forward: Channel::new(cfg.effective_loss_model(), delay),
-            backward: Channel::new(cfg.effective_loss_model(), delay),
+            forward: Channel::new(cfg.effective_loss_model(), delay)
+                .with_fault_schedule(cfg.faults),
+            backward: Channel::new(cfg.effective_loss_model(), delay)
+                .with_fault_schedule(cfg.faults),
             refresh_dist: cfg.timer_mode.dist(cfg.params.refresh_timer),
             timeout_dist: cfg.timer_mode.dist(cfg.params.timeout_timer),
             retrans_dist: cfg.timer_mode.dist(cfg.params.retrans_timer),
@@ -167,6 +173,12 @@ impl<'a> SingleHopSession<'a> {
         self.queue.schedule_in(lifetime, Event::SenderRemoval);
         self.schedule_next_update();
         self.schedule_next_false_signal();
+        // Crash–restart events come straight off the fault schedule; they
+        // consume no randomness, so an empty schedule changes nothing.
+        for (at, policy) in FaultClock::new(self.cfg.faults).crashes() {
+            self.queue
+                .schedule_at(SimTime::from_secs(at), Event::ReceiverCrash(policy));
+        }
     }
 
     fn schedule_next_update(&mut self) {
@@ -335,7 +347,25 @@ impl<'a> SingleHopSession<'a> {
             Event::FalseSignal => self.on_false_signal(time),
             Event::ArriveAtReceiver(msg) => self.on_receiver_message(msg, time),
             Event::ArriveAtSender(msg) => self.on_sender_message(msg),
+            Event::ReceiverCrash(policy) => self.on_receiver_crash(policy, time),
         }
+    }
+
+    fn on_receiver_crash(&mut self, policy: CrashStatePolicy, time: SimTime) {
+        // The receiver process restarts.  Under `Preserve` its state survives
+        // (durable store) and nothing observable happens.  Under `Wipe` the
+        // held state is simply gone: no timeout fired, no notification was
+        // sent — the paper's orphaned/missing-state scenario.  Soft state
+        // heals when the next refresh re-installs; hard state stays missing
+        // until the sender's next update or removal.
+        if policy == CrashStatePolicy::Preserve || self.receiver_value.is_none() {
+            return;
+        }
+        self.receiver_value = None;
+        self.receiver_timeout.cancel(&mut self.queue);
+        self.trace
+            .record(time, "crash", "receiver crash wiped held state");
+        self.update_consistency();
     }
 
     fn on_sender_update(&mut self) {
@@ -637,6 +667,135 @@ mod reliable_refresh_tests {
             rr_false < ss_false,
             "retransmitted refreshes should cut false removals ({rr_false} vs {ss_false})"
         );
+    }
+}
+
+#[cfg(test)]
+mod fault_injection_tests {
+    use super::*;
+    use siganalytic::{Protocol, SingleHopParams};
+    use signet::{FaultEvent, FaultSchedule};
+
+    fn quiet_params() -> SingleHopParams {
+        // No random loss, no updates, no external false signals: the only
+        // dynamics are refreshes, timeouts and the injected faults.
+        let mut p = SingleHopParams::kazaa_defaults()
+            .with_mean_lifetime(300.0)
+            .with_mean_update_interval(1e9);
+        p.loss = 0.0;
+        p.false_signal_rate = 0.0;
+        p
+    }
+
+    #[test]
+    fn empty_schedule_is_bit_identical_to_no_schedule() {
+        for proto in Protocol::ALL {
+            let base = SessionConfig::deterministic(proto, quiet_params());
+            let scheduled = base.with_fault_schedule(FaultSchedule::none());
+            for seed in 0..5u64 {
+                let mut rng_a = SimRng::new(seed);
+                let mut rng_b = SimRng::new(seed);
+                assert_eq!(
+                    SingleHopSession::run(&base, &mut rng_a),
+                    SingleHopSession::run(&scheduled, &mut rng_b),
+                    "{proto} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn outage_forces_soft_state_false_removal_but_not_hard_state() {
+        // A 30 s blackout silences two timeout periods' worth of refreshes:
+        // the soft-state receiver must time out (a false removal) and
+        // re-install after the outage.  Hard state exchanges no messages in
+        // steady state, so the same outage is invisible to it.
+        let schedule = FaultSchedule::outage(30.0, 30.0).unwrap();
+        let mut ss_false = 0u64;
+        let mut hs_false = 0u64;
+        let mut sampled = 0u32;
+        for seed in 0..30u64 {
+            let ss_cfg = SessionConfig::deterministic(Protocol::Ss, quiet_params())
+                .with_fault_schedule(schedule);
+            let mut rng = SimRng::new(seed);
+            let ss = SingleHopSession::run(&ss_cfg, &mut rng);
+            if ss.sender_lifetime < 70.0 {
+                continue; // session ended before the outage mattered
+            }
+            sampled += 1;
+            ss_false += ss.false_removals;
+            let hs_cfg = SessionConfig::deterministic(Protocol::Hs, quiet_params())
+                .with_fault_schedule(schedule);
+            let mut rng = SimRng::new(seed);
+            hs_false += SingleHopSession::run(&hs_cfg, &mut rng).false_removals;
+        }
+        assert!(sampled >= 5, "need sessions outliving the outage");
+        assert!(
+            ss_false >= u64::from(sampled),
+            "every surviving SS session should suffer a false removal ({ss_false}/{sampled})"
+        );
+        assert_eq!(hs_false, 0, "an outage alone cannot remove hard state");
+    }
+
+    #[test]
+    fn crash_wipe_heals_under_soft_state_but_orphans_hard_state() {
+        // The paper's robustness claim in one test: after a crash wipes the
+        // receiver, soft state is re-installed by the next refresh (~T), but
+        // hard state stays missing until the sender's next explicit exchange
+        // — with no updates scheduled, until the sender removes at the end.
+        let schedule = FaultSchedule::none()
+            .with(FaultEvent::CrashRestart {
+                at: 50.0,
+                state_policy: CrashStatePolicy::Wipe,
+            })
+            .unwrap();
+        let mut ss_inc = 0.0f64;
+        let mut hs_inc = 0.0f64;
+        let mut sampled = 0u32;
+        for seed in 0..30u64 {
+            let ss_cfg = SessionConfig::deterministic(Protocol::Ss, quiet_params())
+                .with_fault_schedule(schedule);
+            let mut rng = SimRng::new(seed);
+            let ss = SingleHopSession::run(&ss_cfg, &mut rng);
+            if ss.sender_lifetime < 100.0 {
+                continue;
+            }
+            sampled += 1;
+            ss_inc += ss.inconsistent_time;
+            let hs_cfg = SessionConfig::deterministic(Protocol::Hs, quiet_params())
+                .with_fault_schedule(schedule);
+            let mut rng = SimRng::new(seed);
+            hs_inc += SingleHopSession::run(&hs_cfg, &mut rng).inconsistent_time;
+        }
+        assert!(sampled >= 5, "need sessions outliving the crash");
+        assert!(
+            hs_inc > 5.0 * ss_inc,
+            "hard state should stay orphaned far longer than soft state \
+             (HS {hs_inc:.1} s vs SS {ss_inc:.1} s over {sampled} sessions)"
+        );
+    }
+
+    #[test]
+    fn crash_preserve_changes_nothing() {
+        let schedule = FaultSchedule::none()
+            .with(FaultEvent::CrashRestart {
+                at: 50.0,
+                state_policy: CrashStatePolicy::Preserve,
+            })
+            .unwrap();
+        for proto in [Protocol::Ss, Protocol::Hs] {
+            let base = SessionConfig::deterministic(proto, quiet_params());
+            let crashed = base.with_fault_schedule(schedule);
+            for seed in 0..5u64 {
+                let mut rng_a = SimRng::new(seed);
+                let mut rng_b = SimRng::new(seed);
+                assert_eq!(
+                    SingleHopSession::run(&base, &mut rng_a),
+                    SingleHopSession::run(&crashed, &mut rng_b),
+                    "{proto} seed {seed}"
+                );
+            }
+        }
     }
 }
 

@@ -11,6 +11,8 @@
 //! * [`stream::LevelMeter`] — streaming time integral of an integer
 //!   population level, the O(1)-memory aggregate behind the node-scale
 //!   simulation's per-population metrics;
+//! * [`stream::BinnedMeter`] — the same integral kept per fixed-width time
+//!   bin, for per-second recovery curves around injected faults;
 //! * [`ci::ConfidenceInterval`] — Student-t confidence intervals used to
 //!   report simulation results with 95% error bars (paper Figures 11–12);
 //! * [`series::Series`] and [`series::SeriesSet`] — named `(x, y)` data
@@ -35,7 +37,7 @@ pub use ci::ConfidenceInterval;
 pub use online::OnlineStats;
 pub use ratio::RatioEstimator;
 pub use series::{Point, Series, SeriesSet};
-pub use stream::LevelMeter;
+pub use stream::{BinnedMeter, LevelMeter};
 pub use summary::Summary;
 pub use timeweighted::TimeWeighted;
 

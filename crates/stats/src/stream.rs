@@ -111,6 +111,142 @@ impl LevelMeter {
     }
 }
 
+/// Streaming *binned* time integral of an integer population level.
+///
+/// Where [`LevelMeter`] collapses `∫ level dt` into one scalar,
+/// `BinnedMeter` keeps the integral **per fixed-width time bin**, so the
+/// caller can recover the time-average level second by second — the
+/// recovery-curve primitive behind the fault-injection experiments (stale
+/// fraction per second across an outage, not just over the whole run).
+/// Memory is O(horizon / bin) and independent of the population size, and
+/// the arithmetic is a pure function of the step sequence, so the node
+/// determinism contract extends to the curves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinnedMeter {
+    start: f64,
+    bin_width: f64,
+    last_time: f64,
+    // Index of the bin containing `last_time`.  Kept explicitly instead of
+    // being re-derived as floor((last_time - start) / bin_width): for
+    // non-representable widths that division can disagree with the
+    // multiplication producing the bin-end boundary by one ulp, and a
+    // boundary at-or-below `last_time` would stall the advance loop.
+    cursor: usize,
+    level: i64,
+    bins: Vec<f64>,
+}
+
+impl BinnedMeter {
+    /// Starts integrating at `start_time` with level zero, accumulating into
+    /// bins of `bin_width` seconds.
+    ///
+    /// # Panics
+    /// Panics if `bin_width` is not strictly positive and finite.
+    pub fn new(start_time: f64, bin_width: f64) -> Self {
+        assert!(
+            bin_width > 0.0 && bin_width.is_finite(),
+            "bin width must be positive and finite, got {bin_width}"
+        );
+        Self {
+            start: start_time,
+            bin_width,
+            last_time: start_time,
+            cursor: 0,
+            level: 0,
+            bins: Vec::new(),
+        }
+    }
+
+    /// The configured bin width (seconds).
+    pub fn bin_width(&self) -> f64 {
+        self.bin_width
+    }
+
+    /// The current level.
+    pub fn level(&self) -> i64 {
+        self.level
+    }
+
+    /// Spreads the current level's integral over the bins covered by
+    /// `[self.last_time, t)`, growing the bin vector as needed.
+    fn advance_to(&mut self, t: f64) {
+        while self.last_time < t {
+            if self.bins.len() <= self.cursor {
+                self.bins.resize(self.cursor + 1, 0.0);
+            }
+            let bin_end = self.start + (self.cursor as f64 + 1.0) * self.bin_width;
+            if bin_end < t {
+                self.bins[self.cursor] += self.level as f64 * (bin_end - self.last_time).max(0.0);
+                self.last_time = bin_end.max(self.last_time);
+                self.cursor += 1;
+            } else {
+                self.bins[self.cursor] += self.level as f64 * (t - self.last_time);
+                self.last_time = t;
+            }
+        }
+    }
+
+    /// Applies a level change of `delta` at time `t`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `t` is earlier than the previous step or
+    /// if the level would go negative, mirroring [`LevelMeter::step`].
+    pub fn step(&mut self, t: f64, delta: i64) {
+        debug_assert!(
+            t + 1e-12 >= self.last_time,
+            "time went backwards: {} < {}",
+            t,
+            self.last_time
+        );
+        self.advance_to(t);
+        self.level += delta;
+        debug_assert!(self.level >= 0, "population level went negative");
+    }
+
+    /// One session entering the condition.
+    pub fn inc(&mut self, t: f64) {
+        self.step(t, 1);
+    }
+
+    /// One session leaving the condition.
+    pub fn dec(&mut self, t: f64) {
+        self.step(t, -1);
+    }
+
+    /// Per-bin integrals `∫ level dt` (session-seconds per bin) extended to
+    /// time `t`, without mutating the meter.  The last bin may be partial if
+    /// `t` is not on a bin boundary.
+    pub fn integrals_until(&self, t: f64) -> Vec<f64> {
+        let mut copy = self.clone();
+        copy.advance_to(t);
+        copy.bins
+    }
+
+    /// Per-bin *time-average levels* extended to time `t`: each full bin's
+    /// integral divided by the bin width (the partial last bin is divided by
+    /// its actual spanned width).
+    pub fn averages_until(&self, t: f64) -> Vec<f64> {
+        let bins = self.integrals_until(t);
+        let n = bins.len();
+        bins.into_iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let bin_start = self.start + i as f64 * self.bin_width;
+                let span = if i + 1 == n {
+                    (t - bin_start).min(self.bin_width)
+                } else {
+                    self.bin_width
+                };
+                if span > 0.0 {
+                    v / span
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,7 +303,67 @@ mod tests {
         assert_eq!(m.average_until(100.0), 0.0);
     }
 
+    #[test]
+    fn binned_meter_rectangles() {
+        // Level 2 over [0.5, 2.5) with 1 s bins: integrals 1.0, 2.0, 1.0.
+        let mut m = BinnedMeter::new(0.0, 1.0);
+        m.step(0.5, 2);
+        m.step(2.5, -2);
+        let bins = m.integrals_until(4.0);
+        assert_eq!(bins.len(), 4);
+        assert!(approx_eq(bins[0], 1.0, 1e-12));
+        assert!(approx_eq(bins[1], 2.0, 1e-12));
+        assert!(approx_eq(bins[2], 1.0, 1e-12));
+        assert!(approx_eq(bins[3], 0.0, 1e-12));
+        let avgs = m.averages_until(4.0);
+        assert!(approx_eq(avgs[1], 2.0, 1e-12));
+        assert_eq!(m.level(), 0);
+        assert_eq!(m.bin_width(), 1.0);
+    }
+
+    #[test]
+    fn binned_meter_partial_last_bin_average() {
+        let mut m = BinnedMeter::new(0.0, 1.0);
+        m.inc(0.0);
+        // Queried half-way through bin 1: average over the spanned 0.5 s.
+        let avgs = m.averages_until(1.5);
+        assert_eq!(avgs.len(), 2);
+        assert!(approx_eq(avgs[0], 1.0, 1e-12));
+        assert!(approx_eq(avgs[1], 1.0, 1e-12));
+    }
+
+    #[test]
+    fn binned_meter_query_does_not_mutate() {
+        let mut m = BinnedMeter::new(0.0, 1.0);
+        m.inc(0.25);
+        let first = m.integrals_until(3.0);
+        let second = m.integrals_until(3.0);
+        assert_eq!(first, second);
+        m.dec(3.5);
+        assert!(approx_eq(m.integrals_until(4.0)[3], 0.5, 1e-12));
+    }
+
     proptest! {
+        #[test]
+        fn prop_binned_integrals_sum_to_level_meter(
+            raw in proptest::collection::vec(0.0f64..40.0, 1..50),
+            width in 0.5f64..5.0,
+        ) {
+            // The binned integrals must always total the scalar integral.
+            let mut times = raw.clone();
+            times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut level = LevelMeter::new(0.0);
+            let mut binned = BinnedMeter::new(0.0, width);
+            for (i, &t) in times.iter().enumerate() {
+                let delta = if i % 3 == 2 && binned.level() > 0 { -1 } else { 1 };
+                level.step(t, delta);
+                binned.step(t, delta);
+            }
+            let horizon = 50.0;
+            let total: f64 = binned.integrals_until(horizon).iter().sum();
+            prop_assert!(approx_eq(total, level.integral_until(horizon), 1e-9));
+        }
+
         #[test]
         fn prop_integral_matches_naive_sum(
             raw in proptest::collection::vec((0.0f64..100.0, 0u8..3), 1..60),

@@ -159,6 +159,7 @@ fn timer_mode_changes_little_at_the_paper_defaults() {
                 timer_mode: mode,
                 delay_mode: TimerMode::Deterministic,
                 loss_model: None,
+                faults: signaling::FaultSchedule::none(),
             };
             signaling::Campaign::new(cfg, 200, 9)
                 .parallel(true)
