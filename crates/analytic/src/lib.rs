@@ -29,7 +29,7 @@
 //! exactly that, mirroring the paper's Figures 11–12).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cost;
 pub mod fsm;

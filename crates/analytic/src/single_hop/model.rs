@@ -181,9 +181,11 @@ impl SingleHopModel {
         let chain = builder.build()?;
         let absorbed_idx = builder
             .index_of(&SingleHopState::Absorbed)
+            // sigtidy: allow(no-unwrap) — every state was registered on this builder above
             .expect("absorbed state present");
         let start_idx = builder
             .index_of(&SingleHopState::Setup1)
+            // sigtidy: allow(no-unwrap) — every state was registered on this builder above
             .expect("setup state present");
         let times = chain.mean_time_to_absorption(&[absorbed_idx])?;
         Ok(times[start_idx])

@@ -207,6 +207,7 @@ impl ChainWorkspace {
             .transient
             .iter()
             .position(|&i| i == start)
+            // sigtidy: allow(no-unwrap) — the caller passes a start index taken from `transient`
             .expect("start state is transient");
         Ok(self.rhs[pos])
     }

@@ -18,6 +18,9 @@
 //! byte-identical event sequence — the timing difference is purely the
 //! ordering core.
 
+// The headline events/sec number is a wall-clock measurement by definition.
+#![allow(clippy::disallowed_methods)]
+
 use criterion::{black_box, Criterion};
 use signaling::{NodeConfig, NodeSim, Protocol, QueueKind, SingleHopParams};
 use std::time::Instant;

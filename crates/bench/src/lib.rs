@@ -101,6 +101,7 @@ pub fn print_experiments(ids: &[ExperimentId]) {
 /// plus the extra scenario experiments from [`register_extras`].
 pub fn extended_registry() -> Registry {
     let mut registry = Registry::with_builtins();
+    // sigtidy: allow(no-unwrap) — name uniqueness is pinned by the registry tests
     register_extras(&mut registry).expect("extra experiment names are unique");
     registry
 }
@@ -111,6 +112,7 @@ pub fn protocol_registry() -> ProtocolRegistry {
     let mut registry = ProtocolRegistry::with_paper_presets();
     registry
         .register(SS_RR, "ss-rr-lifetime (custom, non-paper)")
+        // sigtidy: allow(no-unwrap) — coherence of SS_RR is pinned by a test below
         .expect("SS+RR is coherent and its label is free");
     registry
 }
@@ -191,7 +193,9 @@ pub fn spec_spectrum_golden_slice(options: &ExperimentOptions) -> SeriesSet {
     const SLICE_POINTS: usize = 4;
     let out = extended_registry()
         .run("spec-spectrum", options)
+        // sigtidy: allow(no-unwrap) — registered three lines up, in this crate
         .expect("spec-spectrum is registered");
+    // sigtidy: allow(no-unwrap) — spec-spectrum is registered as a figure experiment
     let fig = out.as_figure().expect("spec-spectrum is a figure").clone();
     let mut slice = SeriesSet::new(
         format!("{} (golden slice)", fig.title),
@@ -201,6 +205,7 @@ pub fn spec_spectrum_golden_slice(options: &ExperimentOptions) -> SeriesSet {
     for label in SLICE_LABELS {
         let series = fig
             .get(label)
+            // sigtidy: allow(no-unwrap) — the golden slice must fail loudly if the spectrum shrinks
             .unwrap_or_else(|| panic!("{label} missing from the spectrum"));
         let mut trimmed = Series::new(label);
         for p in series.points.iter().take(SLICE_POINTS) {
@@ -258,8 +263,10 @@ impl Experiment for ScenarioCostSweep {
                 for &t in &sweep.values {
                     let params = scenario.params.with_refresh_timer_scaled_timeout(t);
                     let s = SingleHopModel::new(protocol, params)
+                        // sigtidy: allow(no-unwrap) — scenario presets are validated by tests
                         .expect("scenario parameters are valid")
                         .solve()
+                        // sigtidy: allow(no-unwrap) — the preset chains are solvable by construction
                         .expect("single-hop chain solves");
                     series.push(Point::new(
                         t,

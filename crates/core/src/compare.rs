@@ -135,8 +135,10 @@ pub fn compare_session(
     policy: ExecutionPolicy,
 ) -> ComparisonRow {
     let analytic = SingleHopModel::new(config.protocol, config.params)
+        // sigtidy: allow(no-unwrap) — SessionConfig construction already validated these
         .expect("valid parameters")
         .solve()
+        // sigtidy: allow(no-unwrap) — validated single-hop chains always solve
         .expect("solvable chain");
     let result = Campaign::new(config, replications, seed)
         .execution(policy)

@@ -163,6 +163,7 @@ impl ExperimentOptions {
         match &self.protocols {
             Some(set) => {
                 if let Err(e) = crate::registry::check_protocol_set(set) {
+                    // sigtidy: allow(no-unwrap) — documented API contract ("# Panics" above)
                     panic!("the protocol override is not runnable: {e}");
                 }
                 set.clone()
@@ -417,12 +418,14 @@ thread_local! {
 pub(crate) fn solve_single(protocol: ProtocolSpec, params: SingleHopParams) -> SingleHopSolution {
     SINGLE_HOP_SESSION
         .with(|session| session.borrow_mut().solve(protocol, params))
+        // sigtidy: allow(no-unwrap) — experiment definitions validate parameters up front
         .expect("experiment parameters are validated before solving")
 }
 
 pub(crate) fn solve_multi(protocol: ProtocolSpec, params: MultiHopParams) -> MultiHopSolution {
     MULTI_HOP_SESSION
         .with(|session| session.borrow_mut().solve(protocol, params))
+        // sigtidy: allow(no-unwrap) — experiment definitions validate parameters up front
         .expect("experiment parameters are validated before solving")
 }
 

@@ -191,6 +191,7 @@ impl Registry {
         for id in ExperimentId::ALL {
             registry
                 .register(id)
+                // sigtidy: allow(no-unwrap) — uniqueness over ExperimentId::ALL is pinned by a test
                 .expect("built-in experiment names are unique");
         }
         registry
@@ -372,6 +373,7 @@ impl ProtocolRegistry {
         ] {
             registry
                 .register(spec, used_by)
+                // sigtidy: allow(no-unwrap) — the five paper presets are coherent by construction
                 .expect("paper preset labels are unique and coherent");
         }
         registry
@@ -812,6 +814,7 @@ impl Experiment for ExperimentSpec {
     /// use [`ExperimentSpec::validate`] to check first.
     fn run(&self, options: &ExperimentOptions) -> ExperimentOutput {
         if let Err(e) = self.validate() {
+            // sigtidy: allow(no-unwrap) — documented API contract ("# Panics" above)
             panic!("experiment '{}' is not runnable: {e}", self.name);
         }
         let base = self.scenario.params;

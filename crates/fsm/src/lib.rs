@@ -17,7 +17,16 @@
 //!   reference builders emit (bitwise `f64` equality, the way `LuSolver`
 //!   is pinned to the Gaussian reference), and the table-derived
 //!   [`FsmDispatch`] the simulators branch on equals the predicate-derived
-//!   one — cross-checked against a live [`NodeSim`] instance.
+//!   one — cross-checked against a live [`NodeSim`] instance;
+//! * **latency** — the symbolic worst-case repair-latency bound
+//!   ([`latency::repair_latency_bound`]) derives, is finite and positive at
+//!   the Kazaa operating point, and is structurally consistent with the
+//!   table (an orphan bound iff the spec sends explicit removals, a
+//!   crash-wipe bound iff it runs a refresh stream).  The *numeric* half of
+//!   the property — the bound dominating measured `node-outage`
+//!   reconvergence for every coherent spec — needs the simulator, so it
+//!   lives in `signaling::node_outage::check_latency_domination` and runs
+//!   as part of `repro check-specs`.
 //!
 //! `repro check-specs` runs [`check_all`] over all 33 coherent specs and
 //! exits non-zero on any violation; the per-spec entry point
@@ -25,7 +34,11 @@
 //! [`SpecError`] the spec layer defines.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+
+pub mod latency;
+
+pub use latency::{repair_latency_bound, BoundParams, Expr, LatencyBound, RepairPath, Sym};
 
 use siganalytic::fsm::{mechanism_code, FsmDispatch, MultiHopTransitionTable, TransitionTable};
 use siganalytic::multi_hop::transitions::{multi_hop_transitions, multi_hop_transitions_reference};
@@ -41,11 +54,17 @@ use std::collections::{HashMap, HashSet, VecDeque};
 /// slow-path ladder all materialize.
 pub const CHECK_HOPS: usize = 6;
 
+/// Residual-probability quantile the latency property evaluates bounds at —
+/// the same `ε` the `node-outage` experiment hands to
+/// [`RecoveryMetrics::derive`](sigproto::RecoveryMetrics), so the symbolic
+/// bound and the measured reconvergence time answer the same question.
+pub const CHECK_EPSILON: f64 = 0.02;
+
 /// One property violation found in one spec's tables.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Which property failed: `"reachability"`, `"liveness"` or
-    /// `"agreement"`.
+    /// Which property failed: `"reachability"`, `"liveness"`,
+    /// `"agreement"` or `"latency"`.
     pub property: &'static str,
     /// Human-readable description of the failure.
     pub detail: String,
@@ -62,12 +81,14 @@ pub struct SpecCheck {
     pub single_hop_rows: usize,
     /// Multi-hop table rows at [`CHECK_HOPS`].
     pub multi_hop_rows: usize,
+    /// The symbolic repair-latency bound, when the latency pass derived one.
+    pub latency: Option<LatencyBound>,
     /// Every property violation found (empty = the spec passed).
     pub violations: Vec<Violation>,
 }
 
 impl SpecCheck {
-    /// Whether all three properties passed.
+    /// Whether all four properties passed.
     pub fn passed(&self) -> bool {
         self.violations.is_empty()
     }
@@ -96,14 +117,19 @@ impl CheckReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "check-specs: {} coherent specs x 3 properties (reachability, liveness, agreement)\n",
+            "check-specs: {} coherent specs x 4 properties (reachability, liveness, agreement, latency)\n",
             self.checks.len()
         ));
         for check in &self.checks {
             if check.passed() {
+                let bound = check
+                    .latency
+                    .as_ref()
+                    .map(|b| format!(", reconverge <= {}", b.reconverge.render()))
+                    .unwrap_or_default();
                 out.push_str(&format!(
-                    "  PASS spec:{} ({} single-hop rows, {} multi-hop rows at K={})\n",
-                    check.code, check.single_hop_rows, check.multi_hop_rows, CHECK_HOPS
+                    "  PASS spec:{} ({} single-hop rows, {} multi-hop rows at K={}{})\n",
+                    check.code, check.single_hop_rows, check.multi_hop_rows, CHECK_HOPS, bound
                 ));
             } else {
                 out.push_str(&format!("  FAIL spec:{}\n", check.code));
@@ -135,7 +161,7 @@ pub fn coherent_specs() -> Vec<ProtocolSpec> {
 
 /// Checks one spec.  Incoherent specs are rejected up front with the
 /// spec layer's typed [`SpecError`]; coherent specs get the full
-/// three-property treatment (an `Ok` result can still carry violations).
+/// four-property treatment (an `Ok` result can still carry violations).
 pub fn check_spec(spec: ProtocolSpec) -> Result<SpecCheck, SpecError> {
     spec.validate()?;
     let single = TransitionTable::for_spec(spec);
@@ -145,11 +171,13 @@ pub fn check_spec(spec: ProtocolSpec) -> Result<SpecCheck, SpecError> {
     check_multi_hop_reachability(spec, &multi, &mut violations);
     check_liveness(spec, &single, &mut violations);
     check_agreement(spec, &single, &multi, &mut violations);
+    let latency = check_latency(spec, &single, &mut violations);
     Ok(SpecCheck {
         spec,
         code: mechanism_code(&spec),
         single_hop_rows: single.rows.len(),
         multi_hop_rows: multi.rows.len(),
+        latency,
         violations,
     })
 }
@@ -159,6 +187,7 @@ pub fn check_all() -> CheckReport {
     CheckReport {
         checks: coherent_specs()
             .into_iter()
+            // sigtidy: allow(no-unwrap) — coherent_specs() yields only compositions check_spec accepts
             .map(|spec| check_spec(spec).expect("coherent specs validate"))
             .collect(),
     }
@@ -352,6 +381,74 @@ fn check_agreement(
     }
 }
 
+/// The latency property: the symbolic bound derives, is finite and positive
+/// at the Kazaa operating point, and is structurally consistent with the
+/// table.  Returns the bound so `check-specs` can render it and the
+/// `node-outage` cross-check can evaluate it.
+fn check_latency(
+    spec: ProtocolSpec,
+    table: &TransitionTable,
+    violations: &mut Vec<Violation>,
+) -> Option<LatencyBound> {
+    let mut fail = |detail: String| {
+        violations.push(Violation {
+            property: "latency",
+            detail,
+        })
+    };
+    let bound = match repair_latency_bound(spec) {
+        Ok(bound) => bound,
+        Err(e) => {
+            fail(format!("{spec}: no repair-latency bound derivable: {e}"));
+            return None;
+        }
+    };
+    let (sp, _) = check_params();
+    let p = BoundParams::from_single_hop(&sp, CHECK_EPSILON);
+    for (name, expr) in [
+        ("false-removal", Some(&bound.false_removal)),
+        ("orphan", bound.orphan.as_ref()),
+        ("reconverge", Some(&bound.reconverge)),
+        ("crash-wipe", bound.crash_wipe.as_ref()),
+    ] {
+        if let Some(expr) = expr {
+            let v = expr.eval(&p);
+            if !v.is_finite() || v <= 0.0 {
+                fail(format!(
+                    "{spec}: {name} bound {} = {v} not finite positive at Kazaa defaults",
+                    expr.render()
+                ));
+            }
+        }
+    }
+    // Structural consistency with the table: an orphan obligation iff a
+    // removal can be lost, a crash-wipe bound iff a refresh stream exists.
+    let dispatch = table.dispatch();
+    if bound.orphan.is_some() != dispatch.uses_explicit_removal {
+        fail(format!(
+            "{spec}: orphan bound {} but explicit removal {}",
+            if bound.orphan.is_some() {
+                "present"
+            } else {
+                "absent"
+            },
+            dispatch.uses_explicit_removal
+        ));
+    }
+    if bound.crash_wipe.is_some() != dispatch.uses_refresh {
+        fail(format!(
+            "{spec}: crash-wipe bound {} but refresh stream {}",
+            if bound.crash_wipe.is_some() {
+                "present"
+            } else {
+                "absent"
+            },
+            dispatch.uses_refresh
+        ));
+    }
+    Some(bound)
+}
+
 fn breadth_first<S, F>(start: S, mut neighbors: F) -> HashSet<S>
 where
     S: Copy + Eq + std::hash::Hash,
@@ -428,5 +525,35 @@ mod tests {
         let spec = ProtocolSpec::soft_state("SS+RR").with_refresh(Some(RefreshMode::Reliable));
         let check = check_spec(spec).unwrap();
         assert!(check.passed(), "{:?}", check.violations);
+    }
+
+    #[test]
+    fn latency_property_attaches_a_consistent_bound_to_every_check() {
+        let (sp, _) = check_params();
+        let p = BoundParams::from_single_hop(&sp, CHECK_EPSILON);
+        for check in check_all().checks {
+            let bound = check.latency.as_ref().expect("latency bound derived");
+            assert!(bound.reconverge.eval(&p).is_finite(), "spec:{}", check.code);
+            assert_eq!(
+                bound.orphan.is_some(),
+                check.spec.uses_explicit_removal(),
+                "spec:{}",
+                check.code
+            );
+            assert_eq!(
+                bound.crash_wipe.is_some(),
+                check.spec.uses_refresh(),
+                "spec:{}",
+                check.code
+            );
+        }
+    }
+
+    #[test]
+    fn render_shows_the_reconverge_bound_per_spec() {
+        let text = check_all().render();
+        assert!(text.contains("4 properties"));
+        assert!(text.contains("latency"));
+        assert!(text.contains("reconverge <= T + (N-1)*T + D"));
     }
 }

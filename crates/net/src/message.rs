@@ -183,4 +183,13 @@ mod tests {
         let set: HashSet<_> = MsgKind::ALL.iter().collect();
         assert_eq!(set.len(), MsgKind::ALL.len());
     }
+
+    #[test]
+    fn all_lists_variants_in_discriminant_order() {
+        // ChannelStats indexes its per-kind counters by discriminant; that
+        // is only correct while ALL mirrors the declaration order.
+        for (i, kind) in MsgKind::ALL.iter().enumerate() {
+            assert_eq!(*kind as usize, i, "{kind:?}");
+        }
+    }
 }

@@ -54,6 +54,7 @@ use simcore::{
     Assignment, EventId, EventQueue, ExecutionPolicy, QueueKind, Replicate, ReplicationEngine,
     SimRng, SimTime,
 };
+// sigtidy: allow(wall-clock) — phase telemetry only; never feeds simulated results
 use std::time::Instant;
 
 /// Modeled wire size of one signaling message (bytes); the paper treats all
@@ -377,7 +378,8 @@ impl NodeSim {
 
     /// Like [`NodeSim::new`] with an explicit RNG (replication streams).
     pub fn with_rng(cfg: NodeConfig, rng: SimRng) -> Self {
-        let t0 = Instant::now();
+        #[allow(clippy::disallowed_methods)]
+        let t0 = Instant::now(); // sigtidy: allow(wall-clock) — setup-phase telemetry
         let n = cfg.sessions;
         // Steady state holds roughly one lifecycle event, one refresh or
         // detector timer, and one timeout per alive session, plus in-flight
@@ -438,17 +440,21 @@ impl NodeSim {
     /// aggregate metrics.
     pub fn run(&mut self) -> NodeMetrics {
         let horizon = SimTime::from_secs(self.cfg.horizon);
-        let t0 = Instant::now();
+        #[allow(clippy::disallowed_methods)]
+        let t0 = Instant::now(); // sigtidy: allow(wall-clock) — fire-phase telemetry
         while let Some(t) = self.queue.peek_time() {
             if t > horizon {
                 break;
             }
-            let scheduled = self.queue.pop().expect("peeked event exists");
+            let Some(scheduled) = self.queue.pop() else {
+                break;
+            };
             self.events_processed += 1;
             self.handle(scheduled.time, scheduled.id, scheduled.event);
         }
         self.phase.fire += t0.elapsed().as_secs_f64();
-        let t1 = Instant::now();
+        #[allow(clippy::disallowed_methods)]
+        let t1 = Instant::now(); // sigtidy: allow(wall-clock) — metrics-phase telemetry
         let metrics = self.metrics();
         self.phase.metrics += t1.elapsed().as_secs_f64();
         metrics
@@ -1129,6 +1135,7 @@ impl NodeCampaign {
         let plain: Vec<(NodeMetrics, PhaseTimings, f64)> =
             outputs.into_iter().map(|(m, p, b, _)| (m, p, b)).collect();
         let (result, phases, bytes) = Self::summarize(&plain);
+        // sigtidy: allow(no-unwrap) — NodeCampaign::new clamps replications to at least 1
         let trace = RecoveryTrace::pool(&traces).expect("campaigns run at least one replication");
         (result, phases, bytes, trace)
     }

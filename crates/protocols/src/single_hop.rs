@@ -435,11 +435,9 @@ impl<'a> SingleHopSession<'a> {
         if !self.trigger_retrans.on_fired(id) {
             return;
         }
-        if self.pending_trigger.is_none() || self.sender_value.is_none() {
+        let (Some(seq), Some(value)) = (self.pending_trigger, self.sender_value) else {
             return;
-        }
-        let value = self.sender_value.expect("checked above");
-        let seq = self.pending_trigger.expect("checked above");
+        };
         self.send_to_receiver(MsgKind::Trigger, value, seq);
         let d = self.retrans_dist.sample(self.rng) + RETRANS_SLACK;
         self.trigger_retrans

@@ -1,0 +1,204 @@
+//! Minimal JSON well-formedness checker for the committed bench baselines.
+//!
+//! The workspace has no serde (offline container), and the criterion
+//! stand-in's parser only extracts the fields it needs — it would accept a
+//! truncated file.  This validator does the opposite job: full structural
+//! validation (objects, arrays, strings with escapes, numbers, literals),
+//! no data extraction.
+
+/// Validates that `text` is one well-formed JSON value (with optional
+/// surrounding whitespace).  Returns a human-readable error with a byte
+/// offset on failure.
+pub fn validate(text: &str) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    match bytes.get(*pos) {
+        Some(b'{') => object(bytes, pos),
+        Some(b'[') => array(bytes, pos),
+        Some(b'"') => string(bytes, pos),
+        Some(b't') => literal(bytes, pos, "true"),
+        Some(b'f') => literal(bytes, pos, "false"),
+        Some(b'n') => literal(bytes, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(bytes, pos),
+        Some(c) => Err(format!("unexpected byte '{}' at {pos}", *c as char)),
+        None => Err(format!("unexpected end of input at byte {pos}")),
+    }
+}
+
+fn object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !bytes.get(*pos).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(format!("bad \\u escape at byte {pos}"));
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |bytes: &[u8], pos: &mut usize| {
+        let s = *pos;
+        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    if !digits(bytes, pos) {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(bytes, pos) {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(bytes, pos) {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+fn literal(bytes: &[u8], pos: &mut usize, word: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            r#"{"a": [1, 2.0, true, "x\n", {"b": null}]}"#,
+            "  { \"k\" : [ ] }\n",
+        ] {
+            assert!(validate(ok).is_ok(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "{\"a\": 1} extra",
+            "\"unterminated",
+            "01x",
+            "{\"a\": 1,}",
+            "1.e5",
+        ] {
+            assert!(validate(bad).is_err(), "{bad}");
+        }
+    }
+}

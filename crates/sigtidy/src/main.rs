@@ -1,0 +1,41 @@
+//! The `sigtidy` binary: lint the workspace, print findings, exit non-zero
+//! on any.
+//!
+//! ```text
+//! cargo run -p sigtidy            # lint the workspace this binary lives in
+//! cargo run -p sigtidy -- PATH    # lint another workspace root
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(path) => std::path::PathBuf::from(path),
+        None => sigtidy::workspace_root(),
+    };
+    match sigtidy::lint_tree(&root) {
+        Ok(report) if report.passed() => {
+            println!(
+                "sigtidy: clean ({} source files, {} lints, structural checks ok)",
+                report.files_scanned,
+                sigtidy::LINTS.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(report) => {
+            for finding in &report.findings {
+                println!("{finding}");
+            }
+            eprintln!(
+                "sigtidy: {} finding(s) in {} source files",
+                report.findings.len(),
+                report.files_scanned
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("sigtidy: cannot lint {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Line-oriented Rust source scanner: comment/string blanking and
+//! `#[cfg(test)]` region tracking.
+//!
+//! sigtidy is rustc-`tidy`-style on purpose — token matching over blanked
+//! source lines, no parser — so the scanner's whole job is to make naive
+//! `contains`-style matching safe: comment and string *contents* are
+//! replaced by spaces (structure and length preserved, so columns still
+//! line up), and every line is tagged with whether it sits inside a
+//! `#[cfg(test)]` item, where the hygiene lints do not apply.
+
+/// One scanned source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceLine {
+    /// The raw line, verbatim (the allow-comment parser reads this).
+    pub raw: String,
+    /// The line with comment and string/char-literal contents blanked to
+    /// spaces — what the token lints match against.
+    pub code: String,
+    /// Whether the line is inside a `#[cfg(test)]` item (attribute line and
+    /// closing brace included).
+    pub in_test: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Scans a whole file into tagged lines.
+pub fn scan(text: &str) -> Vec<SourceLine> {
+    let blanked = blank_lines(text);
+    let mut lines = Vec::with_capacity(blanked.len());
+    let mut depth: i64 = 0;
+    // A `#[cfg(test)]` attribute at depth `d` puts everything up to and
+    // including the matching close brace of the next `{` opened at depth
+    // `d` inside the test region.
+    let mut awaiting_attr_depth: Option<i64> = None;
+    let mut test_close_depth: Option<i64> = None;
+    for (raw, code) in text.lines().zip(blanked) {
+        let mut in_test = test_close_depth.is_some() || awaiting_attr_depth.is_some();
+        if code.contains("#[cfg(test)]") && test_close_depth.is_none() {
+            awaiting_attr_depth = Some(depth);
+            in_test = true;
+        }
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    if let Some(d) = awaiting_attr_depth {
+                        if depth == d {
+                            test_close_depth = Some(d);
+                            awaiting_attr_depth = None;
+                            in_test = true;
+                        }
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_close_depth == Some(depth) {
+                        test_close_depth = None;
+                        in_test = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        lines.push(SourceLine {
+            raw: raw.to_string(),
+            code,
+            in_test,
+        });
+    }
+    lines
+}
+
+/// Blanks comment and string contents, preserving line structure.  Line
+/// comments keep their leading `//` so the allow-comment scanner can still
+/// see where comments start; everything after it is blanked.
+fn blank_lines(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut line = String::new();
+    let mut state = State::Normal;
+    let mut chars = text.chars().peekable();
+    while let Some(ch) = chars.next() {
+        if ch == '\n' {
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            out.push(std::mem::take(&mut line));
+            continue;
+        }
+        match state {
+            State::Normal => match ch {
+                '/' if chars.peek() == Some(&'/') => {
+                    chars.next();
+                    line.push_str("//");
+                    state = State::LineComment;
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    line.push_str("  ");
+                    state = State::BlockComment(1);
+                }
+                '"' => {
+                    line.push('"');
+                    state = State::Str;
+                }
+                'r' if matches!(chars.peek(), Some('"') | Some('#')) => {
+                    // Possible raw string: consume `#`s then `"`.
+                    let mut hashes = 0;
+                    let mut lookahead = chars.clone();
+                    while lookahead.peek() == Some(&'#') {
+                        lookahead.next();
+                        hashes += 1;
+                    }
+                    if lookahead.peek() == Some(&'"') {
+                        for _ in 0..=hashes {
+                            chars.next();
+                        }
+                        line.push('r');
+                        for _ in 0..hashes {
+                            line.push('#');
+                        }
+                        line.push('"');
+                        state = State::RawStr(hashes);
+                    } else {
+                        line.push('r');
+                    }
+                }
+                '\'' => {
+                    // Lifetime (`'a`) or char literal (`'x'`, `'\n'`).
+                    let mut lookahead = chars.clone();
+                    let first = lookahead.next();
+                    let is_lifetime = matches!(first, Some(c) if c.is_alphabetic() || c == '_')
+                        && lookahead.next() != Some('\'');
+                    line.push('\'');
+                    if !is_lifetime {
+                        state = State::Char;
+                    }
+                }
+                _ => line.push(ch),
+            },
+            State::LineComment => line.push(' '),
+            State::BlockComment(n) => {
+                if ch == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    line.push_str("  ");
+                    if n == 1 {
+                        state = State::Normal;
+                    } else {
+                        state = State::BlockComment(n - 1);
+                    }
+                } else if ch == '/' && chars.peek() == Some(&'*') {
+                    chars.next();
+                    line.push_str("  ");
+                    state = State::BlockComment(n + 1);
+                } else {
+                    line.push(' ');
+                }
+            }
+            State::Str => match ch {
+                // A `\` at end of line is a string continuation: leave the
+                // newline for the line logic so the line count stays true.
+                '\\' if chars.peek() == Some(&'\n') => line.push(' '),
+                '\\' => {
+                    chars.next();
+                    line.push_str("  ");
+                }
+                '"' => {
+                    line.push('"');
+                    state = State::Normal;
+                }
+                _ => line.push(' '),
+            },
+            State::RawStr(hashes) => {
+                if ch == '"' {
+                    let mut lookahead = chars.clone();
+                    let mut closing = 0;
+                    while closing < hashes && lookahead.peek() == Some(&'#') {
+                        lookahead.next();
+                        closing += 1;
+                    }
+                    if closing == hashes {
+                        for _ in 0..hashes {
+                            chars.next();
+                        }
+                        line.push('"');
+                        for _ in 0..hashes {
+                            line.push('#');
+                        }
+                        state = State::Normal;
+                        continue;
+                    }
+                }
+                line.push(' ');
+            }
+            State::Char => match ch {
+                '\\' if chars.peek() == Some(&'\n') => line.push(' '),
+                '\\' => {
+                    chars.next();
+                    line.push_str("  ");
+                }
+                '\'' => {
+                    line.push('\'');
+                    state = State::Normal;
+                }
+                _ => line.push(' '),
+            },
+        }
+    }
+    if !line.is_empty() || state == State::LineComment {
+        out.push(line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_comments_and_strings_but_keeps_structure() {
+        let lines = scan("let x = \"HashMap\"; // HashMap here\nlet y = 1; /* Instant */ call();");
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].code.contains("let x ="));
+        assert!(lines[0].raw.contains("HashMap"));
+        assert!(!lines[1].code.contains("Instant"));
+        assert!(lines[1].code.contains("call()"));
+    }
+
+    #[test]
+    fn multi_line_block_comments_and_raw_strings_are_blanked() {
+        let text = "a();\n/* b();\n   c(); */ d();\nlet s = r#\"panic!(\"x\")\"#; e();";
+        let lines = scan(text);
+        assert_eq!(lines[0].code, "a();");
+        assert!(!lines[1].code.contains("b"));
+        assert!(!lines[2].code.contains("c"));
+        assert!(lines[2].code.contains("d();"));
+        assert!(!lines[3].code.contains("panic"));
+        assert!(lines[3].code.contains("e();"));
+    }
+
+    #[test]
+    fn string_continuations_do_not_swallow_lines() {
+        // A `\` before the newline continues the string; the scanner must
+        // still emit one blanked line per raw line or every later line's
+        // number (and allow-comment pairing) shifts by one.
+        let text = "let s = \"first \\\n    second\";\nx.unwrap();";
+        let lines = scan(text);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[2].code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = scan("fn f<'a>(x: &'a str) -> &'a str { x.trim() }");
+        assert!(lines[0].code.contains("x.trim()"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let lines = scan("let c = '{'; let d = '\\''; open();");
+        assert!(lines[0].code.contains("open();"));
+        // The blanked brace must not unbalance depth tracking: a following
+        // cfg(test) region still closes correctly.
+        let text = "let c = '{';\n#[cfg(test)]\nmod t {\n  fn f() {}\n}\nfn g() {}";
+        let lines = scan(text);
+        assert!(!lines[0].in_test);
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_region_covers_the_module_only() {
+        let text = "fn live() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\n\nfn live2() {}";
+        let lines = scan(text);
+        assert!(!lines[0].in_test);
+        assert!(lines[2].in_test, "attribute line");
+        assert!(lines[3].in_test);
+        assert!(lines[5].in_test);
+        assert!(lines[6].in_test, "closing brace");
+        assert!(!lines[8].in_test);
+    }
+
+    #[test]
+    fn cfg_test_mentioned_in_a_comment_does_not_open_a_region() {
+        let text = "// #[cfg(test)] is handled elsewhere\nfn f() {}";
+        let lines = scan(text);
+        assert!(!lines[1].in_test);
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: the allow-needs-reason lint (the escape hatch is itself linted).
+
+pub fn missing_reason(x: Option<u32>) -> u32 {
+    // sigtidy: allow(no-unwrap)
+    x.unwrap()
+}
+
+pub fn unknown_lint(x: Option<u32>) -> u32 {
+    // sigtidy: allow(definitely-not-a-lint) — the lint name must exist
+    x.unwrap()
+}
+
+pub fn well_formed(x: Option<u32>) -> u32 {
+    // sigtidy: allow(no-unwrap) — a known lint with a reason is accepted
+    x.unwrap()
+}

@@ -1,0 +1,28 @@
+//! Fixture: the unordered-map-iter lint (result-path crates only).
+use std::collections::{BTreeMap, HashMap};
+
+pub fn bad_method_iter(by_id: &HashMap<u64, f64>) -> f64 {
+    by_id.values().sum() // finding: hash-ordered iteration
+}
+
+pub fn bad_for_loop() {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    counts.insert("a".into(), 1);
+    for (k, v) in &counts {
+        // finding: hash-ordered for loop
+        let _ = (k, v);
+    }
+}
+
+pub fn lookup_is_fine(by_id: &HashMap<u64, f64>, id: u64) -> Option<f64> {
+    by_id.get(&id).copied() // no finding: point lookup, not iteration
+}
+
+pub fn ordered_is_fine(ordered: &BTreeMap<u64, f64>) -> f64 {
+    ordered.values().sum() // no finding: BTreeMap iterates in key order
+}
+
+pub fn escaped(by_id: &HashMap<u64, f64>) -> f64 {
+    // sigtidy: allow(unordered-map-iter) — summation is order-independent
+    by_id.values().sum()
+}

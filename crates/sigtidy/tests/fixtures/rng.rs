@@ -1,0 +1,27 @@
+//! Fixture: the nondeterministic-rng lint (result-path and infra crates).
+
+pub fn bad_thread_rng() {
+    let mut rng = rand::thread_rng(); // finding
+    let _ = rng;
+}
+
+pub fn bad_entropy() {
+    let rng = Xoshiro256::from_entropy(); // finding
+    let _ = rng;
+}
+
+pub fn bad_hasher() {
+    use std::collections::hash_map::RandomState; // finding
+    let _ = RandomState::new(); // finding
+}
+
+pub fn seeded_is_fine(seed: u64) {
+    let rng = SimRng::new(seed); // no finding: campaign-seeded
+    let _ = rng;
+}
+
+pub fn escaped() {
+    // sigtidy: allow(nondeterministic-rng) — fixture demonstrating the escape hatch
+    let mut rng = rand::thread_rng();
+    let _ = rng;
+}

@@ -1,0 +1,32 @@
+//! Fixture: the no-unwrap lint (library code in any linted crate).
+
+pub fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // finding
+}
+
+pub fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("always set") // finding
+}
+
+pub fn bad_panic() {
+    panic!("library code must not panic"); // finding
+}
+
+pub fn graceful(x: Option<u32>) -> u32 {
+    x.unwrap_or(0) // no finding: unwrap_or is not unwrap
+}
+
+pub fn escaped(x: Option<u32>) -> u32 {
+    // sigtidy: allow(no-unwrap) — fixture demonstrating the escape hatch
+    x.expect("checked by the caller")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(3).unwrap(), 3);
+        let r: Result<u32, ()> = Ok(1);
+        r.expect("test code may expect");
+    }
+}

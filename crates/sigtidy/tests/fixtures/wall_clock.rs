@@ -1,0 +1,28 @@
+//! Fixture: the wall-clock lint (result-path crates only).
+use std::time::Instant;
+
+pub fn bad() -> f64 {
+    let t0 = Instant::now(); // finding: wall clock in a result-path crate
+    t0.elapsed().as_secs_f64()
+}
+
+pub struct MyInstantaneous; // no finding: word boundary
+
+pub fn escaped() -> f64 {
+    // sigtidy: allow(wall-clock) — fixture demonstrating the escape hatch
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn commented() {
+    // Instant::now() in a comment is not a finding.
+    let _s = "neither is Instant in a string";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn in_tests_is_fine() {
+        let _t = std::time::Instant::now();
+    }
+}

@@ -191,7 +191,7 @@ impl CalendarCore {
                 }
             }
         }
-        let key = min.expect("items > 0 implies a minimum");
+        let key = min?;
         self.cursor_day = self.day_of(key.time.as_secs());
         Some(key)
     }
@@ -202,7 +202,7 @@ impl CalendarCore {
         // O(1) pop from that bucket's back.
         self.peek_min()?;
         let bucket = self.bucket_of(self.cursor_day);
-        let key = self.buckets[bucket].pop().expect("peek_min found this key");
+        let key = self.buckets[bucket].pop()?;
         self.items -= 1;
         if self.items < SHRINK_OCCUPANCY * self.buckets.len() && self.buckets.len() > MIN_BUCKETS {
             self.resize(self.buckets.len() / 2);
@@ -236,14 +236,13 @@ impl CalendarCore {
         // is at most one year of forward scanning, amortized by the O(n)
         // rehash that triggered it.
         self.cursor_day = 0;
-        if self.items > 0 {
-            let min_day = self
-                .buckets
-                .iter()
-                .filter_map(|b| b.last())
-                .map(|k| self.day_of(k.time.as_secs()))
-                .min()
-                .expect("non-empty calendar has a minimum");
+        if let Some(min_day) = self
+            .buckets
+            .iter()
+            .filter_map(|b| b.last())
+            .map(|k| self.day_of(k.time.as_secs()))
+            .min()
+        {
             self.cursor_day = min_day;
         }
     }

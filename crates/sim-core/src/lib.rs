@@ -29,7 +29,7 @@
 //! sweep layers (each replication owns its own `EventQueue`).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod calendar;
 pub mod dist;

@@ -172,7 +172,7 @@ impl HeapCore {
 
     fn remove_min(&mut self) -> Option<HeapKey> {
         let min = *self.heap.first()?;
-        let last = self.heap.pop().expect("non-empty heap");
+        let last = self.heap.pop()?;
         if !self.heap.is_empty() {
             self.heap[0] = last;
             self.sift_down();
@@ -506,6 +506,7 @@ impl<E> EventQueue<E> {
                 // Stale key of a cancelled event: discard and keep looking.
                 continue;
             }
+            // sigtidy: allow(no-unwrap) — generation equality guarantees a live, un-taken event
             let event = slot.event.take().expect("current generation implies live");
             slot.generation = slot.generation.wrapping_add(1);
             self.free.push(key.slot);

@@ -180,6 +180,7 @@ fn run_contiguous<R: Replicate>(workers: usize, count: usize, task: &R) -> Vec<R
     });
     results
         .into_iter()
+        // sigtidy: allow(no-unwrap) — the scoped threads fill every chunk before the scope ends
         .map(|r| r.expect("every replication slot is filled"))
         .collect()
 }
@@ -200,6 +201,7 @@ fn run_striped<R: Replicate>(workers: usize, count: usize, task: &R) -> Vec<R::O
             .collect();
         handles
             .into_iter()
+            // sigtidy: allow(no-unwrap) — join() only errs if a worker panicked; propagate it
             .map(|h| h.join().expect("replication worker panicked"))
             .collect()
     });
@@ -209,6 +211,7 @@ fn run_striped<R: Replicate>(workers: usize, count: usize, task: &R) -> Vec<R::O
         .map(|i| {
             stripes[i % workers]
                 .next()
+                // sigtidy: allow(no-unwrap) — stripe w holds exactly the indices ≡ w (mod workers)
                 .expect("stripe lengths cover every index")
         })
         .collect()
@@ -232,6 +235,7 @@ fn run_work_stealing<R: Replicate>(workers: usize, count: usize, task: &R) -> Ve
                     break;
                 }
                 let output = task.replicate(index as u64);
+                // sigtidy: allow(no-unwrap) — poisoning implies a worker already panicked; propagate
                 *slots[index].lock().expect("slot lock poisoned") = Some(output);
             });
         }
@@ -240,7 +244,9 @@ fn run_work_stealing<R: Replicate>(workers: usize, count: usize, task: &R) -> Ve
         .into_iter()
         .map(|slot| {
             slot.into_inner()
+                // sigtidy: allow(no-unwrap) — poisoning implies a worker already panicked; propagate
                 .expect("slot lock poisoned")
+                // sigtidy: allow(no-unwrap) — the cursor hands out every index exactly once
                 .expect("every claimed index produced an output")
         })
         .collect()

@@ -129,7 +129,7 @@ impl Series {
     pub fn argmin_y(&self) -> Option<f64> {
         self.points
             .iter()
-            .min_by(|a, b| a.y.partial_cmp(&b.y).unwrap())
+            .min_by(|a, b| a.y.total_cmp(&b.y))
             .map(|p| p.x)
     }
 
@@ -217,7 +217,7 @@ impl SeriesSet {
             .iter()
             .flat_map(|s| s.points.iter().map(|p| p.x))
             .collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x values"));
+        xs.sort_by(f64::total_cmp);
         let mut grid: Vec<f64> = Vec::with_capacity(xs.len());
         for x in xs {
             if grid.last().is_none_or(|last| !x_close(*last, x)) {
