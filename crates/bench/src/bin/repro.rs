@@ -26,6 +26,9 @@
 //! repro --timing        # per-phase wall-clock (build/solve/report) per experiment
 //! repro --loss gilbert  # bursty Gilbert–Elliott channel loss for the node
 //!                       # simulations (default: independent bernoulli)
+//! repro --retry jittered # retransmission retry policy for the node
+//!                        # simulations and the check-specs latency bound:
+//!                        # fixed (default) | backoff | jittered
 //! ```
 //!
 //! Experiments are resolved by name through [`sigbench::extended_registry`]:
@@ -47,7 +50,7 @@
 // list in clippy.toml guards result-path code, not the timer around it.
 #![allow(clippy::disallowed_methods)]
 
-use signaling::experiment::{ExperimentOptions, ExperimentOutput, LossKind};
+use signaling::experiment::{ExperimentOptions, ExperimentOutput, LossKind, RetryKind};
 use signaling::registry::{Experiment, Registry};
 use signaling::report::render_csv;
 use signaling::ExecutionPolicy;
@@ -68,6 +71,7 @@ struct Args {
     execution: ExecutionPolicy,
     timing: bool,
     loss: LossKind,
+    retry: RetryKind,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -85,6 +89,7 @@ fn parse_args() -> Result<Args, String> {
         execution: ExecutionPolicy::auto(),
         timing: false,
         loss: LossKind::Bernoulli,
+        retry: RetryKind::Fixed,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -119,6 +124,21 @@ fn parse_args() -> Result<Args, String> {
                     }
                 };
             }
+            "--retry" => {
+                let kind = it
+                    .next()
+                    .ok_or("--retry needs 'fixed', 'backoff' or 'jittered'")?;
+                args.retry = match kind.as_str() {
+                    "fixed" => RetryKind::Fixed,
+                    "backoff" => RetryKind::Backoff,
+                    "jittered" => RetryKind::Jittered,
+                    other => {
+                        return Err(format!(
+                            "--retry needs 'fixed', 'backoff' or 'jittered', got '{other}'"
+                        ))
+                    }
+                };
+            }
             "--serial" => args.execution = ExecutionPolicy::Serial,
             "--jobs" => {
                 let n = it.next().ok_or("--jobs needs a thread count")?;
@@ -144,7 +164,7 @@ fn parse_args() -> Result<Args, String> {
                     "repro [--quick] [--fig NAME]... [--tag TAG]... [--csv DIR] \
                      [--protocols SS,HS,...] [--list | --list-md | --list-protocols] \
                      [--list-transitions LABEL] [--serial | --jobs N] [--timing] \
-                     [--loss bernoulli|gilbert]\n\
+                     [--loss bernoulli|gilbert] [--retry fixed|backoff|jittered]\n\
                      repro check-specs\n\
                      Regenerates the paper's tables and figures and any registered extras.\n\
                      check-specs model-checks every coherent spec (reachability, liveness, \
@@ -218,7 +238,8 @@ fn main() {
         let domination = signaling::node_outage::check_latency_domination(
             &ExperimentOptions::quick()
                 .with_execution(args.execution)
-                .with_timing(args.timing),
+                .with_timing(args.timing)
+                .with_retry_kind(args.retry),
         );
         println!();
         print!("{}", domination.render());
@@ -322,7 +343,11 @@ fn main() {
     .with_timing(args.timing)
     // Channel loss process for the node simulations: independent Bernoulli
     // (the paper's model) or the mean-preserving Gilbert–Elliott bursts.
-    .with_loss_kind(args.loss);
+    .with_loss_kind(args.loss)
+    // Retransmission retry policy for the node simulations: the paper's
+    // fixed interval (default), capped exponential backoff, or
+    // decorrelated jitter.
+    .with_retry_kind(args.retry);
     if !args.protocols.is_empty() {
         let mut set = Vec::new();
         for csv in &args.protocols {

@@ -179,6 +179,9 @@ pub fn register_extras(registry: &mut Registry) -> Result<(), RegistryError> {
     registry.register(signaling::NodeOutageExperiment::new(
         coherent_spectrum().to_vec(),
     ))?;
+    registry.register(signaling::NodeRestartStormExperiment::new(
+        coherent_spectrum().to_vec(),
+    ))?;
     Ok(())
 }
 
@@ -300,7 +303,7 @@ mod tests {
     #[test]
     fn extended_registry_adds_user_level_experiments() {
         let registry = extended_registry();
-        assert_eq!(registry.len(), 30);
+        assert_eq!(registry.len(), 31);
         // Paper experiments still resolve...
         assert!(registry.get("fig11a").is_some());
         // ...and the extras are addressable by name and tag.
@@ -313,10 +316,11 @@ mod tests {
             "node-scale",
             "node-storm",
             "node-outage",
+            "node-restart-storm",
         ] {
             assert!(registry.get(name).is_some(), "{name} missing");
         }
-        assert_eq!(registry.with_tag("extra").len(), 8);
+        assert_eq!(registry.with_tag("extra").len(), 9);
         assert_eq!(registry.with_tag("paper").len(), 22);
     }
 

@@ -110,12 +110,9 @@ pub fn compare_single_hop_with(
     policy: ExecutionPolicy,
 ) -> ComparisonRow {
     let config = SessionConfig {
-        protocol: protocol.into(),
-        params,
         timer_mode,
         delay_mode: timer_mode,
-        loss_model: None,
-        faults: sigproto::FaultSchedule::none(),
+        ..SessionConfig::deterministic(protocol, params)
     };
     compare_session(config, replications, seed, policy)
 }

@@ -51,6 +51,12 @@ pub struct ExperimentOptions {
     /// [`LossModel::bursty`](sigproto::LossModel::bursty)), probing how
     /// much of the protocol comparison survives a harsher channel.
     pub loss_kind: LossKind,
+    /// Which retransmission retry discipline the node-scale simulations
+    /// arm (`repro --retry`).  [`RetryKind::Fixed`] is the paper's fixed
+    /// interval `R`; the backoff and jittered kinds are the
+    /// overload-aware alternatives the `node-restart-storm` experiment
+    /// compares.
+    pub retry_kind: RetryKind,
 }
 
 /// The loss process selected by [`ExperimentOptions::loss_kind`].
@@ -95,6 +101,43 @@ impl LossKind {
     }
 }
 
+/// The retransmission retry discipline selected by
+/// [`ExperimentOptions::retry_kind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetryKind {
+    /// Fixed interval `R` (the paper's behavior; default).
+    #[default]
+    Fixed,
+    /// Capped exponential backoff with the retry module's default factor
+    /// and cap.
+    Backoff,
+    /// Decorrelated jitter with the retry module's default cap.
+    Jittered,
+}
+
+impl RetryKind {
+    /// Every kind, in table order.
+    pub const ALL: [RetryKind; 3] = [RetryKind::Fixed, RetryKind::Backoff, RetryKind::Jittered];
+
+    /// The simulator retry policy this kind selects.
+    pub fn policy(self) -> sigproto::RetryPolicy {
+        match self {
+            RetryKind::Fixed => sigproto::RetryPolicy::Fixed,
+            RetryKind::Backoff => sigproto::RetryPolicy::backoff(),
+            RetryKind::Jittered => sigproto::RetryPolicy::jittered(),
+        }
+    }
+
+    /// The CLI token naming this kind (`repro --retry <token>`).
+    pub fn label(self) -> &'static str {
+        match self {
+            RetryKind::Fixed => "fixed",
+            RetryKind::Backoff => "backoff",
+            RetryKind::Jittered => "jittered",
+        }
+    }
+}
+
 impl Default for ExperimentOptions {
     fn default() -> Self {
         Self {
@@ -105,6 +148,7 @@ impl Default for ExperimentOptions {
             protocols: None,
             timing: false,
             loss_kind: LossKind::default(),
+            retry_kind: RetryKind::default(),
         }
     }
 }
@@ -142,6 +186,12 @@ impl ExperimentOptions {
     /// Selects the loss process (see [`ExperimentOptions::loss_kind`]).
     pub fn with_loss_kind(mut self, kind: LossKind) -> Self {
         self.loss_kind = kind;
+        self
+    }
+
+    /// Selects the retry discipline (see [`ExperimentOptions::retry_kind`]).
+    pub fn with_retry_kind(mut self, kind: RetryKind) -> Self {
+        self.retry_kind = kind;
         self
     }
 
@@ -830,12 +880,10 @@ pub(crate) fn analytic_vs_sim_over(
             let (protocol, x) = jobs[i as usize];
             compare_session(
                 SessionConfig {
-                    protocol,
-                    params: make_params(x),
                     timer_mode,
                     delay_mode: timer_mode,
                     loss_model,
-                    faults: sigproto::FaultSchedule::none(),
+                    ..SessionConfig::deterministic(protocol, make_params(x))
                 },
                 options.sim_replications,
                 options.seed,

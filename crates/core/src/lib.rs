@@ -44,6 +44,7 @@
 pub mod compare;
 pub mod experiment;
 pub mod node_outage;
+pub mod node_restart_storm;
 pub mod node_scale;
 pub mod node_storm;
 pub mod registry;
@@ -52,8 +53,11 @@ pub mod report;
 pub use compare::{
     compare_all, compare_session, compare_single_hop, compare_single_hop_with, ComparisonRow,
 };
-pub use experiment::{ExperimentId, ExperimentOptions, ExperimentOutput, LossKind, Metric};
+pub use experiment::{
+    ExperimentId, ExperimentOptions, ExperimentOutput, LossKind, Metric, RetryKind,
+};
 pub use node_outage::NodeOutageExperiment;
+pub use node_restart_storm::NodeRestartStormExperiment;
 pub use node_scale::NodeScaleExperiment;
 pub use node_storm::NodeStormExperiment;
 pub use registry::{

@@ -101,7 +101,8 @@ impl NodeOutageExperiment {
             .expect("the canonical outage window is valid");
         let mut config = NodeConfig::new(protocol, Self::params(), Self::sessions(options))
             .with_horizon(HORIZON)
-            .with_fault_schedule(faults);
+            .with_fault_schedule(faults)
+            .with_retry_policy(options.retry_kind.policy());
         if let Some(model) = options.loss_kind.model_for(config.params.loss) {
             config = config.with_loss_model(model);
         }
@@ -145,8 +146,15 @@ pub struct DominationRow {
 impl DominationRow {
     /// Whether the bound dominates the measurement (a non-finite
     /// measurement — an unconverged trace — can never be dominated).
+    ///
+    /// The measurement comes from whole recovery-trace bins, so its
+    /// resolution is one bin: a sub-bin bound (e.g. the jittered retry
+    /// worst case of a refresh-free spec) is compared rounded up to the
+    /// bin it ends in — the tightest claim the trace can corroborate.
     pub fn dominated(&self) -> bool {
-        self.measured_secs.is_finite() && self.bound_secs >= self.measured_secs
+        let bin = sigproto::node::ENVELOPE_BIN_SECS;
+        let bound_at_resolution = (self.bound_secs / bin).ceil() * bin;
+        self.measured_secs.is_finite() && bound_at_resolution >= self.measured_secs
     }
 }
 
@@ -228,7 +236,9 @@ impl DominationReport {
 /// override, quantile [`EPSILON`]) — dominates it.  `repro check-specs`
 /// runs this after the structural passes and fails on any violation.
 pub fn check_latency_domination(options: &ExperimentOptions) -> DominationReport {
-    let p = BoundParams::from_single_hop(&NodeOutageExperiment::params(), EPSILON);
+    let (retry_factor, retry_cap) = options.retry_kind.policy().bound_terms();
+    let p = BoundParams::from_single_hop(&NodeOutageExperiment::params(), EPSILON)
+        .with_retry_terms(retry_factor, retry_cap);
     let mut rows = Vec::new();
     let mut underivable = 0;
     for spec in sigfsm::coherent_specs() {

@@ -47,9 +47,13 @@ impl NodeScaleExperiment {
     }
 
     /// The node configuration for one protocol (the heap-core default;
-    /// aggregates are queue-kind independent).
-    pub fn config(protocol: ProtocolSpec) -> NodeConfig {
-        NodeConfig::new(protocol, Self::params(), SESSIONS).with_horizon(HORIZON)
+    /// aggregates are queue-kind independent).  The retry policy follows
+    /// the options' `--retry` selection so the scale table can be charted
+    /// per retransmission discipline.
+    pub fn config(protocol: ProtocolSpec, options: &ExperimentOptions) -> NodeConfig {
+        NodeConfig::new(protocol, Self::params(), SESSIONS)
+            .with_horizon(HORIZON)
+            .with_retry_policy(options.retry_kind.policy())
     }
 
     /// Replications for the given options: a fifth of the sweep-level
@@ -97,7 +101,7 @@ impl Experiment for NodeScaleExperiment {
             "bytes/sess"
         );
         for &protocol in &protocols {
-            let mut config = Self::config(protocol);
+            let mut config = Self::config(protocol, options);
             if let Some(model) = options.loss_kind.model_for(config.params.loss) {
                 config = config.with_loss_model(model);
             }

@@ -49,6 +49,13 @@
 //! reconvergence bound is the `max` of the repair bound and the orphan
 //! bound.
 //!
+//! Retransmission intervals need not be fixed: a [`BoundParams`] carries
+//! the worst-case `(factor, cap)` growth terms of the configured retry
+//! policy, and the `N·R` / `(N−1)·R` multipliers evaluate as the capped
+//! geometric sum `Σ min(factor^k, cap)` — so one symbolic expression
+//! dominates fixed, capped-backoff and decorrelated-jitter retries alike,
+//! and collapses to the paper's plain counts at `factor = 1`.
+//!
 //! A crash wipe (the receiver loses state *silently* — no timeout fired, no
 //! detector signal, so nothing notifies the sender) is repaired only by the
 //! refresh stream; specs without one carry no finite crash-wipe bound,
@@ -94,9 +101,15 @@ pub enum Expr {
     Const(f64),
     /// A parameter symbol.
     Sym(Sym),
-    /// The ε-quantile attempt count `N`.
+    /// The ε-quantile attempt count `N`, as a multiplier on an attempt
+    /// interval.  Evaluates to the retry policy's worst-case weight
+    /// `1 + Σ_{k=1}^{N−1} min(factor^k, cap)` — exactly `N` under the
+    /// fixed-interval default.
     Attempts,
-    /// `N - 1` (retries after the first attempt); floors at zero.
+    /// `N - 1` (retries after the first attempt, as an interval
+    /// multiplier); floors at zero.  Evaluates to the capped geometric sum
+    /// `Σ_{k=1}^{N−1} min(factor^k, cap)` — exactly `N − 1` under the
+    /// fixed-interval default.
     Retries,
     /// Sum of the operands.
     Add(Vec<Expr>),
@@ -125,11 +138,23 @@ pub struct BoundParams {
     pub loss: f64,
     /// Residual-probability quantile `ε` the bound is taken at.
     pub epsilon: f64,
+    /// Worst-case per-attempt growth factor of the retransmission retry
+    /// policy: attempt `k` (0-based) waits at most
+    /// `base · min(retry_factor^k, retry_cap)`.  `1.0` (the default, and
+    /// what [`BoundParams::from_single_hop`] sets) is the paper's fixed
+    /// interval, under which the weighted retry sum collapses to `N − 1`
+    /// exactly.  A capped exponential-backoff policy plugs in its factor;
+    /// decorrelated jitter bounds with the degenerate "jump straight to
+    /// the cap" geometry (`factor = cap`).
+    pub retry_factor: f64,
+    /// Cap on the attempt-interval multiplier, as a multiple of the base
+    /// interval (`1.0` for fixed).
+    pub retry_cap: f64,
 }
 
 impl BoundParams {
     /// The operating point of a single-hop parameter set, at quantile
-    /// `epsilon`.
+    /// `epsilon`, under the paper's fixed retransmission interval.
     pub fn from_single_hop(p: &SingleHopParams, epsilon: f64) -> Self {
         Self {
             refresh: p.refresh_timer,
@@ -138,7 +163,18 @@ impl BoundParams {
             delta: p.delay,
             loss: p.loss,
             epsilon,
+            retry_factor: 1.0,
+            retry_cap: 1.0,
         }
+    }
+
+    /// The same operating point under a retry policy with worst-case
+    /// per-attempt growth `factor` capped at `cap` base intervals (the
+    /// `(factor, cap_mult)` pair a `RetryPolicy::bound_terms()` reports).
+    pub fn with_retry_terms(mut self, factor: f64, cap: f64) -> Self {
+        self.retry_factor = factor.max(1.0);
+        self.retry_cap = cap.max(1.0);
+        self
     }
 
     /// The ε-quantile attempt count `N = max(1, ⌈ln ε / ln p_l⌉)`: after `N`
@@ -153,6 +189,29 @@ impl BoundParams {
         }
         (self.epsilon.ln() / self.loss.ln()).ceil().max(1.0)
     }
+
+    /// The worst-case number of base intervals the `N − 1` retries wait in
+    /// total: the capped geometric sum
+    /// `Σ_{k=1}^{N−1} min(retry_factor^k, retry_cap)`.  Exactly `N − 1`
+    /// under a fixed interval (`retry_factor == 1`).
+    pub fn weighted_retries(&self) -> f64 {
+        let n = self.attempts();
+        if !n.is_finite() {
+            return f64::INFINITY;
+        }
+        let mut sum = 0.0;
+        for k in 1..(n as i32) {
+            sum += self.retry_factor.powi(k).min(self.retry_cap);
+        }
+        sum
+    }
+
+    /// The worst-case number of base intervals all `N` attempts wait in
+    /// total (`1 + `[`BoundParams::weighted_retries`]); exactly `N` under a
+    /// fixed interval.
+    pub fn weighted_attempts(&self) -> f64 {
+        1.0 + self.weighted_retries()
+    }
 }
 
 impl Expr {
@@ -164,8 +223,12 @@ impl Expr {
             Expr::Sym(Sym::R) => p.retrans,
             Expr::Sym(Sym::Tau) => p.timeout,
             Expr::Sym(Sym::Delta) => p.delta,
-            Expr::Attempts => p.attempts(),
-            Expr::Retries => (p.attempts() - 1.0).max(0.0),
+            // `N` and `N−1` enter bound expressions only as multipliers on
+            // an attempt interval, so they evaluate as the retry policy's
+            // worst-case interval weights — the plain counts whenever
+            // `retry_factor` is 1 (the fixed-interval default).
+            Expr::Attempts => p.weighted_attempts(),
+            Expr::Retries => p.weighted_retries(),
             Expr::Add(terms) => terms.iter().map(|t| t.eval(p)).sum(),
             Expr::Mul(a, b) => a.eval(p) * b.eval(p),
             Expr::Min(terms) => terms
@@ -582,6 +645,57 @@ mod tests {
                 bound.reconverge.eval(&loose) <= v,
                 "{spec}: bound not monotone in epsilon"
             );
+        }
+    }
+
+    #[test]
+    fn retry_weighting_collapses_to_plain_counts_at_factor_one() {
+        let mut p = kazaa(0.01);
+        p.loss = 0.5;
+        // 0.5^7 ~ 0.0078 <= 0.01: seven attempts, six retries.
+        assert_eq!(p.attempts(), 7.0);
+        assert_eq!(p.weighted_retries(), 6.0);
+        assert_eq!(p.weighted_attempts(), 7.0);
+        assert_eq!(Expr::Retries.eval(&p), 6.0);
+        assert_eq!(Expr::Attempts.eval(&p), 7.0);
+    }
+
+    #[test]
+    fn backoff_weighting_is_the_capped_geometric_sum() {
+        let mut p = kazaa(0.01);
+        p.loss = 0.5; // N = 7
+        let backoff = p.with_retry_terms(2.0, 8.0);
+        // 2 + 4 + 8 + 8 + 8 + 8 = 38 base intervals across six retries.
+        assert_eq!(backoff.weighted_retries(), 38.0);
+        assert_eq!(backoff.weighted_attempts(), 39.0);
+        // Jitter bounds with the degenerate jump-to-cap geometry.
+        let jittered = p.with_retry_terms(8.0, 8.0);
+        assert_eq!(jittered.weighted_retries(), 48.0);
+        // The weighted bound can only be slower than the fixed one, and
+        // the rendered expression is unchanged — only the evaluation of
+        // the N-multipliers moves.
+        let bound = repair_latency_bound(ProtocolSpec::HS).unwrap();
+        assert_eq!(bound.false_removal.render(), "D + N*R + D");
+        assert!(bound.false_removal.eval(&backoff) > bound.false_removal.eval(&p));
+        assert!(
+            (bound.false_removal.eval(&backoff) - (p.delta + 39.0 * p.retrans + p.delta)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn every_coherent_spec_bound_is_monotone_in_the_retry_terms() {
+        let p = kazaa(0.02);
+        let mut lossy = p;
+        lossy.loss = 0.3;
+        for spec in crate::coherent_specs() {
+            let bound = repair_latency_bound(spec).unwrap();
+            let fixed = bound.reconverge.eval(&lossy);
+            let backoff = bound.reconverge.eval(&lossy.with_retry_terms(2.0, 8.0));
+            let jittered = bound.reconverge.eval(&lossy.with_retry_terms(8.0, 8.0));
+            assert!(fixed <= backoff, "{spec}: backoff bound shrank");
+            assert!(backoff <= jittered, "{spec}: jitter bound shrank");
+            assert!(jittered.is_finite(), "{spec}");
         }
     }
 

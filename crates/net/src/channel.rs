@@ -1,5 +1,6 @@
 //! A single logical signaling hop.
 
+use crate::capacity::{Admission, CapacityModel, CapacityState};
 use crate::delay::DelayModel;
 use crate::fault::{FaultClock, FaultSchedule, LinkEffect};
 use crate::loss::{LossModel, LossState};
@@ -37,16 +38,19 @@ impl TransmitOutcome {
 ///
 /// `dropped` counts every loss regardless of cause; `dropped_injected` is
 /// the subset attributable to an active [`FaultEvent`](crate::FaultEvent)
-/// (an outage blackout, or the extra drop of a degraded episode), so
-/// `dropped - dropped_injected` is the channel's own random loss.  The
-/// existing totals keep their meaning: a fault-free run reports exactly what
-/// it did before the fault layer existed.
+/// (an outage blackout, or the extra drop of a degraded episode) and
+/// `dropped_overload` the subset that arrived at a capacity-limited receiver
+/// whose queue was full, so `dropped - dropped_injected - dropped_overload`
+/// is the channel's own random loss.  The existing totals keep their
+/// meaning: a fault-free, capacity-unlimited run reports exactly what it did
+/// before those layers existed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ChannelStats {
     sent: [u64; MsgKind::ALL.len()],
     delivered: [u64; MsgKind::ALL.len()],
     dropped: [u64; MsgKind::ALL.len()],
     dropped_injected: [u64; MsgKind::ALL.len()],
+    dropped_overload: [u64; MsgKind::ALL.len()],
 }
 
 impl ChannelStats {
@@ -92,9 +96,15 @@ impl ChannelStats {
         self.dropped_injected[Self::kind_index(kind)]
     }
 
+    /// Messages of one kind dropped because the receiver's signaling queue
+    /// was full ([`CapacityModel`] overflow).
+    pub fn dropped_to_overload(&self, kind: MsgKind) -> u64 {
+        self.dropped_overload[Self::kind_index(kind)]
+    }
+
     /// Messages of one kind dropped by the channel's own random loss process.
     pub fn dropped_to_loss(&self, kind: MsgKind) -> u64 {
-        self.dropped(kind) - self.dropped_to_fault(kind)
+        self.dropped(kind) - self.dropped_to_fault(kind) - self.dropped_to_overload(kind)
     }
 
     /// Total messages dropped by injected faults, all kinds.
@@ -102,9 +112,14 @@ impl ChannelStats {
         self.dropped_injected.iter().sum()
     }
 
+    /// Total messages dropped to receiver overload, all kinds.
+    pub fn total_dropped_to_overload(&self) -> u64 {
+        self.dropped_overload.iter().sum()
+    }
+
     /// Total messages dropped by the random loss process, all kinds.
     pub fn total_dropped_to_loss(&self) -> u64 {
-        self.total_dropped() - self.total_dropped_to_fault()
+        self.total_dropped() - self.total_dropped_to_fault() - self.total_dropped_to_overload()
     }
 
     /// Total messages that count toward the signaling-overhead metric
@@ -134,6 +149,7 @@ impl ChannelStats {
             self.delivered[i] += other.delivered[i];
             self.dropped[i] += other.dropped[i];
             self.dropped_injected[i] += other.dropped_injected[i];
+            self.dropped_overload[i] += other.dropped_overload[i];
         }
     }
 }
@@ -146,6 +162,8 @@ pub struct Channel {
     loss_state: LossState,
     delay: DelayModel,
     faults: FaultClock,
+    capacity: CapacityModel,
+    capacity_state: CapacityState,
     stats: ChannelStats,
     last_arrival: f64,
 }
@@ -158,6 +176,8 @@ impl Channel {
             loss_state: LossState::default(),
             delay,
             faults: FaultClock::default(),
+            capacity: CapacityModel::unlimited(),
+            capacity_state: CapacityState::default(),
             stats: ChannelStats::default(),
             last_arrival: 0.0,
         }
@@ -168,6 +188,14 @@ impl Channel {
     /// to a channel without one.
     pub fn with_fault_schedule(mut self, schedule: FaultSchedule) -> Self {
         self.faults = FaultClock::new(schedule);
+        self
+    }
+
+    /// Attaches a receiver capacity model.  The model is pure arithmetic
+    /// over arrival times (no RNG), and [`CapacityModel::unlimited`] leaves
+    /// behavior byte-identical to a channel without one.
+    pub fn with_capacity(mut self, capacity: CapacityModel) -> Self {
+        self.capacity = capacity;
         self
     }
 
@@ -187,6 +215,11 @@ impl Channel {
         self.loss.mean_loss()
     }
 
+    /// The attached receiver capacity model.
+    pub fn capacity(&self) -> &CapacityModel {
+        &self.capacity
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> &ChannelStats {
         &self.stats
@@ -203,6 +236,14 @@ impl Channel {
     /// degraded episode the base loss process draws as usual and survivors
     /// face one extra independent drop.  Both injected causes are counted
     /// separately in [`ChannelStats`].
+    ///
+    /// An attached [`CapacityModel`] acts last, at the link arrival instant:
+    /// the message either completes service after the receiver's residual
+    /// backlog drains (queueing delay on top of the link delay) or, if the
+    /// backlog is at the queue limit, is dropped and counted under
+    /// `dropped_to_overload`.  The capacity step is pure arithmetic — it
+    /// never consumes randomness, so the RNG stream is identical whether or
+    /// not a limit is attached.
     pub fn transmit(&mut self, rng: &mut SimRng, now: f64, kind: MsgKind) -> TransmitOutcome {
         let idx = ChannelStats::kind_index(kind);
         self.stats.sent[idx] += 1;
@@ -226,8 +267,21 @@ impl Channel {
         let d = self.delay.sample(rng);
         let arrival = (now + d).max(self.last_arrival).max(now);
         self.last_arrival = arrival;
-        self.stats.delivered[idx] += 1;
-        TransmitOutcome::Delivered { arrival }
+        // Link arrivals are non-decreasing (the clamp above), which is the
+        // monotone-order precondition of the capacity server.
+        match self.capacity_state.admit(&self.capacity, arrival) {
+            Admission::Serviced { completion } => {
+                self.stats.delivered[idx] += 1;
+                TransmitOutcome::Delivered {
+                    arrival: completion,
+                }
+            }
+            Admission::Overflow => {
+                self.stats.dropped[idx] += 1;
+                self.stats.dropped_overload[idx] += 1;
+                TransmitOutcome::Lost
+            }
+        }
     }
 }
 
@@ -392,6 +446,100 @@ mod tests {
         assert!((total - 0.55).abs() < 0.01, "total = {total}");
         assert!((injected - 0.45).abs() < 0.01, "injected = {injected}");
         assert!(stats.dropped_to_loss(MsgKind::Refresh) > 0);
+    }
+
+    #[test]
+    fn unlimited_capacity_is_bit_identical() {
+        let mut with = Channel::bernoulli(0.25, DelayModel::exponential(0.05))
+            .with_capacity(crate::CapacityModel::unlimited());
+        let mut without = Channel::bernoulli(0.25, DelayModel::exponential(0.05));
+        let mut rng_a = SimRng::new(13);
+        let mut rng_b = SimRng::new(13);
+        for i in 0..2000 {
+            let now = i as f64 * 0.01;
+            assert_eq!(
+                with.transmit(&mut rng_a, now, MsgKind::Refresh),
+                without.transmit(&mut rng_b, now, MsgKind::Refresh)
+            );
+        }
+        assert_eq!(with.stats(), without.stats());
+        assert_eq!(with.stats().total_dropped_to_overload(), 0);
+    }
+
+    #[test]
+    fn capacity_limit_consumes_no_randomness() {
+        // Same seed, one channel capacity-limited: the loss/delay RNG
+        // stream must stay in lockstep, so the limited channel's outcomes
+        // partition into the plain channel's deliveries (some serviced
+        // later, some dropped to overload) and exactly the same random
+        // losses.
+        let tight = crate::CapacityModel::limited(20.0, 3).unwrap();
+        let mut limited =
+            Channel::bernoulli(0.3, DelayModel::exponential(0.02)).with_capacity(tight);
+        let mut plain = Channel::bernoulli(0.3, DelayModel::exponential(0.02));
+        let mut rng_a = SimRng::new(21);
+        let mut rng_b = SimRng::new(21);
+        for i in 0..5000 {
+            let now = i as f64 * 0.002; // 500 msg/s >> 20 msg/s of service
+            let out_l = limited.transmit(&mut rng_a, now, MsgKind::Refresh);
+            let out_p = plain.transmit(&mut rng_b, now, MsgKind::Refresh);
+            if out_p.is_lost() {
+                assert!(out_l.is_lost(), "random losses must agree at t = {now}");
+            }
+        }
+        assert_eq!(
+            limited.stats().total_dropped_to_loss(),
+            plain.stats().total_dropped_to_loss()
+        );
+        assert!(limited.stats().total_dropped_to_overload() > 0);
+        assert_eq!(
+            limited.stats().total_delivered() + limited.stats().total_dropped_to_overload(),
+            plain.stats().total_delivered()
+        );
+    }
+
+    #[test]
+    fn capacity_adds_queueing_delay_and_keeps_fifo() {
+        let model = crate::CapacityModel::limited(10.0, 100).unwrap();
+        let mut ch = Channel::bernoulli(0.0, DelayModel::fixed(0.03)).with_capacity(model);
+        let mut rng = SimRng::new(6);
+        let mut last = 0.0;
+        let mut delayed_past_link = 0;
+        for i in 0..50 {
+            let now = i as f64 * 0.01; // 100 msg/s into a 10 msg/s server
+            let arrival = ch
+                .transmit(&mut rng, now, MsgKind::Refresh)
+                .arrival()
+                .expect("queue limit of 100 never overflows here");
+            assert!(arrival >= last, "reordered: {arrival} < {last}");
+            // Service takes 0.1 s, so every completion sits at least one
+            // service time past the link arrival.
+            assert!(arrival >= now + 0.03 + 0.1 - 1e-12);
+            if arrival > now + 0.03 + 0.1 + 1e-12 {
+                delayed_past_link += 1;
+            }
+            last = arrival;
+        }
+        assert!(delayed_past_link > 0, "backlog never built up");
+    }
+
+    #[test]
+    fn overload_drops_are_attributed() {
+        let model = crate::CapacityModel::limited(1.0, 1).unwrap();
+        let mut ch = Channel::bernoulli(0.0, DelayModel::fixed(0.0)).with_capacity(model);
+        let mut rng = SimRng::new(7);
+        for _ in 0..10 {
+            ch.transmit(&mut rng, 0.0, MsgKind::Trigger);
+        }
+        let stats = *ch.stats();
+        assert_eq!(stats.total_sent(), 10);
+        assert_eq!(stats.total_delivered(), 1);
+        assert_eq!(stats.total_dropped(), 9);
+        assert_eq!(stats.total_dropped_to_overload(), 9);
+        assert_eq!(stats.dropped_to_overload(MsgKind::Trigger), 9);
+        assert_eq!(stats.total_dropped_to_loss(), 0);
+        assert_eq!(stats.total_dropped_to_fault(), 0);
+        assert_eq!(ch.capacity().queue_limit(), 1);
     }
 
     proptest! {

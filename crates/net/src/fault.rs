@@ -36,9 +36,10 @@ use std::fmt;
 ///
 /// The schedule is a fixed-capacity inline array so that every configuration
 /// struct embedding it stays `Copy` (the simulators pass configs by value
-/// into replication closures).  Eight events cover every experiment in the
-/// repo with room to spare; [`FaultError::TooManyEvents`] reports overflow.
-pub const MAX_FAULT_EVENTS: usize = 8;
+/// into replication closures).  Thirty-two events accommodate multi-wave
+/// restart storms (one `CrashRestart` per wave) with room to spare;
+/// [`FaultError::TooManyEvents`] reports overflow.
+pub const MAX_FAULT_EVENTS: usize = 32;
 
 /// What happens to protocol state held by a node when it crash–restarts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -517,6 +518,24 @@ mod tests {
                 capacity: MAX_FAULT_EVENTS
             })
         );
+    }
+
+    #[test]
+    fn multi_wave_restart_storms_fit_the_lifted_cap() {
+        // Regression for the old cap of 8: a 16-wave staggered restart
+        // storm must build without overflowing.
+        let mut schedule = FaultSchedule::none();
+        for wave in 0..16 {
+            schedule = schedule
+                .with(FaultEvent::CrashRestart {
+                    at: 60.0 + wave as f64 * 5.0,
+                    state_policy: CrashStatePolicy::Wipe,
+                })
+                .expect("16 crash waves must fit");
+        }
+        assert_eq!(schedule.len(), 16);
+        assert!(schedule.validate().is_ok());
+        const _: () = assert!(MAX_FAULT_EVENTS > 8, "cap must exceed the old limit of 8");
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //!   keeping transmission statistics;
 //! * [`path`] — a chain of hops for the multi-hop scenario of Section III-B;
 //! * [`fault`] — deterministic fault injection (scheduled outages, degraded
-//!   episodes, crash–restart) consulted by channels on every transmit.
+//!   episodes, crash–restart) consulted by channels on every transmit;
+//! * [`capacity`] — deterministic receiver capacity (finite service rate,
+//!   bounded signaling queue) applied at the arrival instant: queueing
+//!   delay for admitted messages, overload drops for overflow.
 //!
 //! The channel does not own the event queue; it *decides* the fate of a
 //! transmission (lost, or delivered after `d` seconds) and the protocol layer
@@ -25,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod capacity;
 pub mod channel;
 pub mod delay;
 pub mod fault;
@@ -32,6 +36,7 @@ pub mod loss;
 pub mod message;
 pub mod path;
 
+pub use capacity::{Admission, CapacityError, CapacityModel, CapacityState};
 pub use channel::{Channel, ChannelStats, TransmitOutcome};
 pub use delay::DelayModel;
 pub use fault::{

@@ -1,7 +1,8 @@
 //! Simulation configuration.
 
+use crate::retry::RetryPolicy;
 use siganalytic::{ConfigError, MultiHopParams, ProtocolSpec, SingleHopParams};
-use signet::{FaultSchedule, LossModel};
+use signet::{CapacityModel, FaultSchedule, LossModel};
 use sigworkload::Scenario;
 use simcore::TimerMode;
 
@@ -36,6 +37,15 @@ pub struct SessionConfig {
     /// directions; crash–restart events wipe (or preserve) the receiver's
     /// held state.  Empty by default — bit-identical to a fault-free run.
     pub faults: FaultSchedule,
+    /// How retransmission intervals evolve within one unacknowledged cycle
+    /// (reliable trigger, reliable refresh, reliable removal).  The default
+    /// [`RetryPolicy::Fixed`] is the paper's behavior, bit-identical to the
+    /// pre-policy simulator.
+    pub retry: RetryPolicy,
+    /// Receiver processing capacity, applied to both channel directions.
+    /// [`CapacityModel::unlimited`] (the default) is byte-identical to a
+    /// build without the capacity layer.
+    pub capacity: CapacityModel,
 }
 
 impl SessionConfig {
@@ -48,6 +58,8 @@ impl SessionConfig {
             delay_mode: TimerMode::Deterministic,
             loss_model: None,
             faults: FaultSchedule::none(),
+            retry: RetryPolicy::Fixed,
+            capacity: CapacityModel::unlimited(),
         }
     }
 
@@ -55,12 +67,9 @@ impl SessionConfig {
     /// assumptions; used to validate the model itself).
     pub fn exponential(protocol: impl Into<ProtocolSpec>, params: SingleHopParams) -> Self {
         Self {
-            protocol: protocol.into(),
-            params,
             timer_mode: TimerMode::Exponential,
             delay_mode: TimerMode::Exponential,
-            loss_model: None,
-            faults: FaultSchedule::none(),
+            ..Self::deterministic(protocol, params)
         }
     }
 
@@ -77,12 +86,10 @@ impl SessionConfig {
         timer_mode: TimerMode,
     ) -> Self {
         Self {
-            protocol: protocol.into(),
-            params: scenario.params,
             timer_mode,
             delay_mode: timer_mode,
             loss_model: scenario.loss_model,
-            faults: FaultSchedule::none(),
+            ..Self::deterministic(protocol, scenario.params)
         }
     }
 
@@ -95,6 +102,18 @@ impl SessionConfig {
     /// Attaches a fault schedule (see [`SessionConfig::faults`]).
     pub fn with_fault_schedule(mut self, schedule: FaultSchedule) -> Self {
         self.faults = schedule;
+        self
+    }
+
+    /// Selects the retransmission retry policy (see [`SessionConfig::retry`]).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Attaches a receiver capacity model (see [`SessionConfig::capacity`]).
+    pub fn with_capacity(mut self, capacity: CapacityModel) -> Self {
+        self.capacity = capacity;
         self
     }
 

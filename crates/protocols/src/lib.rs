@@ -26,7 +26,10 @@
 //! * [`recovery`] — fault-recovery instrumentation: one-second-binned time
 //!   series of a node run ([`RecoveryTrace`]) and the derived
 //!   timeout-avalanche numbers ([`RecoveryMetrics`]) behind the
-//!   `node-outage` experiment.
+//!   `node-outage` experiment;
+//! * [`retry`] — retransmission retry policies (fixed interval, capped
+//!   exponential backoff, decorrelated jitter) shared by the single-hop
+//!   session and the population-scale node simulator.
 //!
 //! The protocol logic lives here and nowhere else; the analytic crate knows
 //! nothing about message exchanges and the simulator knows nothing about
@@ -42,6 +45,7 @@ pub mod metrics;
 pub mod multi_hop;
 pub mod node;
 pub mod recovery;
+pub mod retry;
 pub mod single_hop;
 
 pub use campaign::{Campaign, CampaignResult, MultiHopCampaign, MultiHopCampaignResult};
@@ -52,5 +56,9 @@ pub use node::{
     NodeCampaign, NodeCampaignResult, NodeConfig, NodeMetrics, NodeSim, PhaseTimings, RefreshPhase,
 };
 pub use recovery::{RecoveryMetrics, RecoveryTrace};
-pub use signet::{CrashStatePolicy, FaultError, FaultEvent, FaultSchedule, LinkEffect, LossModel};
+pub use retry::{RetryPolicy, RetryState};
+pub use signet::{
+    CapacityError, CapacityModel, CrashStatePolicy, FaultError, FaultEvent, FaultSchedule,
+    LinkEffect, LossModel,
+};
 pub use single_hop::SingleHopSession;

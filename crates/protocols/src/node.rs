@@ -44,12 +44,14 @@
 
 use crate::metrics::MessageCounts;
 use crate::recovery::RecoveryTrace;
+use crate::retry::{RetryPolicy, RetryState};
 use crate::single_hop::RETRANS_SLACK;
 use siganalytic::{ConfigError, FsmDispatch, ProtocolSpec, SingleHopParams};
 use signet::{
-    CrashStatePolicy, FaultClock, FaultSchedule, LinkEffect, LossModel, LossState, MsgKind,
+    Admission, CapacityModel, CapacityState, CrashStatePolicy, FaultClock, FaultSchedule,
+    LinkEffect, LossModel, LossState, MsgKind,
 };
-use sigstats::{BinnedMeter, LevelMeter, OnlineStats, Summary};
+use sigstats::{BinnedMeter, LevelMeter, OnlineStats, RateMeter, Summary};
 use simcore::{
     Assignment, EventId, EventQueue, ExecutionPolicy, QueueKind, Replicate, ReplicationEngine,
     SimRng, SimTime,
@@ -119,6 +121,16 @@ pub struct NodeConfig {
     /// state per [`CrashStatePolicy`].  Blackout drops consume no
     /// randomness, so an empty schedule is bit-identical to no schedule.
     pub faults: FaultSchedule,
+    /// How retransmission intervals evolve within one unacknowledged cycle
+    /// (reliable trigger, reliable refresh, reliable removal).  The default
+    /// [`RetryPolicy::Fixed`] is the paper's behavior — bit-identical to
+    /// the pre-policy node loop, pinned by the goldens.
+    pub retry: RetryPolicy,
+    /// Receiver processing capacity: one node-wide deterministic service
+    /// queue every delivered message passes through before its arrival
+    /// event fires.  [`CapacityModel::unlimited`] (the default) is
+    /// bit-identical to a build without the capacity layer.
+    pub capacity: CapacityModel,
 }
 
 impl NodeConfig {
@@ -139,6 +151,8 @@ impl NodeConfig {
             refresh_phase: RefreshPhase::Staggered,
             loss_model: None,
             faults: FaultSchedule::none(),
+            retry: RetryPolicy::Fixed,
+            capacity: CapacityModel::unlimited(),
         }
     }
 
@@ -175,6 +189,18 @@ impl NodeConfig {
     /// Installs a fault schedule (see [`NodeConfig::faults`]).
     pub fn with_fault_schedule(mut self, faults: FaultSchedule) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Selects the retransmission retry policy (see [`NodeConfig::retry`]).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Installs a receiver capacity model (see [`NodeConfig::capacity`]).
+    pub fn with_capacity(mut self, capacity: CapacityModel) -> Self {
+        self.capacity = capacity;
         self
     }
 
@@ -244,6 +270,10 @@ pub struct NodeMetrics {
     /// [`Outage`](signet::FaultEvent::Outage), or the extra loss of a
     /// [`Degrade`](signet::FaultEvent::Degrade) window.
     pub drops_injected: u64,
+    /// Messages that survived the link but overflowed the receiver's
+    /// bounded signaling queue (see [`NodeConfig::capacity`]).  Always zero
+    /// under [`CapacityModel::unlimited`].
+    pub drops_overload: u64,
     /// Receiver-held entries wiped by injected crash–restart events.  Not
     /// false removals: the protocol took no action, the process died.
     pub crash_wipes: u64,
@@ -297,6 +327,9 @@ struct SessionSlot {
     timeout: EventId,
     deadline: f64,
     flags: u8,
+    /// Per-cycle retransmission retry state (two bytes; rides in the
+    /// padding the flag byte already paid for).
+    retry: RetryState,
 }
 
 /// One event of the node loop: what happened, and to which session.
@@ -342,7 +375,7 @@ pub struct NodeSim {
     now: f64,
     /// Signaling messages sent per [`ENVELOPE_BIN_SECS`]-wide bin of
     /// virtual time — the bandwidth envelope behind `node-storm`.
-    envelope: Vec<u32>,
+    envelope: RateMeter,
     active: LevelMeter,
     held: LevelMeter,
     stale: LevelMeter,
@@ -359,10 +392,13 @@ pub struct NodeSim {
     /// override is installed.
     loss_state: LossState,
     /// False removals per envelope bin (the avalanche time series).
-    false_removal_bins: Vec<u32>,
+    false_removal_bins: RateMeter,
+    /// Backlog of the receiver's capacity server (inert when unlimited).
+    capacity_state: CapacityState,
     false_removals: u64,
     drops_random: u64,
     drops_injected: u64,
+    drops_overload: u64,
     crash_wipes: u64,
     events_processed: u64,
     phase: PhaseTimings,
@@ -399,13 +435,14 @@ impl NodeSim {
                     timeout: dead_probe,
                     deadline: 0.0,
                     flags: 0,
+                    retry: RetryState::default(),
                 };
                 n
             ],
             dead: dead_probe,
             counts: MessageCounts::default(),
             now: 0.0,
-            envelope: vec![0; (cfg.horizon / ENVELOPE_BIN_SECS).ceil() as usize + 1],
+            envelope: RateMeter::new(cfg.horizon, ENVELOPE_BIN_SECS),
             active: LevelMeter::new(0.0),
             held: LevelMeter::new(0.0),
             stale: LevelMeter::new(0.0),
@@ -414,10 +451,12 @@ impl NodeSim {
             stale_bins: BinnedMeter::new(0.0, ENVELOPE_BIN_SECS),
             faults: FaultClock::new(cfg.faults),
             loss_state: LossState::default(),
-            false_removal_bins: vec![0; (cfg.horizon / ENVELOPE_BIN_SECS).ceil() as usize + 1],
+            false_removal_bins: RateMeter::new(cfg.horizon, ENVELOPE_BIN_SECS),
+            capacity_state: CapacityState::default(),
             false_removals: 0,
             drops_random: 0,
             drops_injected: 0,
+            drops_overload: 0,
             crash_wipes: 0,
             events_processed: 0,
             phase: PhaseTimings::default(),
@@ -493,9 +532,7 @@ impl NodeSim {
             refresh_rate: self.counts.refresh as f64 / h,
             message_rate,
             bandwidth_bytes_per_sec: message_rate * MESSAGE_BYTES,
-            peak_bandwidth_bytes_per_sec: self.envelope.iter().copied().max().unwrap_or(0) as f64
-                * MESSAGE_BYTES
-                / ENVELOPE_BIN_SECS,
+            peak_bandwidth_bytes_per_sec: self.envelope.peak_rate() * MESSAGE_BYTES,
             stale_fraction: if held_int > 0.0 {
                 stale_int / held_int
             } else {
@@ -511,6 +548,7 @@ impl NodeSim {
             mean_held: self.held.average_until(h),
             drops_random: self.drops_random,
             drops_injected: self.drops_injected,
+            drops_overload: self.drops_overload,
             crash_wipes: self.crash_wipes,
         }
     }
@@ -528,9 +566,10 @@ impl NodeSim {
         RecoveryTrace {
             bin_secs: ENVELOPE_BIN_SECS,
             horizon: h,
-            false_removals: self.false_removal_bins[..bins.min(self.false_removal_bins.len())]
+            false_removals: self.false_removal_bins.counts()
+                [..bins.min(self.false_removal_bins.counts().len())]
                 .to_vec(),
-            messages: self.envelope[..bins.min(self.envelope.len())].to_vec(),
+            messages: self.envelope.counts()[..bins.min(self.envelope.counts().len())].to_vec(),
             stale,
             held,
             active,
@@ -599,6 +638,10 @@ impl NodeSim {
         if policy == CrashStatePolicy::Preserve {
             return;
         }
+        // The signaling queue is process memory: a wipe loses whatever was
+        // awaiting service along with the installed state (pure arithmetic
+        // — no RNG — and inert when the capacity model is unlimited).
+        self.capacity_state.reset();
         for i in 0..self.slots.len() {
             if self.slots[i].flags & HELD == 0 {
                 continue;
@@ -634,18 +677,33 @@ impl NodeSim {
     fn record_message(&mut self, kind: MsgKind) {
         self.counts.record(kind);
         if kind != MsgKind::ExternalSignal {
-            let bin = ((self.now / ENVELOPE_BIN_SECS) as usize).min(self.envelope.len() - 1);
-            self.envelope[bin] += 1;
+            self.envelope.record(self.now);
         }
     }
 
-    /// Sends one message: counts it, draws its loss decision, and schedules
-    /// the arrival event after the one-way delay when delivered.
+    /// Sends one message: counts it, draws its loss decision, and routes
+    /// the surviving delivery through the receiver's capacity server.
     fn send(&mut self, kind: MsgKind, arrival: Event) {
         self.record_message(kind);
         if !self.message_lost() {
-            let delay = self.cfg.params.delay;
-            self.queue.schedule_in(delay, arrival);
+            self.deliver(self.cfg.params.delay, arrival);
+        }
+    }
+
+    /// Delivers a message `delay` seconds from now: the link arrival passes
+    /// through the node-wide capacity server, which either schedules the
+    /// arrival event at its service-completion time or drops it on queue
+    /// overflow.  Pure arithmetic — no RNG in any configuration — and under
+    /// [`CapacityModel::unlimited`] the completion *is* the link arrival,
+    /// so the scheduled time is bit-identical to a capacity-free build.
+    fn deliver(&mut self, delay: f64, arrival: Event) {
+        let at = self.now + delay;
+        match self.capacity_state.admit(&self.cfg.capacity, at) {
+            Admission::Serviced { completion } => {
+                self.queue
+                    .schedule_at(SimTime::from_secs(completion), arrival);
+            }
+            Admission::Overflow => self.drops_overload += 1,
         }
     }
 
@@ -727,6 +785,7 @@ impl NodeSim {
         self.slots[i].flags &= !(PENDING | PENDING_REMOVAL);
         self.queue.cancel(self.slots[i].retrans);
         self.slots[i].retrans = self.dead;
+        self.slots[i].retry.reset();
 
         self.slots[i].flags |= ALIVE;
         self.active_inc(t);
@@ -766,10 +825,21 @@ impl NodeSim {
         if self.dispatch.reliable_triggers || self.dispatch.reliable_refresh {
             self.slots[i].flags |= PENDING;
             if self.slots[i].retrans == self.dead {
-                let d = self.cfg.params.retrans_timer + RETRANS_SLACK;
+                let d = self.retrans_interval(i) + RETRANS_SLACK;
                 self.slots[i].retrans = self.schedule_after(d, Event::RetransFire(i as u32));
             }
         }
+    }
+
+    /// The interval to the session's next retransmission attempt, routed
+    /// through the configured [`RetryPolicy`].  The cycle state lives in
+    /// the session slot; callers reset it where a *new* cycle arms (fresh
+    /// install, new removal handshake, repair after a false removal) and
+    /// leave it alone where a fired timer re-arms a continuing cycle.
+    fn retrans_interval(&mut self, i: usize) -> f64 {
+        let retry = self.cfg.retry;
+        let base = self.cfg.params.retrans_timer;
+        retry.next_interval(base, &mut self.slots[i].retry, &mut self.rng)
     }
 
     fn on_depart(&mut self, i: usize, t: f64) {
@@ -792,7 +862,8 @@ impl NodeSim {
             self.send(MsgKind::Removal, Event::RemovalArrive(i as u32));
             if self.dispatch.reliable_removal {
                 self.slots[i].flags |= PENDING_REMOVAL;
-                let d = self.cfg.params.retrans_timer + RETRANS_SLACK;
+                self.slots[i].retry.reset();
+                let d = self.retrans_interval(i) + RETRANS_SLACK;
                 self.slots[i].retrans = self.schedule_after(d, Event::RetransFire(i as u32));
             }
         }
@@ -812,7 +883,9 @@ impl NodeSim {
         if self.dispatch.reliable_refresh {
             self.slots[i].flags |= PENDING;
             if self.slots[i].retrans == self.dead {
-                let d = self.cfg.params.retrans_timer + RETRANS_SLACK;
+                // No cycle in flight: this refresh starts a fresh one.
+                self.slots[i].retry.reset();
+                let d = self.retrans_interval(i) + RETRANS_SLACK;
                 self.slots[i].retrans = self.schedule_after(d, Event::RetransFire(i as u32));
             }
         }
@@ -848,7 +921,7 @@ impl NodeSim {
         self.slots[i].retrans = self.dead;
         if self.slots[i].flags & PENDING_REMOVAL != 0 {
             self.send(MsgKind::Removal, Event::RemovalArrive(i as u32));
-            let d = self.cfg.params.retrans_timer + RETRANS_SLACK;
+            let d = self.retrans_interval(i) + RETRANS_SLACK;
             self.slots[i].retrans = self.schedule_after(d, Event::RetransFire(i as u32));
         } else if self.slots[i].flags & (PENDING | ALIVE) == PENDING | ALIVE {
             // Resend the announcement: reliable triggers retransmit the
@@ -962,8 +1035,7 @@ impl NodeSim {
         }
         // The sender still holds the state: a false removal.
         self.false_removals += 1;
-        let bin = ((t / ENVELOPE_BIN_SECS) as usize).min(self.false_removal_bins.len() - 1);
-        self.false_removal_bins[bin] += 1;
+        self.false_removal_bins.record(t);
         if self.dispatch.notifies_on_removal {
             self.record_message(MsgKind::RemovalNotice);
             if !self.message_lost() {
@@ -973,13 +1045,14 @@ impl NodeSim {
                 self.record_message(MsgKind::Trigger);
                 if !self.message_lost() {
                     let d = 2.0 * self.cfg.params.delay;
-                    self.queue.schedule_in(d, Event::TriggerArrive(i as u32));
+                    self.deliver(d, Event::TriggerArrive(i as u32));
                 }
                 if self.dispatch.reliable_triggers || self.dispatch.reliable_refresh {
                     self.slots[i].flags |= PENDING;
                     if self.slots[i].retrans == self.dead {
-                        let d =
-                            self.cfg.params.delay + self.cfg.params.retrans_timer + RETRANS_SLACK;
+                        // The repair trigger opens a fresh cycle.
+                        self.slots[i].retry.reset();
+                        let d = self.cfg.params.delay + self.retrans_interval(i) + RETRANS_SLACK;
                         self.slots[i].retrans =
                             self.schedule_after(d, Event::RetransFire(i as u32));
                     }
@@ -1025,6 +1098,8 @@ pub struct NodeCampaignResult {
     pub drops_random: u64,
     /// Total messages dropped by injected fault episodes.
     pub drops_injected: u64,
+    /// Total messages dropped to receiver-queue overload.
+    pub drops_overload: u64,
     /// Total receiver entries wiped by injected crash–restarts.
     pub crash_wipes: u64,
 }
@@ -1157,6 +1232,7 @@ impl NodeCampaign {
         let mut false_removals = 0u64;
         let mut drops_random = 0u64;
         let mut drops_injected = 0u64;
+        let mut drops_overload = 0u64;
         let mut crash_wipes = 0u64;
         let mut phases = PhaseTimings::default();
         let mut bytes_per_session = 0.0f64;
@@ -1173,6 +1249,7 @@ impl NodeCampaign {
             false_removals += m.false_removals;
             drops_random += m.drops_random;
             drops_injected += m.drops_injected;
+            drops_overload += m.drops_overload;
             crash_wipes += m.crash_wipes;
             phases.merge(p);
             bytes_per_session = bytes_per_session.max(*b);
@@ -1191,6 +1268,7 @@ impl NodeCampaign {
             false_removals,
             drops_random,
             drops_injected,
+            drops_overload,
             crash_wipes,
         };
         (result, phases, bytes_per_session)
@@ -1765,5 +1843,153 @@ mod tests {
         );
         assert_eq!(a.drops_injected, 0);
         assert_eq!(b.drops_injected, 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Retry policies and receiver capacity.
+    // ------------------------------------------------------------------
+
+    use crate::retry::RetryPolicy;
+    use signet::CapacityModel;
+
+    /// A restart storm: the node goes dark (blackout), then the process
+    /// comes back with its state wiped — the whole population must repair
+    /// through whatever retry discipline is configured.
+    fn restart_storm_faults() -> FaultSchedule {
+        FaultSchedule::from_events(&[
+            FaultEvent::Outage {
+                start: 30.0,
+                duration: 15.0,
+            },
+            FaultEvent::CrashRestart {
+                at: 45.0,
+                state_policy: signet::CrashStatePolicy::Wipe,
+            },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn explicit_defaults_are_bit_identical_to_the_pre_policy_config() {
+        // `Fixed` + `unlimited` consume no randomness and perturb no event
+        // times, so spelling them out matches the plain config bit for bit
+        // (the golden pin above certifies the absolute values).
+        let cfg = quick_config(Protocol::SsRtr, 128);
+        let explicit = cfg
+            .with_retry_policy(RetryPolicy::Fixed)
+            .with_capacity(CapacityModel::unlimited());
+        assert_eq!(
+            NodeSim::new(cfg, 77).run(),
+            NodeSim::new(explicit, 77).run()
+        );
+    }
+
+    #[test]
+    fn tight_capacity_attributes_overload_and_stays_rng_neutral() {
+        // Pure soft state sends on a fixed schedule with no receiver
+        // feedback, so a capacity limit changes deliveries — and therefore
+        // false removals — without changing a single send or RNG draw.
+        let cfg = NodeConfig::new(Protocol::Ss, quiet_params(), 256)
+            .with_horizon(90.0)
+            .with_mean_vacancy(15.0);
+        let tight = cfg.with_capacity(CapacityModel::limited(10.0, 8).unwrap());
+        let unlimited = NodeSim::new(cfg, 41).run();
+        let limited = NodeSim::new(tight, 41).run();
+        assert_eq!(unlimited.drops_overload, 0);
+        assert!(limited.drops_overload > 0, "{limited:?}");
+        // Same sender-side behavior: identical message counts and envelope.
+        assert_eq!(limited.messages, unlimited.messages);
+        assert_eq!(
+            limited.peak_bandwidth_bytes_per_sec,
+            unlimited.peak_bandwidth_bytes_per_sec
+        );
+        assert_eq!(limited.drops_random, 0);
+        // The starved receiver times sessions out while senders live on.
+        assert!(limited.false_removals > unlimited.false_removals);
+    }
+
+    #[test]
+    fn retry_and_capacity_keep_the_determinism_contract() {
+        // Satellite of the fault-layer contract: backoff and jittered
+        // retries under a capacity limit and a restart storm stay
+        // bit-identical across execution policies and both queue kinds.
+        for retry in [RetryPolicy::backoff(), RetryPolicy::jittered()] {
+            let cfg = NodeConfig::new(Protocol::SsRtr, churn_params(), 96)
+                .with_horizon(90.0)
+                .with_mean_vacancy(15.0)
+                .with_fault_schedule(restart_storm_faults())
+                .with_retry_policy(retry)
+                .with_capacity(CapacityModel::limited(60.0, 24).unwrap());
+            let serial = NodeCampaign::new(cfg, 4, 99).run();
+            for n in [2, 4] {
+                let threaded = NodeCampaign::new(cfg, 4, 99)
+                    .execution(ExecutionPolicy::threads(n))
+                    .run();
+                assert_eq!(serial, threaded, "{}: Threads({n}) diverged", retry.label());
+            }
+            let calendar = NodeCampaign::new(cfg.with_queue_kind(QueueKind::Calendar), 4, 99)
+                .execution(ExecutionPolicy::threads(4))
+                .run();
+            assert_eq!(serial, calendar, "{}: calendar diverged", retry.label());
+        }
+    }
+
+    #[test]
+    fn backoff_bounds_the_restart_storm_retry_cost() {
+        // During the blackout every reliable-trigger cycle retransmits
+        // unacknowledged; fixed-interval retries burn one message per R
+        // for the whole outage, capped backoff a small constant per
+        // session.  The storm experiment tabulates this as retry cost.
+        let run = |retry: RetryPolicy| {
+            let cfg = NodeConfig::new(Protocol::SsRtr, quiet_params(), 256)
+                .with_horizon(90.0)
+                .with_mean_vacancy(15.0)
+                .with_fault_schedule(restart_storm_faults())
+                .with_retry_policy(retry);
+            NodeSim::new(cfg, 53).run()
+        };
+        let fixed = run(RetryPolicy::Fixed);
+        let backoff = run(RetryPolicy::backoff());
+        let jittered = run(RetryPolicy::jittered());
+        assert!(
+            backoff.messages.signaling_total() * 2 < fixed.messages.signaling_total(),
+            "backoff {} vs fixed {}",
+            backoff.messages.signaling_total(),
+            fixed.messages.signaling_total()
+        );
+        assert!(
+            jittered.messages.signaling_total() * 2 < fixed.messages.signaling_total(),
+            "jittered {} vs fixed {}",
+            jittered.messages.signaling_total(),
+            fixed.messages.signaling_total()
+        );
+        // Lower retry pressure also means a lower storm peak.
+        assert!(
+            backoff.peak_bandwidth_bytes_per_sec < fixed.peak_bandwidth_bytes_per_sec,
+            "backoff peak {} vs fixed peak {}",
+            backoff.peak_bandwidth_bytes_per_sec,
+            fixed.peak_bandwidth_bytes_per_sec
+        );
+    }
+
+    #[test]
+    fn crash_preserve_leaves_the_capacity_backlog_alone() {
+        // `Wipe` resets the capacity server with the process (its queue is
+        // process memory); the `Preserve` control must leave the backlog —
+        // and therefore the whole overload stream — untouched.
+        let faults = FaultSchedule::from_events(&[FaultEvent::CrashRestart {
+            at: 45.0,
+            state_policy: signet::CrashStatePolicy::Preserve,
+        }])
+        .unwrap();
+        let cfg = NodeConfig::new(Protocol::Ss, quiet_params(), 256)
+            .with_horizon(90.0)
+            .with_mean_vacancy(15.0)
+            .with_capacity(CapacityModel::limited(10.0, 8).unwrap());
+        let control = NodeSim::new(cfg, 29).run();
+        let preserved = NodeSim::new(cfg.with_fault_schedule(faults), 29).run();
+        // Preserve leaves the backlog alone: identical overload stream.
+        assert_eq!(preserved.drops_overload, control.drops_overload);
+        assert_eq!(preserved.messages, control.messages);
     }
 }

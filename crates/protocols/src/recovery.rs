@@ -268,6 +268,62 @@ mod tests {
     }
 
     #[test]
+    fn zero_baseline_convention_at_the_exact_boundary() {
+        // A fully quiet false-removal stream with a converged stale series:
+        // the 0/0 corner must be exactly 1.0 — and emphatically finite.
+        let mut t = synthetic();
+        for b in t.false_removals.iter_mut() {
+            *b = 0;
+        }
+        t.stale = vec![1.0; 20];
+        let m = RecoveryMetrics::derive(&t, 10.0, 13.0, 0.05);
+        assert_eq!(m.baseline_false_removal_rate, 0.0);
+        assert_eq!(m.peak_false_removal_rate, 0.0);
+        assert_eq!(m.spike_amplification, 1.0);
+        assert!(m.spike_amplification.is_finite());
+        assert_eq!(m.reconverge_secs, 0.0);
+
+        // One removal in the last bin *before* the fault belongs to the
+        // baseline: the peak stays zero and amplification is 0, not 1.
+        let mut before = t.clone();
+        before.false_removals[9] = 2;
+        let m = RecoveryMetrics::derive(&before, 10.0, 13.0, 0.05);
+        assert!(m.baseline_false_removal_rate > 0.0);
+        assert_eq!(m.peak_false_removal_rate, 0.0);
+        assert_eq!(m.spike_amplification, 0.0);
+
+        // The same removal one bin later lands in the bin containing the
+        // fault start: zero baseline, positive peak — the +∞ convention.
+        let mut after = t.clone();
+        after.false_removals[10] = 2;
+        let m = RecoveryMetrics::derive(&after, 10.0, 13.0, 0.05);
+        assert_eq!(m.baseline_false_removal_rate, 0.0);
+        assert!(m.peak_false_removal_rate > 0.0);
+        assert_eq!(m.spike_amplification, f64::INFINITY);
+    }
+
+    #[test]
+    fn fault_at_time_zero_has_no_baseline_bins() {
+        // `pre == 0`: every baseline is zero by definition, so a quiet
+        // trace sits in the 0/0 corner (1.0) and any removal at all flips
+        // the amplification to +∞.
+        let mut t = synthetic();
+        for b in t.false_removals.iter_mut() {
+            *b = 0;
+        }
+        t.stale = vec![1.0; 20];
+        let quiet = RecoveryMetrics::derive(&t, 0.0, 3.0, 1.0);
+        assert_eq!(quiet.baseline_false_removal_rate, 0.0);
+        assert_eq!(quiet.baseline_stale_fraction, 0.0);
+        assert_eq!(quiet.spike_amplification, 1.0);
+        // With a zero message baseline the whole fault window is "extra".
+        assert_eq!(quiet.recovery_messages, 30.0);
+        t.false_removals[5] = 1;
+        let spiked = RecoveryMetrics::derive(&t, 0.0, 3.0, 1.0);
+        assert_eq!(spiked.spike_amplification, f64::INFINITY);
+    }
+
+    #[test]
     fn unconverged_trace_reports_infinite_reconvergence() {
         let mut t = synthetic();
         let n = t.stale.len();

@@ -13,6 +13,7 @@
 
 use crate::config::SessionConfig;
 use crate::metrics::{MessageCounts, SessionMetrics};
+use crate::retry::RetryState;
 use siganalytic::FsmDispatch;
 use signet::{
     Channel, CrashStatePolicy, DelayModel, FaultClock, MsgKind, SignalMessage, StateValue,
@@ -79,6 +80,12 @@ pub struct SingleHopSession<'a> {
     removal_retrans: Timer,
     receiver_timeout: Timer,
 
+    // Per-cycle retry-policy state, reset when a cycle starts.  With the
+    // default `RetryPolicy::Fixed` none of these is ever touched.
+    trigger_retry: RetryState,
+    refresh_retry: RetryState,
+    removal_retry: RetryState,
+
     counts: MessageCounts,
     inconsistent: TimeWeighted,
     updates: u64,
@@ -126,9 +133,11 @@ impl<'a> SingleHopSession<'a> {
             rng,
             queue: EventQueue::new(),
             forward: Channel::new(cfg.effective_loss_model(), delay)
-                .with_fault_schedule(cfg.faults),
+                .with_fault_schedule(cfg.faults)
+                .with_capacity(cfg.capacity),
             backward: Channel::new(cfg.effective_loss_model(), delay)
-                .with_fault_schedule(cfg.faults),
+                .with_fault_schedule(cfg.faults)
+                .with_capacity(cfg.capacity),
             refresh_dist: cfg.timer_mode.dist(cfg.params.refresh_timer),
             timeout_dist: cfg.timer_mode.dist(cfg.params.timeout_timer),
             retrans_dist: cfg.timer_mode.dist(cfg.params.retrans_timer),
@@ -143,6 +152,9 @@ impl<'a> SingleHopSession<'a> {
             refresh_retrans: Timer::new(),
             removal_retrans: Timer::new(),
             receiver_timeout: Timer::new(),
+            trigger_retry: RetryState::default(),
+            refresh_retry: RetryState::default(),
+            removal_retry: RetryState::default(),
             counts: MessageCounts::default(),
             inconsistent: TimeWeighted::new(0.0, 0.0),
             updates: 0,
@@ -270,7 +282,14 @@ impl<'a> SingleHopSession<'a> {
         self.send_to_receiver(MsgKind::Trigger, value, seq);
         if self.dispatch.reliable_triggers {
             self.pending_trigger = Some(seq);
-            let d = self.retrans_dist.sample(self.rng) + RETRANS_SLACK;
+            // A (re-)trigger starts a fresh retransmission cycle.
+            self.trigger_retry.reset();
+            let base = self.retrans_dist.sample(self.rng);
+            let d = self
+                .cfg
+                .retry
+                .next_interval(base, &mut self.trigger_retry, self.rng)
+                + RETRANS_SLACK;
             self.trigger_retrans
                 .arm(&mut self.queue, d, Event::TriggerRetrans);
         } else if self.dispatch.reliable_refresh {
@@ -297,7 +316,13 @@ impl<'a> SingleHopSession<'a> {
         self.send_to_receiver(MsgKind::Removal, 0, seq);
         if self.dispatch.reliable_removal {
             self.pending_removal = true;
-            let d = self.retrans_dist.sample(self.rng) + RETRANS_SLACK;
+            self.removal_retry.reset();
+            let base = self.retrans_dist.sample(self.rng);
+            let d = self
+                .cfg
+                .retry
+                .next_interval(base, &mut self.removal_retry, self.rng)
+                + RETRANS_SLACK;
             self.removal_retrans
                 .arm(&mut self.queue, d, Event::RemovalRetrans);
         }
@@ -311,7 +336,13 @@ impl<'a> SingleHopSession<'a> {
     fn track_pending_refresh(&mut self, seq: u64) {
         self.pending_refresh = Some(seq);
         if !self.refresh_retrans.is_armed() {
-            let d = self.retrans_dist.sample(self.rng) + RETRANS_SLACK;
+            self.refresh_retry.reset();
+            let base = self.retrans_dist.sample(self.rng);
+            let d = self
+                .cfg
+                .retry
+                .next_interval(base, &mut self.refresh_retry, self.rng)
+                + RETRANS_SLACK;
             self.refresh_retrans
                 .arm(&mut self.queue, d, Event::RefreshRetrans);
         }
@@ -426,7 +457,12 @@ impl<'a> SingleHopSession<'a> {
             return;
         };
         self.send_to_receiver(MsgKind::Refresh, value, seq);
-        let d = self.retrans_dist.sample(self.rng) + RETRANS_SLACK;
+        let base = self.retrans_dist.sample(self.rng);
+        let d = self
+            .cfg
+            .retry
+            .next_interval(base, &mut self.refresh_retry, self.rng)
+            + RETRANS_SLACK;
         self.refresh_retrans
             .arm(&mut self.queue, d, Event::RefreshRetrans);
     }
@@ -439,7 +475,12 @@ impl<'a> SingleHopSession<'a> {
             return;
         };
         self.send_to_receiver(MsgKind::Trigger, value, seq);
-        let d = self.retrans_dist.sample(self.rng) + RETRANS_SLACK;
+        let base = self.retrans_dist.sample(self.rng);
+        let d = self
+            .cfg
+            .retry
+            .next_interval(base, &mut self.trigger_retry, self.rng)
+            + RETRANS_SLACK;
         self.trigger_retrans
             .arm(&mut self.queue, d, Event::TriggerRetrans);
     }
@@ -454,7 +495,12 @@ impl<'a> SingleHopSession<'a> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.send_to_receiver(MsgKind::Removal, 0, seq);
-        let d = self.retrans_dist.sample(self.rng) + RETRANS_SLACK;
+        let base = self.retrans_dist.sample(self.rng);
+        let d = self
+            .cfg
+            .retry
+            .next_interval(base, &mut self.removal_retry, self.rng)
+            + RETRANS_SLACK;
         self.removal_retrans
             .arm(&mut self.queue, d, Event::RemovalRetrans);
     }
@@ -665,6 +711,120 @@ mod reliable_refresh_tests {
             rr_false < ss_false,
             "retransmitted refreshes should cut false removals ({rr_false} vs {ss_false})"
         );
+    }
+}
+
+#[cfg(test)]
+mod retry_capacity_tests {
+    use super::*;
+    use crate::retry::RetryPolicy;
+    use siganalytic::{Protocol, SingleHopParams};
+    use signet::CapacityModel;
+
+    fn lossy_params() -> SingleHopParams {
+        let mut p = SingleHopParams::kazaa_defaults()
+            .with_mean_lifetime(300.0)
+            .with_mean_update_interval(1e9);
+        p.loss = 0.5;
+        p
+    }
+
+    #[test]
+    fn every_retry_policy_terminates_and_is_deterministic() {
+        for policy in [
+            RetryPolicy::Fixed,
+            RetryPolicy::backoff(),
+            RetryPolicy::jittered(),
+        ] {
+            for proto in [Protocol::SsRt, Protocol::SsRtr, Protocol::Hs] {
+                let cfg =
+                    SessionConfig::deterministic(proto, lossy_params()).with_retry_policy(policy);
+                for seed in 0..5u64 {
+                    let mut rng_a = SimRng::new(seed);
+                    let mut rng_b = SimRng::new(seed);
+                    let a = SingleHopSession::run(&cfg, &mut rng_a);
+                    let b = SingleHopSession::run(&cfg, &mut rng_b);
+                    assert_eq!(a, b, "{proto} {} seed {seed}", policy.label());
+                    assert!((0.0..=1.0).contains(&a.inconsistency));
+                    assert!(a.receiver_lifetime >= a.sender_lifetime);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_sends_fewer_retransmissions_than_fixed_under_sustained_loss() {
+        // A blackout covering the session start swallows the initial trigger
+        // and every retry for 60 s; fixed-interval retries burn one message
+        // every R = 0.06 s while backoff caps out at 8R, so backoff wastes
+        // strictly fewer messages over the same blackout.
+        let schedule = signet::FaultSchedule::outage(0.0, 60.0).unwrap();
+        let mut p = lossy_params();
+        p.loss = 0.0;
+        let mut fixed_triggers = 0u64;
+        let mut backoff_triggers = 0u64;
+        for seed in 0..20u64 {
+            let base =
+                SessionConfig::deterministic(Protocol::SsRt, p).with_fault_schedule(schedule);
+            let mut rng = SimRng::new(seed);
+            fixed_triggers += SingleHopSession::run(&base, &mut rng).messages.trigger;
+            let backoff = base.with_retry_policy(RetryPolicy::backoff());
+            let mut rng = SimRng::new(seed);
+            backoff_triggers += SingleHopSession::run(&backoff, &mut rng).messages.trigger;
+        }
+        assert!(
+            backoff_triggers < fixed_triggers,
+            "backoff ({backoff_triggers}) should retry less than fixed ({fixed_triggers})"
+        );
+    }
+
+    #[test]
+    fn tight_receiver_capacity_causes_false_removals() {
+        // Service slower than the refresh stream: the signaling queue
+        // overflows, refreshes are dropped to overload, and the soft-state
+        // receiver starts falsely timing out even on a loss-free link.
+        let mut p = SingleHopParams::kazaa_defaults()
+            .with_mean_lifetime(400.0)
+            .with_mean_update_interval(1e9);
+        p.loss = 0.0;
+        p.false_signal_rate = 0.0;
+        p.timeout_timer = 2.0 * p.refresh_timer;
+        let tight = CapacityModel::limited(0.05, 1).unwrap(); // 20 s service
+        let mut unlimited_false = 0u64;
+        let mut limited_false = 0u64;
+        for seed in 0..20u64 {
+            let base = SessionConfig::deterministic(Protocol::Ss, p);
+            let mut rng = SimRng::new(seed);
+            unlimited_false += SingleHopSession::run(&base, &mut rng).false_removals;
+            let capped = base.with_capacity(tight);
+            let mut rng = SimRng::new(seed);
+            limited_false += SingleHopSession::run(&capped, &mut rng).false_removals;
+        }
+        assert_eq!(
+            unlimited_false, 0,
+            "loss-free unlimited runs never time out"
+        );
+        assert!(
+            limited_false > 0,
+            "an overloaded receiver must suffer false removals"
+        );
+    }
+
+    #[test]
+    fn unlimited_capacity_config_is_bit_identical() {
+        for proto in Protocol::ALL {
+            let base = SessionConfig::deterministic(proto, lossy_params());
+            let capped = base.with_capacity(CapacityModel::unlimited());
+            for seed in 0..5u64 {
+                let mut rng_a = SimRng::new(seed);
+                let mut rng_b = SimRng::new(seed);
+                assert_eq!(
+                    SingleHopSession::run(&base, &mut rng_a),
+                    SingleHopSession::run(&capped, &mut rng_b),
+                    "{proto} seed {seed}"
+                );
+            }
+        }
     }
 }
 

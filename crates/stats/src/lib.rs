@@ -13,6 +13,9 @@
 //!   simulation's per-population metrics;
 //! * [`stream::BinnedMeter`] — the same integral kept per fixed-width time
 //!   bin, for per-second recovery curves around injected faults;
+//! * [`stream::RateMeter`] — per-bin *event* counts over a fixed horizon:
+//!   the bandwidth-envelope / overload-drop meter behind the storm
+//!   experiments' peak-rate columns;
 //! * [`ci::ConfidenceInterval`] — Student-t confidence intervals used to
 //!   report simulation results with 95% error bars (paper Figures 11–12);
 //! * [`series::Series`] and [`series::SeriesSet`] — named `(x, y)` data
@@ -37,7 +40,7 @@ pub use ci::ConfidenceInterval;
 pub use online::OnlineStats;
 pub use ratio::RatioEstimator;
 pub use series::{Point, Series, SeriesSet};
-pub use stream::{BinnedMeter, LevelMeter};
+pub use stream::{BinnedMeter, LevelMeter, RateMeter};
 pub use summary::Summary;
 pub use timeweighted::TimeWeighted;
 

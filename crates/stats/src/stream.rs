@@ -247,6 +247,85 @@ impl BinnedMeter {
     }
 }
 
+/// Streaming per-bin event counter with a fixed horizon.
+///
+/// Where [`BinnedMeter`] integrates a *level*, `RateMeter` counts *events*:
+/// feed it `record(t)` for every message sent (or queue overflow suffered)
+/// and it accumulates one `u32` count per fixed-width bin of virtual time.
+/// The node simulation's bandwidth envelope and false-removal avalanche
+/// series are both instances: `peak()` over the message meter is the storm
+/// peak the `node-storm` and `node-restart-storm` experiments report, and
+/// the bin vector itself is the recovery time series.
+///
+/// Bins are pre-sized from the horizon at construction (events past the
+/// horizon clamp into the last bin, mirroring how simulators treat
+/// post-horizon stragglers), so recording is a branch-free increment and
+/// the memory cost is `O(horizon / bin_width)` regardless of event volume.
+/// All arithmetic is integer, so identical event sequences produce
+/// identical counts on every run — the meters inherit the simulators'
+/// bit-determinism contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateMeter {
+    bin_width: f64,
+    bins: Vec<u32>,
+}
+
+impl RateMeter {
+    /// A meter covering `[0, horizon]` with bins of `bin_width` seconds
+    /// (one extra bin absorbs events exactly at — or clamped past — the
+    /// horizon).
+    ///
+    /// # Panics
+    /// Panics if `bin_width` or `horizon` is not strictly positive and
+    /// finite.
+    pub fn new(horizon: f64, bin_width: f64) -> Self {
+        assert!(
+            bin_width > 0.0 && bin_width.is_finite(),
+            "bin width must be positive and finite, got {bin_width}"
+        );
+        assert!(
+            horizon > 0.0 && horizon.is_finite(),
+            "horizon must be positive and finite, got {horizon}"
+        );
+        Self {
+            bin_width,
+            bins: vec![0; (horizon / bin_width).ceil() as usize + 1],
+        }
+    }
+
+    /// Counts one event at virtual time `t` (clamped into the last bin
+    /// when `t` falls at or beyond the horizon).
+    pub fn record(&mut self, t: f64) {
+        let bin = ((t / self.bin_width) as usize).min(self.bins.len() - 1);
+        self.bins[bin] += 1;
+    }
+
+    /// The busiest bin's event count.
+    pub fn peak(&self) -> u32 {
+        self.bins.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The busiest bin's event *rate* (events per second).
+    pub fn peak_rate(&self) -> f64 {
+        self.peak() as f64 / self.bin_width
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().map(|&c| c as u64).sum()
+    }
+
+    /// The per-bin counts, in time order.
+    pub fn counts(&self) -> &[u32] {
+        &self.bins
+    }
+
+    /// The configured bin width (seconds).
+    pub fn bin_width(&self) -> f64 {
+        self.bin_width
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,7 +422,47 @@ mod tests {
         assert!(approx_eq(m.integrals_until(4.0)[3], 0.5, 1e-12));
     }
 
+    #[test]
+    fn rate_meter_counts_and_clamps() {
+        let mut m = RateMeter::new(4.0, 1.0);
+        assert_eq!(m.counts().len(), 5);
+        m.record(0.2);
+        m.record(0.8);
+        m.record(2.5);
+        // At and beyond the horizon: clamped into the last bin.
+        m.record(4.0);
+        m.record(99.0);
+        assert_eq!(m.counts(), &[2, 0, 1, 0, 2]);
+        assert_eq!(m.peak(), 2);
+        assert_eq!(m.total(), 5);
+        assert!(approx_eq(m.peak_rate(), 2.0, 1e-12));
+        assert_eq!(m.bin_width(), 1.0);
+    }
+
+    #[test]
+    fn empty_rate_meter_has_zero_peak() {
+        let m = RateMeter::new(10.0, 0.5);
+        assert_eq!(m.peak(), 0);
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.peak_rate(), 0.0);
+    }
+
     proptest! {
+        #[test]
+        fn prop_rate_meter_total_is_event_count(
+            raw in proptest::collection::vec(0.0f64..200.0, 0..80),
+        ) {
+            // Every event lands in exactly one bin (clamping included), so
+            // the bin sum always equals the event count and the peak never
+            // exceeds it.
+            let mut m = RateMeter::new(50.0, 1.0);
+            for &t in &raw {
+                m.record(t);
+            }
+            prop_assert_eq!(m.total(), raw.len() as u64);
+            prop_assert!(m.peak() as u64 <= m.total());
+        }
+
         #[test]
         fn prop_binned_integrals_sum_to_level_meter(
             raw in proptest::collection::vec(0.0f64..40.0, 1..50),

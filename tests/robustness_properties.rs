@@ -154,12 +154,9 @@ fn timer_mode_changes_little_at_the_paper_defaults() {
     for protocol in [Protocol::SsRtr, Protocol::Hs] {
         let run = |mode: TimerMode| {
             let cfg = SessionConfig {
-                protocol: protocol.into(),
-                params,
                 timer_mode: mode,
                 delay_mode: TimerMode::Deterministic,
-                loss_model: None,
-                faults: signaling::FaultSchedule::none(),
+                ..SessionConfig::deterministic(protocol, params)
             };
             signaling::Campaign::new(cfg, 200, 9)
                 .parallel(true)
